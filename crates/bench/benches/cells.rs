@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks for the future-cell implementations (the
+//! E15b ablation, measured properly): fulfill+touch round-trips through
+//! the lock-free cell vs the mutex cell, plus raw task spawn throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_rt::mutex_cell::mx_cell;
+use pf_rt::{cell, Runtime};
+
+const N: usize = 10_000;
+
+fn bench_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("future-cell");
+    g.sample_size(20);
+
+    g.bench_function("lockfree_write_then_touch_10k", |b| {
+        b.iter(|| {
+            Runtime::new(1).run(move |wk| {
+                for i in 0..N {
+                    let (w, r) = cell::<usize>();
+                    w.fulfill(wk, i);
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                }
+            });
+        })
+    });
+
+    g.bench_function("lockfree_touch_then_write_10k", |b| {
+        b.iter(|| {
+            Runtime::new(1).run(move |wk| {
+                for i in 0..N {
+                    let (w, r) = cell::<usize>();
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                    w.fulfill(wk, i);
+                }
+            });
+        })
+    });
+
+    g.bench_function("mutex_write_then_touch_10k", |b| {
+        b.iter(|| {
+            Runtime::new(1).run(move |wk| {
+                for i in 0..N {
+                    let (w, r) = mx_cell::<usize>();
+                    w.fulfill(wk, i);
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                }
+            });
+        })
+    });
+
+    g.bench_function("mutex_touch_then_write_10k", |b| {
+        b.iter(|| {
+            Runtime::new(1).run(move |wk| {
+                for i in 0..N {
+                    let (w, r) = mx_cell::<usize>();
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                    w.fulfill(wk, i);
+                }
+            });
+        })
+    });
+
+    g.bench_function("spawn_10k_empty_tasks", |b| {
+        b.iter(|| {
+            Runtime::new(1).run(|wk| {
+                for _ in 0..N {
+                    wk.spawn(|_| {});
+                }
+            });
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cells);
+criterion_main!(benches);

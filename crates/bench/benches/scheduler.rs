@@ -1,0 +1,32 @@
+//! Criterion benchmarks for the §4 scheduler replay: how fast the
+//! cycle-level machine simulator chews through a computation-DAG trace at
+//! various simulated processor counts and disciplines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_bench::exp_machine::capture_traces;
+use pf_machine::{replay, Discipline, INFINITE_P};
+
+fn bench_replay(c: &mut Criterion) {
+    let traces = capture_traces(10);
+    let (_, merge_trace) = &traces[0];
+    let mut g = c.benchmark_group("trace-replay");
+    g.sample_size(20);
+
+    for p in [1usize, 16, INFINITE_P] {
+        let label = if p == INFINITE_P {
+            "merge_1k_pinf".to_string()
+        } else {
+            format!("merge_1k_p{p}")
+        };
+        g.bench_function(&label, |b| {
+            b.iter(|| replay(merge_trace, p, Discipline::Stack))
+        });
+    }
+    g.bench_function("merge_1k_p16_queue", |b| {
+        b.iter(|| replay(merge_trace, 16, Discipline::Queue))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

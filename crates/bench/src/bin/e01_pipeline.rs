@@ -1,0 +1,6 @@
+//! E01 — Figure 1 producer/consumer pipeline.
+fn main() {
+    pf_core::run_with_big_stack(pf_core::DEFAULT_SIM_STACK, || {
+        pf_bench::exp_model::e01_pipeline(&[1_000, 2_000, 4_000, 8_000, 16_000, 32_000]).print();
+    });
+}

@@ -1,0 +1,6 @@
+//! E02 — Theorem 3.1: BST merge depth and work.
+fn main() {
+    for t in pf_bench::exp_model::e02_merge(&[8, 9, 10, 11, 12, 13, 14], 16) {
+        t.print();
+    }
+}

@@ -1,0 +1,4 @@
+//! E03 — §3.1 rebalance.
+fn main() {
+    pf_bench::exp_model::e03_rebalance(&[9, 10, 11, 12, 13, 14]).print();
+}

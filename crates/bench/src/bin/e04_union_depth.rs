@@ -1,0 +1,4 @@
+//! E04 — Corollary 3.6 / Lemma 3.4: treap union expected depth, τ-values.
+fn main() {
+    pf_bench::exp_model::e04_union_depth(&[8, 9, 10, 11, 12, 13], &[1, 2, 3, 4, 5]).print();
+}

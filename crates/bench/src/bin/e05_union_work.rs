@@ -1,0 +1,4 @@
+//! E05 — Theorem 3.7: treap union expected work.
+fn main() {
+    pf_bench::exp_model::e05_union_work(16, &[1, 2, 3]).print();
+}

@@ -1,0 +1,4 @@
+//! E06 — Corollary 3.12 / Lemma 3.10: treap difference expected depth, ρ-values.
+fn main() {
+    pf_bench::exp_model::e06_diff(&[8, 9, 10, 11, 12, 13], &[1, 2, 3, 4, 5]).print();
+}

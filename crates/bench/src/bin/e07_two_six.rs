@@ -1,0 +1,6 @@
+//! E07 — Theorem 3.13: 2-6 tree multi-insert depth/work and γ-values.
+fn main() {
+    for t in pf_bench::exp_model::e07_two_six(&[10, 11, 12, 13, 14], 8) {
+        t.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! E08 — Figure 2: Halstead's quicksort — pipelining is no asymptotic win.
+fn main() {
+    pf_core::run_with_big_stack(pf_core::DEFAULT_SIM_STACK, || {
+        pf_bench::exp_model::e08_quicksort(&[500, 1_000, 2_000, 4_000], &[1, 2, 3, 4, 5]).print();
+    });
+}

@@ -1,0 +1,8 @@
+//! E09 — Lemma 4.1: greedy §4 scheduler within Brent's bound.
+fn main() {
+    pf_bench::exp_machine::e09_scheduler(
+        11,
+        &[1, 2, 4, 8, 16, 64, 256, 1024, pf_machine::INFINITE_P],
+    )
+    .print();
+}

@@ -1,0 +1,4 @@
+//! E10 — machine-model comparison (EREW scan / EREW / async / BSP / CRCW) vs PVW.
+fn main() {
+    pf_bench::exp_machine::e10_models(16, 10, &[1, 4, 16, 64, 256, 1024, 4096]).print();
+}

@@ -1,0 +1,4 @@
+//! E11 — §4 linearity: every cell touched at most once.
+fn main() {
+    pf_bench::exp_linear::e11_linearity(10).print();
+}

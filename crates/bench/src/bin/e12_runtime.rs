@@ -1,0 +1,14 @@
+//! E12 — real-runtime wall-clock (see the single-CPU note in the output).
+fn main() {
+    for t in pf_bench::exp_rt::e12_runtime(15, &[1, 2, 4], 3) {
+        t.print();
+    }
+    println!(
+        "note: this host has {} CPU(s); multicore speedup is shown by the E09/E10 replay instead",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    assert!(pf_bench::exp_rt::rt_matches_model(12));
+    println!("cross-check: runtime result == cost-model result  [ok]");
+}

@@ -1,0 +1,4 @@
+//! E13 — conclusions conjecture: pipelined mergesort depth growth.
+fn main() {
+    pf_bench::exp_model::e13_mergesort(&[8, 9, 10, 11, 12, 13], &[1, 2, 3]).print();
+}

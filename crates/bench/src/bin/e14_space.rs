@@ -1,0 +1,4 @@
+//! E14 — §4 space: stack vs queue scheduling discipline.
+fn main() {
+    pf_bench::exp_machine::e14_space(11, &[4, 64]).print();
+}

@@ -1,0 +1,4 @@
+//! E16 — implicit (futures) vs explicit (PVW-style synchronous) pipelining.
+fn main() {
+    pf_bench::exp_machine::e16_pvw(&[10, 11, 12, 13, 14, 15], 8).print();
+}

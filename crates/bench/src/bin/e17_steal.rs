@@ -1,0 +1,4 @@
+//! E17 — asynchronous work-stealing execution of the algorithm traces.
+fn main() {
+    pf_bench::exp_machine::e17_steal(11, &[1, 2, 4, 8, 16, 64]).print();
+}

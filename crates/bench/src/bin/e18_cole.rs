@@ -1,0 +1,4 @@
+//! E18 — Cole's cascading mergesort (hand pipeline) vs futures mergesort.
+fn main() {
+    pf_bench::exp_model::e18_cole(&[8, 9, 10, 11, 12, 13], &[1, 2, 3]).print();
+}

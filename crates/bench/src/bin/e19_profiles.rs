@@ -1,0 +1,6 @@
+//! E19 — parallelism profiles (DAG width by depth) of the pipelined algorithms.
+fn main() {
+    pf_core::run_with_big_stack(pf_core::DEFAULT_SIM_STACK, || {
+        pf_bench::exp_model::e19_profiles(13).print();
+    });
+}

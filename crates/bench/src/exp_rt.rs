@@ -1,0 +1,227 @@
+//! Real-runtime experiments: E12 (wall-clock behaviour of the multicore
+//! runtime) and E15 (ablations: cost-constant sensitivity, lock-free vs
+//! mutex future cells).
+//!
+//! NOTE on E12: this host exposes a single CPU, so genuine multicore
+//! *speedup* cannot manifest in wall-clock numbers here; the experiment
+//! therefore reports (a) the overhead of the futures runtime relative to
+//! the sequential algorithm, and (b) that oversubscribing workers on one
+//! core degrades gracefully. The parallel-speedup *shape* of the paper is
+//! reproduced by the machine-model replay (E09/E10), which is
+//! processor-count-accurate by construction.
+
+use std::time::{Duration, Instant};
+
+use pf_core::{CostModel, Sim};
+use pf_rt::mutex_cell::mx_cell;
+use pf_rt::{cell, Runtime};
+use pf_rt_algs::drivers::{
+    best_of, time_insert_rt, time_insert_seq, time_merge_rt, time_merge_seq, time_rebalance_rt,
+    time_union_rt, time_union_seq,
+};
+use pf_trees::merge::run_merge;
+use pf_trees::workloads::{interleaved_pair, union_entries};
+use pf_trees::Mode;
+
+use crate::{f2, u, Table};
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// E12 — wall-clock: futures runtime vs sequential baselines, across
+/// worker counts.
+pub fn e12_runtime(lg_n: u32, threads: &[usize], reps: usize) -> Vec<Table> {
+    let n = 1usize << lg_n;
+    let (ea, eb) = union_entries(n, n, 31);
+    let mut t1 = Table::new(
+        format!("E12a treap union wall-clock, n = m = {n} (single-CPU host: see note)"),
+        &["impl", "threads", "time (ms)", "vs seq"],
+    );
+    let seq = best_of(reps, || time_union_seq(&ea, &eb));
+    t1.row(vec!["sequential".into(), "1".into(), ms(seq), f2(1.0)]);
+    for &th in threads {
+        let d = best_of(reps, || time_union_rt(&ea, &eb, th));
+        t1.row(vec![
+            "futures-rt".into(),
+            u(th as u64),
+            ms(d),
+            f2(d.as_secs_f64() / seq.as_secs_f64()),
+        ]);
+    }
+
+    let (a, b) = interleaved_pair(n, n);
+    let mut t2 = Table::new(
+        format!("E12b BST merge wall-clock, n = m = {n}"),
+        &["impl", "threads", "time (ms)", "vs seq"],
+    );
+    let seq = best_of(reps, || time_merge_seq(&a, &b));
+    t2.row(vec!["sequential".into(), "1".into(), ms(seq), f2(1.0)]);
+    for &th in threads {
+        let d = best_of(reps, || time_merge_rt(&a, &b, th));
+        t2.row(vec![
+            "futures-rt".into(),
+            u(th as u64),
+            ms(d),
+            f2(d.as_secs_f64() / seq.as_secs_f64()),
+        ]);
+    }
+
+    let mut t3 = Table::new(
+        format!("E12c 2-6 bulk insert & rebalance wall-clock, n = {n}"),
+        &["operation", "threads", "time (ms)"],
+    );
+    let initial: Vec<i64> = (0..n as i64).map(|i| 2 * i).collect();
+    let newk: Vec<i64> = (0..(n / 8) as i64).map(|i| 16 * i + 1).collect();
+    let d = best_of(reps, || time_insert_seq(&initial, &newk));
+    t3.row(vec!["2-6 insert (BTreeSet seq)".into(), "1".into(), ms(d)]);
+    for &th in threads {
+        let d = best_of(reps, || time_insert_rt(&initial, &newk, th));
+        t3.row(vec!["2-6 insert (futures-rt)".into(), u(th as u64), ms(d)]);
+    }
+    for &th in threads {
+        let d = best_of(reps, || time_rebalance_rt(n / 4, th));
+        t3.row(vec![
+            "rebalance spine (futures-rt)".into(),
+            u(th as u64),
+            ms(d),
+        ]);
+    }
+    vec![t1, t2, t3]
+}
+
+/// E15a — cost-constant sensitivity: the measured merge depth scales
+/// linearly in the fork/touch/write constants (the theorems' `ks`, `km`).
+pub fn e15_cost_constants(lg_n: u32, ks: &[u64]) -> Table {
+    let n = 1usize << lg_n;
+    let (a, b) = interleaved_pair(n, n);
+    let mut t = Table::new(
+        "E15a cost-constant sensitivity: merge depth vs uniform action cost k (linear in k)",
+        &["k", "depth", "depth/k", "work"],
+    );
+    for &k in ks {
+        let (_, c) = Sim::with_costs(CostModel::uniform(k)).run(|ctx| {
+            let ta = pf_trees::tree::Tree::preload_balanced(ctx, &a);
+            let tb = pf_trees::tree::Tree::preload_balanced(ctx, &b);
+            let (fa, fb) = (ctx.preload(ta), ctx.preload(tb));
+            let (op, of) = ctx.promise();
+            pf_trees::merge::merge(ctx, fa, fb, op, Mode::Pipelined);
+            of
+        });
+        t.row(vec![
+            u(k),
+            u(c.depth),
+            f2(c.depth as f64 / k as f64),
+            u(c.work),
+        ]);
+    }
+    t
+}
+
+/// E15b — cell ablation: lock-free vs mutex cell, write-then-touch
+/// round-trips inside the runtime.
+pub fn e15_cells(rounds: usize, cells_per_round: usize) -> Table {
+    let mut t = Table::new(
+        "E15b future-cell ablation: lock-free (atomic) vs mutex cell, fulfill+touch round-trips",
+        &["cell", "ops", "time (ms)", "ns/op"],
+    );
+    let ops = (rounds * cells_per_round) as u64;
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let n = cells_per_round;
+        Runtime::new(1).run(move |wk| {
+            for i in 0..n {
+                let (w, r) = cell::<usize>();
+                r.touch(wk, move |v, _| {
+                    std::hint::black_box(v);
+                });
+                w.fulfill(wk, i);
+            }
+        });
+    }
+    let d = start.elapsed();
+    t.row(vec![
+        "lock-free".into(),
+        u(ops),
+        ms(d),
+        f2(d.as_secs_f64() * 1e9 / ops as f64),
+    ]);
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let n = cells_per_round;
+        Runtime::new(1).run(move |wk| {
+            for i in 0..n {
+                let (w, r) = mx_cell::<usize>();
+                r.touch(wk, move |v, _| {
+                    std::hint::black_box(v);
+                });
+                w.fulfill(wk, i);
+            }
+        });
+    }
+    let d = start.elapsed();
+    t.row(vec![
+        "mutex".into(),
+        u(ops),
+        ms(d),
+        f2(d.as_secs_f64() * 1e9 / ops as f64),
+    ]);
+    t
+}
+
+/// Consistency check used by E12: the runtime and the cost model compute
+/// identical results on identical inputs.
+pub fn rt_matches_model(lg_n: u32) -> bool {
+    let n = 1usize << lg_n;
+    let (a, b) = interleaved_pair(n, n);
+    let (root, _) = run_merge(&a, &b, Mode::Pipelined);
+    let model_keys = root.get().to_sorted_vec();
+
+    let ta = pf_rt_algs::rtree::RTree::from_sorted(&a);
+    let tb = pf_rt_algs::rtree::RTree::from_sorted(&b);
+    let (op, of) = cell();
+    Runtime::new(2)
+        .run(move |wk| pf_rt_algs::rtree::merge(wk, pf_rt::ready(ta), pf_rt::ready(tb), op));
+    let rt_keys = of.expect().to_sorted_vec();
+    model_keys == rt_keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_smoke() {
+        let ts = e12_runtime(10, &[1, 2], 1);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].rows.len(), 3);
+        assert_eq!(ts[2].rows.len(), 5);
+    }
+
+    #[test]
+    fn e15_constants_scale_linearly() {
+        let t = e15_cost_constants(8, &[1, 2, 4]);
+        let d1: f64 = t.rows[0][1].parse().unwrap();
+        let d4: f64 = t.rows[2][1].parse().unwrap();
+        // fork/touch/write scale 4x but plain unit ops stay at 1, so the
+        // overall depth grows somewhat less than 4x.
+        let ratio = d4 / d1;
+        assert!(
+            (2.2..4.2).contains(&ratio),
+            "depth should scale ~k: {ratio}"
+        );
+    }
+
+    #[test]
+    fn e15_cells_smoke() {
+        let t = e15_cells(2, 500);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn rt_and_model_agree() {
+        assert!(rt_matches_model(9));
+    }
+}

@@ -1,0 +1,273 @@
+//! Future cells: write-once single-assignment cells carrying the virtual
+//! time at which their write action occurred.
+//!
+//! A *future call* in the paper allocates one or more **future cells**, hands
+//! *read pointers* ([`Fut`]) to the continuation and *write pointers*
+//! ([`Promise`]) to the forked thread. The ability to return **multiple**
+//! cells from a single fork — each filled at a different moment — is what
+//! makes the pipelined algorithms work (e.g. `splitm` returns both halves of
+//! a treap and fills each side's root as soon as it is known). This module
+//! therefore exposes the cell pair directly via [`crate::Ctx::promise`]
+//! rather than only the single-result sugar [`crate::Ctx::fork`].
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::trace::CellId;
+
+/// Sentinel timestamp for a cell that has not been written yet.
+const UNWRITTEN: u64 = u64::MAX;
+
+pub(crate) struct FutInner<T> {
+    id: CellId,
+    value: RefCell<Option<T>>,
+    /// Virtual time of the write action, or [`UNWRITTEN`].
+    time: Cell<u64>,
+    /// Number of touches (cost-bearing reads) — the linearity counter.
+    reads: Cell<u32>,
+}
+
+/// Type-erased view of a cell used by strict (non-pipelined) call frames to
+/// re-stamp every cell written inside the frame to the frame's completion
+/// time (see [`crate::Ctx::call_strict`]).
+pub(crate) trait RestampCell {
+    fn bump_time(&self, t: u64);
+}
+
+impl<T> RestampCell for FutInner<T> {
+    fn bump_time(&self, t: u64) {
+        let cur = self.time.get();
+        debug_assert_ne!(cur, UNWRITTEN, "restamping an unwritten cell");
+        if t > cur {
+            self.time.set(t);
+        }
+    }
+}
+
+/// A read pointer to a future cell.
+///
+/// Cloning a `Fut` clones the pointer, not the value; read pointers "can be
+/// copied and passed around to other threads" (§2). Reading with a cost
+/// (a *touch*) goes through [`crate::Ctx::touch`]; the accessors on `Fut`
+/// itself are free-of-charge inspection for use *after* a simulation run
+/// (validating results, walking finished trees, checking τ-values).
+pub struct Fut<T> {
+    pub(crate) inner: Rc<FutInner<T>>,
+}
+
+impl<T> Clone for Fut<T> {
+    fn clone(&self) -> Self {
+        Fut {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Fut<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_written() {
+            write!(
+                f,
+                "Fut(cell {}, t={})",
+                self.inner.id,
+                self.inner.time.get()
+            )
+        } else {
+            write!(f, "Fut(cell {}, unwritten)", self.inner.id)
+        }
+    }
+}
+
+impl<T> Fut<T> {
+    /// The unique id of the underlying cell.
+    pub fn id(&self) -> CellId {
+        self.inner.id
+    }
+
+    /// Has the cell been written?
+    pub fn is_written(&self) -> bool {
+        self.inner.time.get() != UNWRITTEN
+    }
+
+    /// Virtual time of the write action — the paper's `t(v)` for the value
+    /// stored in this cell.
+    ///
+    /// # Panics
+    /// If the cell has not been written.
+    pub fn time(&self) -> u64 {
+        let t = self.inner.time.get();
+        assert_ne!(
+            t, UNWRITTEN,
+            "future cell {} inspected (time) before write",
+            self.inner.id
+        );
+        t
+    }
+
+    /// Number of touches this cell has received. Linear code touches each
+    /// cell at most once.
+    pub fn read_count(&self) -> u32 {
+        self.inner.reads.get()
+    }
+
+    /// Zero-cost clone of the value for post-run inspection.
+    ///
+    /// # Panics
+    /// If the cell has not been written.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.try_get()
+            .unwrap_or_else(|| panic!("future cell {} inspected (get) before write", self.inner.id))
+    }
+
+    /// Zero-cost clone of the value, or `None` if unwritten.
+    pub fn try_get(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.inner.value.borrow().clone()
+    }
+
+    /// Borrow the value for the duration of `f` without cloning.
+    ///
+    /// # Panics
+    /// If the cell has not been written.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let b = self.inner.value.borrow();
+        let v = b.as_ref().unwrap_or_else(|| {
+            panic!(
+                "future cell {} inspected (with) before write",
+                self.inner.id
+            )
+        });
+        f(v)
+    }
+
+    pub(crate) fn record_touch(&self) -> u32 {
+        let n = self.inner.reads.get() + 1;
+        self.inner.reads.set(n);
+        n
+    }
+
+    pub(crate) fn write_time(&self) -> Option<u64> {
+        let t = self.inner.time.get();
+        (t != UNWRITTEN).then_some(t)
+    }
+}
+
+/// The write pointer to a future cell: consumed by [`Promise::fulfill`],
+/// enforcing the single-assignment discipline at the type level. A write
+/// pointer "can also be passed around to other threads, but each can only be
+/// written to once" (§2) — in Rust that is simply a move.
+pub struct Promise<T> {
+    pub(crate) inner: Rc<FutInner<T>>,
+}
+
+impl<T> fmt::Debug for Promise<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Promise(cell {})", self.inner.id)
+    }
+}
+
+impl<T> Promise<T> {
+    /// The unique id of the underlying cell.
+    pub fn id(&self) -> CellId {
+        self.inner.id
+    }
+
+    /// Store `value` with write-time `t`. Internal: the costed public entry
+    /// point is [`Promise::fulfill`](crate::Ctx::promise) via the context.
+    pub(crate) fn write(self, t: u64, value: T) -> Rc<FutInner<T>> {
+        {
+            let mut slot = self.inner.value.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "future cell {} written twice",
+                self.inner.id
+            );
+            *slot = Some(value);
+        }
+        debug_assert_eq!(self.inner.time.get(), UNWRITTEN);
+        self.inner.time.set(t);
+        self.inner
+    }
+}
+
+pub(crate) fn new_cell<T>(id: CellId) -> (Promise<T>, Fut<T>) {
+    let inner = Rc::new(FutInner {
+        id,
+        value: RefCell::new(None),
+        time: Cell::new(UNWRITTEN),
+        reads: Cell::new(0),
+    });
+    (
+        Promise {
+            inner: Rc::clone(&inner),
+        },
+        Fut { inner },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_lifecycle() {
+        let (p, f) = new_cell::<i32>(7);
+        assert_eq!(f.id(), 7);
+        assert!(!f.is_written());
+        assert_eq!(f.try_get(), None);
+        p.write(42, 5);
+        assert!(f.is_written());
+        assert_eq!(f.time(), 42);
+        assert_eq!(f.get(), 5);
+        f.with(|v| assert_eq!(*v, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before write")]
+    fn get_before_write_panics() {
+        let (_p, f) = new_cell::<i32>(0);
+        let _ = f.get();
+    }
+
+    #[test]
+    #[should_panic(expected = "before write")]
+    fn time_before_write_panics() {
+        let (_p, f) = new_cell::<i32>(0);
+        let _ = f.time();
+    }
+
+    #[test]
+    fn restamp_only_moves_forward() {
+        let (p, f) = new_cell::<i32>(0);
+        let inner = p.write(10, 1);
+        inner.bump_time(5);
+        assert_eq!(f.time(), 10, "restamp must never move a write earlier");
+        inner.bump_time(20);
+        assert_eq!(f.time(), 20);
+    }
+
+    #[test]
+    fn touch_counting() {
+        let (p, f) = new_cell::<i32>(0);
+        p.write(1, 9);
+        assert_eq!(f.read_count(), 0);
+        assert_eq!(f.record_touch(), 1);
+        assert_eq!(f.record_touch(), 2);
+        assert_eq!(f.read_count(), 2);
+    }
+
+    #[test]
+    fn clone_is_aliasing() {
+        let (p, f) = new_cell::<String>(0);
+        let g = f.clone();
+        p.write(3, "hi".to_string());
+        assert_eq!(g.get(), "hi");
+        assert_eq!(f.get(), "hi");
+    }
+}

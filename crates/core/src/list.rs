@@ -1,0 +1,141 @@
+//! Future-tailed lists: the list type of the paper's Figure 1
+//! (producer/consumer) and Figure 2 (Halstead's quicksort).
+//!
+//! A `FList<T>` is either `Nil` or a cons cell whose head is a plain value
+//! and whose **tail is a future** — the element `n :: ?produce(n - 1)`
+//! pattern. Streaming a list through a future-tailed cons chain is the
+//! simplest instance of pipelining: the consumer can process element *i*
+//! while the producer is still computing element *i + 1*.
+
+use std::rc::Rc;
+
+use crate::fut::Fut;
+
+/// A list whose tail is a future (the paper's `n :: ?rest` lists).
+pub enum FList<T> {
+    /// The empty list.
+    Nil,
+    /// A cons cell: head value plus a future of the rest of the list.
+    Cons(Rc<(T, Fut<FList<T>>)>),
+}
+
+impl<T> Clone for FList<T> {
+    fn clone(&self) -> Self {
+        match self {
+            FList::Nil => FList::Nil,
+            FList::Cons(rc) => FList::Cons(Rc::clone(rc)),
+        }
+    }
+}
+
+impl<T> FList<T> {
+    /// The empty list.
+    pub fn nil() -> Self {
+        FList::Nil
+    }
+
+    /// Prepend `head` onto the future list `tail`.
+    pub fn cons(head: T, tail: Fut<FList<T>>) -> Self {
+        FList::Cons(Rc::new((head, tail)))
+    }
+
+    /// Is this the empty list?
+    pub fn is_nil(&self) -> bool {
+        matches!(self, FList::Nil)
+    }
+
+    /// Destructure a cons cell into `(head, tail-future)` references, or
+    /// `None` for nil. Reading the head is free (it is a plain value);
+    /// reading the *tail* requires a touch via [`crate::Ctx::touch`].
+    pub fn as_cons(&self) -> Option<(&T, &Fut<FList<T>>)> {
+        match self {
+            FList::Nil => None,
+            FList::Cons(rc) => Some((&rc.0, &rc.1)),
+        }
+    }
+
+    /// Collect the list into a `Vec` by zero-cost post-run inspection.
+    ///
+    /// # Panics
+    /// If any tail cell is still unwritten.
+    pub fn collect_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur {
+                FList::Nil => return out,
+                FList::Cons(rc) => {
+                    out.push(rc.0.clone());
+                    cur = rc.1.get();
+                }
+            }
+        }
+    }
+
+    /// Length of the list by zero-cost post-run inspection.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = match self {
+            FList::Nil => return 0,
+            FList::Cons(rc) => Rc::clone(rc),
+        };
+        loop {
+            n += 1;
+            match cur.1.with(|l| l.clone()) {
+                FList::Nil => return n,
+                FList::Cons(rc) => cur = rc,
+            }
+        }
+    }
+
+    /// Is the list empty? (Companion to [`FList::len`].)
+    pub fn is_empty(&self) -> bool {
+        self.is_nil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Sim;
+
+    #[test]
+    fn build_and_collect() {
+        let (list, _r) = Sim::new().run(|ctx| {
+            // 3 :: ?(2 :: ?(1 :: ?nil))
+            let t0 = ctx.fork(|_| FList::nil());
+            let l1 = FList::cons(1, t0);
+            let t1 = ctx.fork(move |_| l1);
+            let l2 = FList::cons(2, t1);
+            let t2 = ctx.fork(move |_| l2);
+            FList::cons(3, t2)
+        });
+        assert_eq!(list.collect_vec(), vec![3, 2, 1]);
+        assert_eq!(list.len(), 3);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn nil_properties() {
+        let l: FList<u32> = FList::nil();
+        assert!(l.is_nil());
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.collect_vec(), Vec::<u32>::new());
+        assert!(l.as_cons().is_none());
+    }
+
+    #[test]
+    fn as_cons_exposes_head_and_tail() {
+        let (_, _r) = Sim::new().run(|ctx| {
+            let t = ctx.fork(|_| FList::<u32>::nil());
+            let l = FList::cons(9, t);
+            let (h, tail) = l.as_cons().unwrap();
+            assert_eq!(*h, 9);
+            assert!(tail.is_written());
+        });
+    }
+}

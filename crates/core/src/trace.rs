@@ -1,0 +1,167 @@
+//! Computation-DAG traces.
+//!
+//! A traced simulation records, per thread, the sequence of primitive events
+//! it executed. The trace is a faithful, replayable encoding of the paper's
+//! computation DAG: `pf-machine` replays traces under the §4 scheduler to
+//! measure greedy-schedule step counts, suspension behaviour, and thread-pool
+//! space — all without re-running the algorithm.
+
+use crate::cost::CostModel;
+
+/// Identifier of a simulated thread (dense, starting at 0 for the root).
+pub type ThreadId = u32;
+/// Identifier of a future cell (dense, starting at 0).
+pub type CellId = u64;
+
+/// One primitive event in a thread's life.
+///
+/// Costs are *not* stored per event; the replayer charges them from the
+/// [`CostModel`] embedded in the [`Trace`] so that replayed work exactly
+/// matches the simulator's work counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// `k` plain unit actions (consecutive ticks are merged).
+    Compute(u64),
+    /// Fork a future: activates the given child thread. Charged
+    /// `costs.fork` actions on the forking thread.
+    Fork(ThreadId),
+    /// Write a future cell; reactivates any threads suspended on it.
+    /// Charged `costs.write` actions.
+    Write(CellId),
+    /// Touch a future cell. If the cell is unwritten at replay time the
+    /// thread suspends *without consuming the action* and re-executes the
+    /// touch when reactivated — this matches the DAG semantics exactly (the
+    /// touch node cannot execute before its data-edge source) and makes a
+    /// p = ∞ replay take precisely `depth` steps.
+    Touch(CellId),
+    /// A flat array primitive of breadth `n` (§3.4 `array_split` /
+    /// `array_scan`): `n` independent unit actions that must all complete
+    /// before the thread's next event. Expanded lazily by the replayer,
+    /// mirroring the paper's stub technique.
+    Flat(u64),
+}
+
+/// The event log of a single thread, in program order.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadLog {
+    /// Events in execution order. The thread terminates after the last one.
+    pub events: Vec<Ev>,
+}
+
+impl ThreadLog {
+    /// Total actions this thread executes under `costs`.
+    pub fn actions(&self, costs: &CostModel) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Ev::Compute(k) => *k,
+                Ev::Fork(_) => costs.fork,
+                Ev::Write(_) => costs.write,
+                Ev::Touch(_) => costs.touch,
+                // n parallel units plus the unit sink action.
+                Ev::Flat(n) => *n + 1,
+            })
+            .sum()
+    }
+}
+
+/// A complete computation-DAG trace: one log per thread (thread 0 is the
+/// root), plus the cost constants and the simulator's own work/depth
+/// measurements for cross-validation.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Per-thread event logs; index = [`ThreadId`].
+    pub threads: Vec<ThreadLog>,
+    /// Number of future cells created during the run.
+    pub n_cells: u64,
+    /// Cells created pre-written by [`crate::Ctx::preload`] (input data):
+    /// the replayer must treat these as written before step 0.
+    pub pre_written: Vec<CellId>,
+    /// The cost constants the run was charged with.
+    pub costs: CostModel,
+    /// Work measured by the simulator (must equal the replayed action count).
+    pub work: u64,
+    /// Depth measured by the simulator (a p = ∞ replay must finish in
+    /// exactly this many steps).
+    pub depth: u64,
+}
+
+impl Trace {
+    /// Total actions across all threads; equals [`Trace::work`] by
+    /// construction (asserted in tests).
+    pub fn total_actions(&self) -> u64 {
+        self.threads.iter().map(|t| t.actions(&self.costs)).sum()
+    }
+
+    /// Number of threads in the trace.
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct TraceBuilder {
+    pub threads: Vec<ThreadLog>,
+}
+
+impl TraceBuilder {
+    pub fn new_thread(&mut self) -> ThreadId {
+        let id = self.threads.len() as ThreadId;
+        self.threads.push(ThreadLog::default());
+        id
+    }
+
+    pub fn push(&mut self, thread: ThreadId, ev: Ev) {
+        let log = &mut self.threads[thread as usize].events;
+        // Merge consecutive computes to keep traces compact.
+        if let (Ev::Compute(k), Some(Ev::Compute(prev))) = (ev, log.last_mut()) {
+            *prev += k;
+        } else {
+            log.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_events_merge() {
+        let mut b = TraceBuilder::default();
+        let t = b.new_thread();
+        b.push(t, Ev::Compute(2));
+        b.push(t, Ev::Compute(3));
+        b.push(t, Ev::Touch(0));
+        b.push(t, Ev::Compute(1));
+        assert_eq!(
+            b.threads[0].events,
+            vec![Ev::Compute(5), Ev::Touch(0), Ev::Compute(1)]
+        );
+    }
+
+    #[test]
+    fn action_accounting() {
+        let costs = CostModel::default();
+        let log = ThreadLog {
+            events: vec![
+                Ev::Compute(4),
+                Ev::Fork(1),
+                Ev::Write(0),
+                Ev::Touch(1),
+                Ev::Flat(10),
+            ],
+        };
+        assert_eq!(log.actions(&costs), 4 + 1 + 1 + 1 + 11);
+        let costs3 = CostModel::uniform(3);
+        assert_eq!(log.actions(&costs3), 4 + 3 + 3 + 3 + 11);
+    }
+
+    #[test]
+    fn thread_ids_are_dense() {
+        let mut b = TraceBuilder::default();
+        assert_eq!(b.new_thread(), 0);
+        assert_eq!(b.new_thread(), 1);
+        assert_eq!(b.new_thread(), 2);
+    }
+}

@@ -1,0 +1,557 @@
+//! The §4 greedy scheduler, as a deterministic cycle-level simulator over
+//! computation-DAG traces.
+//!
+//! Each simulated step:
+//!
+//! 1. pops entries from the active pool until `p` execution slots are
+//!    filled (or the pool is exhausted). A thread whose next event is a
+//!    touch of a cell not yet visible suspends into the cell without
+//!    consuming a slot — it is not a *ready* DAG node;
+//! 2. executes one action per slot. Flat jobs (the `array_split` stubs)
+//!    may consume many slots in one step, up to their remaining breadth;
+//! 3. at the end of the step, cells written during the step flush their
+//!    waiter lists, and all continuing / forked / reactivated threads
+//!    return to the pool.
+//!
+//! Writes become visible to touches in the step *after* they execute —
+//! the synchronous PRAM convention, and exactly the timing of the
+//! simulator's virtual clocks, which is why a p = ∞ replay takes exactly
+//! `depth` steps (asserted by the cross-validation tests).
+
+use std::collections::VecDeque;
+
+use pf_core::{Ev, ThreadId, Trace};
+
+/// Processor count representing p = ∞ (every ready action runs each step).
+pub const INFINITE_P: usize = usize::MAX;
+
+/// How the active pool orders threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// LIFO — the paper's choice ("probably much better for space").
+    Stack,
+    /// FIFO — breadth-first; the comparison point for experiment E14.
+    Queue,
+}
+
+/// How a touch of an unwritten cell is accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suspension {
+    /// The toucher suspends free of charge and re-executes the touch when
+    /// reactivated — a pure greedy schedule of the DAG (p = ∞ replay takes
+    /// exactly `depth` steps). The library default.
+    Free,
+    /// The paper's accounting: the touch action itself performs the
+    /// suspension (writes the closure into the cell and consumes its
+    /// action); reactivation resumes *after* the touch. Work is identical;
+    /// step counts differ from [`Suspension::Free`] by at most one step
+    /// per suspension in either direction (the touch fires before its data
+    /// edge, but occupies a slot to do so).
+    Charged,
+}
+
+/// Measurements from one replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Number of synchronous steps (the machine time in the scan model).
+    pub steps: u64,
+    /// Actions executed; must equal the trace's work.
+    pub work_executed: u64,
+    /// Maximum size of the active pool over all steps (space).
+    pub max_pool: usize,
+    /// Maximum number of threads suspended in cells at any time.
+    pub max_suspended: usize,
+    /// Total suspensions (touches that found their cell unwritten).
+    pub suspensions: u64,
+    /// Total reactivations (must equal suspensions at termination).
+    pub reactivations: u64,
+}
+
+impl ReplayStats {
+    /// Brent's greedy-schedule bound for this replay.
+    pub fn within_brent(&self, work: u64, depth: u64, p: usize) -> bool {
+        if p == INFINITE_P {
+            return self.steps <= depth;
+        }
+        self.steps <= work.div_ceil(p as u64) + depth
+    }
+}
+
+/// A pool entry: a runnable thread or a partially expanded flat job.
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    Thread(ThreadId),
+    Flat(usize), // index into flat jobs
+}
+
+struct FlatJob {
+    remaining: u64,
+    owner: ThreadId,
+}
+
+struct ThreadState {
+    /// Index of the next event.
+    pc: usize,
+    /// Remaining actions within the current multi-action event
+    /// (Compute(k) with k > 1, or the cost of a fork/write/touch > 1).
+    budget: u64,
+    /// The current Flat event's breadth job has been dispatched; the next
+    /// visit to the event executes its unit sink action.
+    flat_dispatched: bool,
+}
+
+struct Pool {
+    stack: Vec<Entry>,
+    queue: VecDeque<Entry>,
+    discipline: Discipline,
+}
+
+impl Pool {
+    fn new(discipline: Discipline) -> Self {
+        Pool {
+            stack: Vec::new(),
+            queue: VecDeque::new(),
+            discipline,
+        }
+    }
+
+    fn push(&mut self, e: Entry) {
+        match self.discipline {
+            Discipline::Stack => self.stack.push(e),
+            Discipline::Queue => self.queue.push_back(e),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        match self.discipline {
+            Discipline::Stack => self.stack.pop(),
+            Discipline::Queue => self.queue.pop_front(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self.discipline {
+            Discipline::Stack => self.stack.len(),
+            Discipline::Queue => self.queue.len(),
+        }
+    }
+}
+
+/// Replay `trace` on `p` processors under the given pool discipline with
+/// [`Suspension::Free`] accounting.
+///
+/// # Panics
+/// If the trace is malformed (touch of a never-written cell would make the
+/// replay hang; this is detected and reported as a panic naming the cell).
+pub fn replay(trace: &Trace, p: usize, discipline: Discipline) -> ReplayStats {
+    replay_with(trace, p, discipline, Suspension::Free)
+}
+
+/// [`replay`] with an explicit suspension-accounting policy (the E15
+/// ablation; see [`Suspension`]).
+pub fn replay_with(
+    trace: &Trace,
+    p: usize,
+    discipline: Discipline,
+    suspension: Suspension,
+) -> ReplayStats {
+    assert!(p >= 1, "need at least one processor");
+    let costs = trace.costs;
+    let n_threads = trace.threads.len();
+    let n_cells = trace.n_cells as usize;
+
+    let mut threads: Vec<ThreadState> = (0..n_threads)
+        .map(|_| ThreadState {
+            pc: 0,
+            budget: 0,
+            flat_dispatched: false,
+        })
+        .collect();
+    // written_step[c] = Some(s): visible to touches in steps > s.
+    let mut written_step: Vec<Option<u64>> = vec![None; n_cells];
+    for &c in &trace.pre_written {
+        written_step[c as usize] = Some(0);
+    }
+    let mut waiters: Vec<Vec<ThreadId>> = vec![Vec::new(); n_cells];
+    let mut flats: Vec<FlatJob> = Vec::new();
+
+    let mut pool = Pool::new(discipline);
+    pool.push(Entry::Thread(0));
+
+    let mut stats = ReplayStats {
+        steps: 0,
+        work_executed: 0,
+        max_pool: 1,
+        max_suspended: 0,
+        suspensions: 0,
+        reactivations: 0,
+    };
+    let mut suspended_now: usize = 0;
+
+    let ev_cost = |ev: &Ev| -> u64 {
+        match ev {
+            Ev::Compute(k) => *k,
+            Ev::Fork(_) => costs.fork,
+            Ev::Write(_) => costs.write,
+            Ev::Touch(_) => costs.touch,
+            Ev::Flat(_) => unreachable!("flat handled separately"),
+        }
+    };
+
+    loop {
+        if pool.len() == 0 {
+            break;
+        }
+        let step = stats.steps + 1;
+        let mut slots_left = p;
+        let mut written_this_step: Vec<u64> = Vec::new();
+        let mut pushback: Vec<Entry> = Vec::new();
+
+        while slots_left > 0 {
+            let Some(entry) = pool.pop() else { break };
+            match entry {
+                Entry::Flat(j) => {
+                    let job = &mut flats[j];
+                    let take = (job.remaining).min(slots_left as u64);
+                    job.remaining -= take;
+                    slots_left -= take as usize;
+                    stats.work_executed += take;
+                    if job.remaining > 0 {
+                        pushback.push(Entry::Flat(j));
+                    } else {
+                        // Units done: the owner returns to execute the
+                        // flat's sink action next step.
+                        pushback.push(Entry::Thread(job.owner));
+                    }
+                }
+                Entry::Thread(tid) => {
+                    let t = tid as usize;
+                    let log = &trace.threads[t].events;
+                    if threads[t].pc >= log.len() {
+                        // Thread already terminated: drop silently.
+                        continue;
+                    }
+                    let ev = &log[threads[t].pc];
+                    match ev {
+                        Ev::Flat(n) => {
+                            if !threads[t].flat_dispatched {
+                                // Expand lazily into a flat job (a free
+                                // bookkeeping move — the stub technique);
+                                // the n units consume slots starting now,
+                                // and the owner waits for the job.
+                                threads[t].flat_dispatched = true;
+                                flats.push(FlatJob {
+                                    remaining: *n,
+                                    owner: tid,
+                                });
+                                let j = flats.len() - 1;
+                                let job = &mut flats[j];
+                                let take = job.remaining.min(slots_left as u64);
+                                job.remaining -= take;
+                                slots_left -= take as usize;
+                                stats.work_executed += take;
+                                if job.remaining > 0 {
+                                    pushback.push(Entry::Flat(j));
+                                } else {
+                                    pushback.push(Entry::Thread(tid));
+                                }
+                            } else {
+                                // The sink (collect) action of the flat DAG.
+                                threads[t].flat_dispatched = false;
+                                threads[t].pc += 1;
+                                stats.work_executed += 1;
+                                slots_left -= 1;
+                                pushback.push(Entry::Thread(tid));
+                            }
+                        }
+                        Ev::Touch(c) => {
+                            let visible = matches!(written_step[*c as usize], Some(s) if s < step);
+                            if !visible {
+                                match suspension {
+                                    Suspension::Free => {
+                                        // Not a ready DAG node: suspend free
+                                        // of charge; the slot is reused.
+                                        waiters[*c as usize].push(tid);
+                                        stats.suspensions += 1;
+                                        suspended_now += 1;
+                                        stats.max_suspended =
+                                            stats.max_suspended.max(suspended_now);
+                                        continue;
+                                    }
+                                    Suspension::Charged => {
+                                        // The touch action performs the
+                                        // suspension: consume its cost; on
+                                        // the final unit the thread parks in
+                                        // the cell with pc already advanced.
+                                        let done = run_action(&mut threads[t], ev_cost(ev));
+                                        stats.work_executed += 1;
+                                        slots_left -= 1;
+                                        if done {
+                                            waiters[*c as usize].push(tid);
+                                            stats.suspensions += 1;
+                                            suspended_now += 1;
+                                            stats.max_suspended =
+                                                stats.max_suspended.max(suspended_now);
+                                        } else {
+                                            pushback.push(Entry::Thread(tid));
+                                        }
+                                        continue;
+                                    }
+                                }
+                            }
+                            run_action(&mut threads[t], ev_cost(ev));
+                            stats.work_executed += 1;
+                            slots_left -= 1;
+                            pushback.push(Entry::Thread(tid));
+                        }
+                        Ev::Write(c) => {
+                            let done = run_action(&mut threads[t], ev_cost(ev));
+                            stats.work_executed += 1;
+                            slots_left -= 1;
+                            if done {
+                                assert!(
+                                    written_step[*c as usize].is_none(),
+                                    "cell {c} written twice in trace"
+                                );
+                                written_step[*c as usize] = Some(step);
+                                written_this_step.push(*c);
+                            }
+                            pushback.push(Entry::Thread(tid));
+                        }
+                        Ev::Fork(child) => {
+                            let child = *child;
+                            let done = run_action(&mut threads[t], ev_cost(ev));
+                            stats.work_executed += 1;
+                            slots_left -= 1;
+                            pushback.push(Entry::Thread(tid));
+                            if done {
+                                pushback.push(Entry::Thread(child));
+                            }
+                        }
+                        Ev::Compute(_) => {
+                            run_action(&mut threads[t], ev_cost(ev));
+                            stats.work_executed += 1;
+                            slots_left -= 1;
+                            pushback.push(Entry::Thread(tid));
+                        }
+                    }
+                }
+            }
+        }
+
+        // End of step: writes become visible, waiters flush, everything
+        // returns to the pool.
+        for c in written_this_step {
+            for w in waiters[c as usize].drain(..) {
+                stats.reactivations += 1;
+                suspended_now -= 1;
+                pushback.push(Entry::Thread(w));
+            }
+        }
+        for e in pushback {
+            // Terminated threads do not return.
+            if let Entry::Thread(tid) = e {
+                if threads[tid as usize].pc >= trace.threads[tid as usize].events.len() {
+                    continue;
+                }
+            }
+            pool.push(e);
+        }
+        stats.steps = step;
+        stats.max_pool = stats.max_pool.max(pool.len());
+        if pool.len() == 0 && suspended_now > 0 {
+            panic!(
+                "replay deadlock: {suspended_now} thread(s) suspended on cells \
+                 that will never be written (malformed trace)"
+            );
+        }
+    }
+
+    assert_eq!(
+        stats.suspensions, stats.reactivations,
+        "every suspension must be matched by a reactivation"
+    );
+    stats
+}
+
+/// Run one unit of the current event; returns true when the event's cost
+/// is fully paid and the pc advances (the event's *effect* happens on its
+/// final unit).
+fn run_action(t: &mut ThreadState, total_cost: u64) -> bool {
+    if t.budget == 0 {
+        t.budget = total_cost;
+    }
+    t.budget -= 1;
+    if t.budget == 0 {
+        t.pc += 1;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_core::Sim;
+
+    #[test]
+    fn straight_line_trace() {
+        let (_, r, trace) = Sim::new().run_traced(|ctx| ctx.tick(10));
+        let s = replay(&trace, 1, Discipline::Stack);
+        assert_eq!(s.steps, 10);
+        assert_eq!(s.work_executed, r.work);
+        let s = replay(&trace, 4, Discipline::Stack);
+        assert_eq!(s.steps, 10, "a single thread cannot go faster");
+    }
+
+    #[test]
+    fn fork_join_pipeline_exact_depth_at_infinite_p() {
+        let (_, r, trace) = Sim::new().run_traced(|ctx| {
+            let f = ctx.fork(|c| {
+                c.tick(3);
+                7u32
+            });
+            ctx.touch(&f);
+        });
+        let s = replay(&trace, INFINITE_P, Discipline::Stack);
+        assert_eq!(
+            s.steps, r.depth,
+            "p = ∞ replay must take exactly depth steps"
+        );
+        assert_eq!(s.work_executed, r.work);
+        assert_eq!(s.suspensions, 1, "the touch must suspend once");
+    }
+
+    #[test]
+    fn parallel_forks_speed_up() {
+        let (_, r, trace) = Sim::new().run_traced(|ctx| {
+            let fs: Vec<_> = (0..8)
+                .map(|_| {
+                    ctx.fork(|c| {
+                        c.tick(64);
+                    })
+                })
+                .collect();
+            for f in &fs {
+                ctx.touch(f);
+            }
+        });
+        let s1 = replay(&trace, 1, Discipline::Stack);
+        let s8 = replay(&trace, 8, Discipline::Stack);
+        assert_eq!(s1.work_executed, r.work);
+        assert!(s1.steps >= r.work, "p=1 must serialize");
+        assert!(
+            s8.steps < s1.steps / 4,
+            "8 processors should give real speedup: {} vs {}",
+            s8.steps,
+            s1.steps
+        );
+        assert!(s8.within_brent(r.work, r.depth, 8));
+    }
+
+    #[test]
+    fn flat_jobs_spread_over_steps() {
+        let (_, r, trace) = Sim::new().run_traced(|ctx| {
+            ctx.flat(100);
+            ctx.tick(1);
+        });
+        // p = ∞: flat takes one step + dispatch timing; total = depth.
+        let sinf = replay(&trace, INFINITE_P, Discipline::Stack);
+        assert_eq!(sinf.steps, r.depth);
+        // p = 10: the 100 units need 10 full steps.
+        let s10 = replay(&trace, 10, Discipline::Stack);
+        assert!(s10.steps >= 10);
+        assert!(s10.within_brent(r.work, r.depth, 10));
+        assert_eq!(s10.work_executed, r.work);
+    }
+
+    #[test]
+    fn multi_cost_events() {
+        let (_, r, trace) = Sim::with_costs(pf_core::CostModel::uniform(3)).run_traced(|ctx| {
+            let f = ctx.fork(|c| {
+                c.tick(2);
+                1u8
+            });
+            ctx.touch(&f);
+        });
+        let s = replay(&trace, INFINITE_P, Discipline::Stack);
+        assert_eq!(s.steps, r.depth);
+        assert_eq!(s.work_executed, r.work);
+    }
+
+    #[test]
+    fn preloaded_cells_visible_at_start() {
+        let (_, r, trace) = Sim::new().run_traced(|ctx| {
+            let f = ctx.preload(1u8);
+            ctx.touch(&f);
+        });
+        let s = replay(&trace, 1, Discipline::Stack);
+        assert_eq!(s.suspensions, 0, "pre-written cells never suspend");
+        assert_eq!(s.steps, r.depth);
+    }
+
+    #[test]
+    fn queue_discipline_same_steps_bound() {
+        let (_, r, trace) = Sim::new().run_traced(|ctx| {
+            let fs: Vec<_> = (0..16)
+                .map(|i| {
+                    ctx.fork(move |c| {
+                        c.tick(10 + i);
+                    })
+                })
+                .collect();
+            for f in &fs {
+                ctx.touch(f);
+            }
+        });
+        for p in [1usize, 2, 4, INFINITE_P] {
+            let st = replay(&trace, p, Discipline::Stack);
+            let qu = replay(&trace, p, Discipline::Queue);
+            assert!(st.within_brent(r.work, r.depth, p));
+            assert!(qu.within_brent(r.work, r.depth, p));
+            assert_eq!(st.work_executed, qu.work_executed);
+        }
+    }
+
+    #[test]
+    fn charged_suspension_same_work_similar_steps() {
+        let (_, r, trace) = Sim::new().run_traced(|ctx| {
+            let fs: Vec<_> = (0..6)
+                .map(|i| {
+                    ctx.fork(move |c| {
+                        c.tick(20 + i);
+                    })
+                })
+                .collect();
+            for f in &fs {
+                ctx.touch(f);
+            }
+        });
+        for p in [1usize, 3, INFINITE_P] {
+            let free = replay_with(&trace, p, Discipline::Stack, Suspension::Free);
+            let charged = replay_with(&trace, p, Discipline::Stack, Suspension::Charged);
+            assert_eq!(free.work_executed, charged.work_executed, "same work");
+            // The two accountings differ by at most one step per
+            // suspension in either direction: a charged touch fires early
+            // (fewer steps) but occupies a slot while blocked (more steps).
+            assert!(charged.steps <= free.steps + charged.suspensions);
+            assert!(free.steps <= charged.steps + charged.suspensions);
+            if p != INFINITE_P {
+                assert!(charged.within_brent(r.work, r.depth, p));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn never_written_cell_detected() {
+        // Hand-build a malformed trace: a touch of a cell nobody writes.
+        let (_, _r, mut trace) = Sim::new().run_traced(|ctx| {
+            let f = ctx.preload(1u8);
+            ctx.touch(&f);
+        });
+        trace.pre_written.clear(); // now cell 0 is never written
+        replay(&trace, 1, Discipline::Stack);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pf-rt-algs — the paper's algorithms on the real multicore runtime
+//!
+//! Continuation-passing-style transcriptions of the §3 algorithms onto
+//! [`pf_rt`]: every *touch* in the paper's code becomes one
+//! [`pf_rt::FutRead::touch`] whose continuation is the rest of the
+//! function; every `?f(...)` becomes a [`pf_rt::Worker::spawn`] writing
+//! into cells created by the caller. The pipelining happens exactly as in
+//! the cost model: nodes carry future children, so consumers chase a
+//! producer down the tree while it is still working.
+//!
+//! Modules:
+//! * [`rtree`] — BST merge + split (Thm 3.1) on real threads;
+//! * [`rtreap`] — treap union / difference / join (§3.2–3.3);
+//! * [`rrebalance`] — the three-phase §3.1 rebalance;
+//! * [`rtwosix`] — the 2-6 tree bulk insert (Thm 3.13);
+//! * [`rlist`] — the producer/consumer pipeline (Fig. 1) and Halstead's
+//!   quicksort (Fig. 2);
+//! * [`drivers`] — wall-clock measurement drivers for experiment E12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod rlist;
+pub mod rrebalance;
+pub mod rtreap;
+pub mod rtree;
+pub mod rtwosix;
+
+/// Key bound for the runtime algorithms (values cross threads).
+pub trait RKey: Clone + Ord + Send + Sync + 'static {}
+impl<T: Clone + Ord + Send + Sync + 'static> RKey for T {}

@@ -1,0 +1,195 @@
+//! The producer/consumer pipeline (Figure 1) and Halstead's quicksort
+//! (Figure 2) on the real runtime.
+
+use std::sync::Arc;
+
+use pf_rt::{cell, ready, FutRead, FutWrite, Worker};
+
+use crate::RKey;
+
+/// A list whose tail is a runtime future.
+pub enum RList<K> {
+    /// Empty list.
+    Nil,
+    /// Cons cell: head value, future tail.
+    Cons(Arc<(K, FutRead<RList<K>>)>),
+}
+
+impl<K> Clone for RList<K> {
+    fn clone(&self) -> Self {
+        match self {
+            RList::Nil => RList::Nil,
+            RList::Cons(rc) => RList::Cons(Arc::clone(rc)),
+        }
+    }
+}
+
+impl<K: RKey> RList<K> {
+    /// Cons constructor.
+    pub fn cons(head: K, tail: FutRead<RList<K>>) -> Self {
+        RList::Cons(Arc::new((head, tail)))
+    }
+
+    /// Build from a slice with pre-written tails.
+    pub fn from_slice(keys: &[K]) -> RList<K> {
+        let mut cur = RList::Nil;
+        for k in keys.iter().rev() {
+            cur = RList::cons(k.clone(), ready(cur));
+        }
+        cur
+    }
+
+    /// Post-run inspection: collect to a `Vec`.
+    pub fn collect_vec(&self) -> Vec<K> {
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        while let RList::Cons(rc) = cur {
+            out.push(rc.0.clone());
+            cur = rc.1.expect();
+        }
+        out
+    }
+}
+
+/// `produce(n)`: build the list `n, n−1, …, 1`, one future per tail.
+pub fn produce(wk: &Worker, n: u64, out: FutWrite<RList<u64>>) {
+    if n == 0 {
+        out.fulfill(wk, RList::Nil);
+    } else {
+        let (tp, tf) = cell();
+        out.fulfill(wk, RList::cons(n, tf));
+        wk.spawn(move |wk| produce(wk, n - 1, tp));
+    }
+}
+
+/// `consume`: fold the list with `+`, chasing the producer tail by tail.
+pub fn consume(wk: &Worker, l: RList<u64>, acc: u64, out: FutWrite<u64>) {
+    match l {
+        RList::Nil => out.fulfill(wk, acc),
+        RList::Cons(rc) => {
+            let h = rc.0;
+            rc.1.touch(wk, move |t, wk| consume(wk, t, acc + h, out));
+        }
+    }
+}
+
+/// `partition(pivot, l)` in CPS: stream `l` into `< pivot` and `>= pivot`
+/// output lists, element by element.
+pub fn partition<K: RKey>(
+    wk: &Worker,
+    pivot: K,
+    l: RList<K>,
+    lout: FutWrite<RList<K>>,
+    gout: FutWrite<RList<K>>,
+) {
+    match l {
+        RList::Nil => {
+            lout.fulfill(wk, RList::Nil);
+            gout.fulfill(wk, RList::Nil);
+        }
+        RList::Cons(rc) => {
+            let h = rc.0.clone();
+            let tail = rc.1.clone();
+            if h < pivot {
+                let (np, nf) = cell();
+                lout.fulfill(wk, RList::cons(h, nf));
+                tail.touch(wk, move |t, wk| partition(wk, pivot, t, np, gout));
+            } else {
+                let (np, nf) = cell();
+                gout.fulfill(wk, RList::cons(h, nf));
+                tail.touch(wk, move |t, wk| partition(wk, pivot, t, lout, np));
+            }
+        }
+    }
+}
+
+/// `qs(l, rest)` in CPS (Figure 2): sort `l`, append `rest`.
+pub fn qs<K: RKey>(wk: &Worker, l: RList<K>, rest: RList<K>, out: FutWrite<RList<K>>) {
+    match l {
+        RList::Nil => out.fulfill(wk, rest),
+        RList::Cons(rc) => {
+            let h = rc.0.clone();
+            let tail = rc.1.clone();
+            tail.touch(wk, move |t, wk| {
+                let (lp, lf) = cell();
+                let (gp, gf) = cell();
+                let pivot = h.clone();
+                wk.spawn(move |wk| partition(wk, pivot, t, lp, gp));
+                let (gout_p, gout_f) = cell();
+                wk.spawn(move |wk| {
+                    gf.touch(wk, move |g, wk| qs(wk, g, rest, gout_p));
+                });
+                let mid = RList::cons(h, gout_f);
+                lf.touch(wk, move |lv, wk| qs(wk, lv, mid, out));
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_rt::Runtime;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    #[test]
+    fn pipeline_sums() {
+        for n in [0u64, 1, 10, 1000] {
+            let (sp, sf) = cell();
+            Runtime::new(2).run(move |wk| {
+                let (lp, lf) = cell();
+                wk.spawn(move |wk| produce(wk, n, lp));
+                lf.touch(wk, move |l, wk| consume(wk, l, 0, sp));
+            });
+            assert_eq!(sf.expect(), n * (n + 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pipeline_many_threads() {
+        let n = 20_000u64;
+        let (sp, sf) = cell();
+        Runtime::new(8).run(move |wk| {
+            let (lp, lf) = cell();
+            wk.spawn(move |wk| produce(wk, n, lp));
+            lf.touch(wk, move |l, wk| consume(wk, l, 0, sp));
+        });
+        assert_eq!(sf.expect(), n * (n + 1) / 2);
+    }
+
+    fn run_qs(keys: &[i64], threads: usize) -> Vec<i64> {
+        let l = RList::from_slice(keys);
+        let (op, of) = cell();
+        Runtime::new(threads).run(move |wk| qs(wk, l, RList::Nil, op));
+        of.expect().collect_vec()
+    }
+
+    #[test]
+    fn quicksort_sorts() {
+        for n in [0usize, 1, 2, 10, 500] {
+            let mut keys: Vec<i64> = (0..n as i64).collect();
+            keys.shuffle(&mut SmallRng::seed_from_u64(n as u64 + 1));
+            let sorted = run_qs(&keys, 4);
+            assert_eq!(sorted, (0..n as i64).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn quicksort_with_duplicates() {
+        let keys = vec![5i64, 3, 5, 1, 3, 5, 0, 0];
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(run_qs(&keys, 3), expect);
+    }
+
+    #[test]
+    fn quicksort_stress() {
+        let mut keys: Vec<i64> = (0..800).collect();
+        keys.shuffle(&mut SmallRng::seed_from_u64(77));
+        let expect: Vec<i64> = (0..800).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(run_qs(&keys, threads), expect, "threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The §3.1 three-phase rebalance on the real runtime, in CPS:
+//! bottom-up sizes, top-down ranks, pipelined rank-split rebuild.
+
+use std::sync::Arc;
+
+use pf_rt::{cell, FutRead, FutWrite, Worker};
+
+use crate::rtree::RTree;
+use crate::RKey;
+
+/// Size-annotated tree (phase 1 output; built strictly, plain values).
+pub enum RSized<K> {
+    /// Empty.
+    Leaf,
+    /// Node with cached sizes.
+    Node(Arc<RSizedNode<K>>),
+}
+
+/// Node of an [`RSized`].
+pub struct RSizedNode<K> {
+    /// Key.
+    pub key: K,
+    /// Subtree size.
+    pub size: usize,
+    /// Left-subtree size (rank offset cache).
+    pub left_size: usize,
+    /// Left subtree.
+    pub left: RSized<K>,
+    /// Right subtree.
+    pub right: RSized<K>,
+}
+
+impl<K> Clone for RSized<K> {
+    fn clone(&self) -> Self {
+        match self {
+            RSized::Leaf => RSized::Leaf,
+            RSized::Node(n) => RSized::Node(Arc::clone(n)),
+        }
+    }
+}
+
+impl<K> RSized<K> {
+    fn size(&self) -> usize {
+        match self {
+            RSized::Leaf => 0,
+            RSized::Node(n) => n.size,
+        }
+    }
+}
+
+/// Rank-annotated tree with future children (phase 2 output).
+pub enum RRanked<K> {
+    /// Empty.
+    Leaf,
+    /// Node with its global in-order rank.
+    Node(Arc<RRankedNode<K>>),
+}
+
+/// Node of an [`RRanked`].
+pub struct RRankedNode<K> {
+    /// Key.
+    pub key: K,
+    /// Global in-order rank.
+    pub rank: usize,
+    /// Left subtree future.
+    pub left: FutRead<RRanked<K>>,
+    /// Right subtree future.
+    pub right: FutRead<RRanked<K>>,
+}
+
+impl<K> Clone for RRanked<K> {
+    fn clone(&self) -> Self {
+        match self {
+            RRanked::Leaf => RRanked::Leaf,
+            RRanked::Node(n) => RRanked::Node(Arc::clone(n)),
+        }
+    }
+}
+
+/// Phase 1 (CPS): bottom-up size annotation.
+pub fn annotate_sizes<K: RKey>(wk: &Worker, t: FutRead<RTree<K>>, out: FutWrite<RSized<K>>) {
+    t.touch(wk, move |tv, wk| match tv {
+        RTree::Leaf => out.fulfill(wk, RSized::Leaf),
+        RTree::Node(n) => {
+            let (lp, lf) = cell();
+            let (rp, rf) = cell();
+            let (l, r) = (n.left.clone(), n.right.clone());
+            wk.spawn(move |wk| annotate_sizes(wk, l, lp));
+            wk.spawn(move |wk| annotate_sizes(wk, r, rp));
+            lf.touch(wk, move |lv, wk| {
+                rf.touch(wk, move |rv, wk| {
+                    let left_size = lv.size();
+                    let size = 1 + left_size + rv.size();
+                    out.fulfill(
+                        wk,
+                        RSized::Node(Arc::new(RSizedNode {
+                            key: n.key.clone(),
+                            size,
+                            left_size,
+                            left: lv,
+                            right: rv,
+                        })),
+                    );
+                });
+            });
+        }
+    });
+}
+
+/// Phase 2 (CPS): top-down rank assignment.
+pub fn assign_ranks<K: RKey>(wk: &Worker, t: RSized<K>, offset: usize, out: FutWrite<RRanked<K>>) {
+    match t {
+        RSized::Leaf => out.fulfill(wk, RRanked::Leaf),
+        RSized::Node(n) => {
+            let rank = offset + n.left_size;
+            let (lp, lf) = cell();
+            let (rp, rf) = cell();
+            out.fulfill(
+                wk,
+                RRanked::Node(Arc::new(RRankedNode {
+                    key: n.key.clone(),
+                    rank,
+                    left: lf,
+                    right: rf,
+                })),
+            );
+            let (l, r) = (n.left.clone(), n.right.clone());
+            wk.spawn(move |wk| assign_ranks(wk, l, offset, lp));
+            wk.spawn(move |wk| assign_ranks(wk, r, rank + 1, rp));
+        }
+    }
+}
+
+/// Phase 3a (CPS): split by global rank (streams both sides like `splitm`).
+pub fn split_rank<K: RKey>(
+    wk: &Worker,
+    r: usize,
+    t: RRanked<K>,
+    lout: FutWrite<RRanked<K>>,
+    rout: FutWrite<RRanked<K>>,
+    kout: FutWrite<K>,
+) {
+    match t {
+        RRanked::Leaf => unreachable!("split_rank: rank {r} absent"),
+        RRanked::Node(n) => {
+            if r == n.rank {
+                kout.fulfill(wk, n.key.clone());
+                let (left, right) = (n.left.clone(), n.right.clone());
+                left.touch(wk, move |lv, wk| {
+                    lout.fulfill(wk, lv);
+                    right.touch(wk, move |rv, wk| rout.fulfill(wk, rv));
+                });
+            } else if r < n.rank {
+                let (rp1, rf1) = cell();
+                rout.fulfill(
+                    wk,
+                    RRanked::Node(Arc::new(RRankedNode {
+                        key: n.key.clone(),
+                        rank: n.rank,
+                        left: rf1,
+                        right: n.right.clone(),
+                    })),
+                );
+                let l = n.left.clone();
+                l.touch(wk, move |lv, wk| split_rank(wk, r, lv, lout, rp1, kout));
+            } else {
+                let (lp1, lf1) = cell();
+                lout.fulfill(
+                    wk,
+                    RRanked::Node(Arc::new(RRankedNode {
+                        key: n.key.clone(),
+                        rank: n.rank,
+                        left: n.left.clone(),
+                        right: lf1,
+                    })),
+                );
+                let rgt = n.right.clone();
+                rgt.touch(wk, move |rv, wk| split_rank(wk, r, rv, lp1, rout, kout));
+            }
+        }
+    }
+}
+
+/// Phase 3b (CPS): pipelined rebuild of ranks `lo..hi` into a perfectly
+/// balanced tree.
+pub fn rebuild<K: RKey>(
+    wk: &Worker,
+    t: FutRead<RRanked<K>>,
+    lo: usize,
+    hi: usize,
+    out: FutWrite<RTree<K>>,
+) {
+    if lo >= hi {
+        out.fulfill(wk, RTree::Leaf);
+        return;
+    }
+    t.touch(wk, move |tv, wk| {
+        let mid = lo + (hi - lo) / 2;
+        let (lp, lf) = cell();
+        let (rp, rf) = cell();
+        let (kp, kf) = cell();
+        wk.spawn(move |wk| split_rank(wk, mid, tv, lp, rp, kp));
+        let (blp, blf) = cell();
+        let (brp, brf) = cell();
+        wk.spawn(move |wk| rebuild(wk, lf, lo, mid, blp));
+        wk.spawn(move |wk| rebuild(wk, rf, mid + 1, hi, brp));
+        kf.touch(wk, move |key, wk| {
+            out.fulfill(wk, RTree::node(key, blf, brf));
+        });
+    });
+}
+
+/// The full three-phase rebalance.
+pub fn rebalance<K: RKey>(wk: &Worker, t: FutRead<RTree<K>>, out: FutWrite<RTree<K>>) {
+    let (sp, sf) = cell();
+    wk.spawn(move |wk| annotate_sizes(wk, t, sp));
+    sf.touch(wk, move |sv, wk| {
+        let n = sv.size();
+        let (rp, rf) = cell();
+        wk.spawn(move |wk| assign_ranks(wk, sv, 0, rp));
+        rebuild(wk, rf, 0, n, out);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_rt::{ready, Runtime};
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    /// Build an intentionally unbalanced RTree by naive insertion.
+    fn unbalanced(keys: &[i64]) -> RTree<i64> {
+        #[derive(Clone)]
+        enum P {
+            Leaf,
+            Node(i64, Box<P>, Box<P>),
+        }
+        fn ins(t: P, k: i64) -> P {
+            match t {
+                P::Leaf => P::Node(k, Box::new(P::Leaf), Box::new(P::Leaf)),
+                P::Node(key, l, r) => {
+                    if k < key {
+                        P::Node(key, Box::new(ins(*l, k)), r)
+                    } else if k > key {
+                        P::Node(key, l, Box::new(ins(*r, k)))
+                    } else {
+                        P::Node(key, l, r)
+                    }
+                }
+            }
+        }
+        fn conv(t: &P) -> RTree<i64> {
+            match t {
+                P::Leaf => RTree::Leaf,
+                P::Node(k, l, r) => RTree::node(*k, ready(conv(l)), ready(conv(r))),
+            }
+        }
+        let mut p = P::Leaf;
+        for &k in keys {
+            p = ins(p, k);
+        }
+        conv(&p)
+    }
+
+    fn run_rebalance(keys: &[i64], threads: usize) -> RTree<i64> {
+        let t = ready(unbalanced(keys));
+        let (op, of) = cell();
+        Runtime::new(threads).run(move |wk| rebalance(wk, t, op));
+        of.expect()
+    }
+
+    #[test]
+    fn balances_shuffled_input() {
+        let mut keys: Vec<i64> = (0..500).collect();
+        keys.shuffle(&mut SmallRng::seed_from_u64(3));
+        let t = run_rebalance(&keys, 4);
+        assert_eq!(t.to_sorted_vec(), (0..500).collect::<Vec<_>>());
+        assert_eq!(t.height(), 9, "500 keys must pack into height 9");
+    }
+
+    #[test]
+    fn balances_pathological_spine() {
+        let keys: Vec<i64> = (0..256).collect(); // right spine of height 256
+        let t = run_rebalance(&keys, 2);
+        assert_eq!(t.height(), 9);
+        assert_eq!(t.to_sorted_vec(), keys);
+    }
+
+    #[test]
+    fn small_cases() {
+        for n in [0usize, 1, 2, 3] {
+            let keys: Vec<i64> = (0..n as i64).collect();
+            let t = run_rebalance(&keys, 2);
+            assert_eq!(t.to_sorted_vec(), keys, "n={n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_cost_model_version() {
+        use pf_trees::Mode;
+        let mut keys: Vec<i64> = (0..300).collect();
+        keys.shuffle(&mut SmallRng::seed_from_u64(8));
+        let (root, _) = pf_trees::rebalance::run_rebalance(&keys, Mode::Pipelined);
+        let model = root.get();
+        let t = run_rebalance(&keys, 3);
+        assert_eq!(t.to_sorted_vec(), model.to_sorted_vec());
+        assert_eq!(t.height(), model.height(), "identical deterministic shape");
+    }
+
+    #[test]
+    fn stress_threads() {
+        let mut keys: Vec<i64> = (0..200).collect();
+        keys.shuffle(&mut SmallRng::seed_from_u64(9));
+        for threads in [1usize, 2, 8] {
+            for _ in 0..10 {
+                let t = run_rebalance(&keys, threads);
+                assert_eq!(t.to_sorted_vec(), (0..200).collect::<Vec<_>>());
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! BST merge and split (§3.1) on the real runtime, in CPS.
+
+use std::sync::Arc;
+
+use pf_rt::{cell, ready, FutRead, FutWrite, Worker};
+
+use crate::RKey;
+
+/// A BST whose children are runtime future cells.
+pub enum RTree<K> {
+    /// Empty tree.
+    Leaf,
+    /// Interior node.
+    Node(Arc<RNode<K>>),
+}
+
+/// Interior node of an [`RTree`].
+pub struct RNode<K> {
+    /// Key at this node.
+    pub key: K,
+    /// Future of the left subtree.
+    pub left: FutRead<RTree<K>>,
+    /// Future of the right subtree.
+    pub right: FutRead<RTree<K>>,
+}
+
+impl<K> Clone for RTree<K> {
+    fn clone(&self) -> Self {
+        match self {
+            RTree::Leaf => RTree::Leaf,
+            RTree::Node(n) => RTree::Node(Arc::clone(n)),
+        }
+    }
+}
+
+impl<K: RKey> RTree<K> {
+    /// Construct an interior node.
+    pub fn node(key: K, left: FutRead<RTree<K>>, right: FutRead<RTree<K>>) -> Self {
+        RTree::Node(Arc::new(RNode { key, left, right }))
+    }
+
+    /// Is this the empty tree?
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, RTree::Leaf)
+    }
+
+    /// Build a balanced tree from sorted keys with pre-written cells.
+    pub fn from_sorted(sorted: &[K]) -> RTree<K> {
+        if sorted.is_empty() {
+            return RTree::Leaf;
+        }
+        let mid = sorted.len() / 2;
+        let left = Self::from_sorted(&sorted[..mid]);
+        let right = Self::from_sorted(&sorted[mid + 1..]);
+        RTree::node(sorted[mid].clone(), ready(left), ready(right))
+    }
+
+    /// Post-run inspection: keys in symmetric order.
+    ///
+    /// # Panics
+    /// If any cell in the tree is unwritten (the run has not quiesced).
+    pub fn to_sorted_vec(&self) -> Vec<K> {
+        let mut out = Vec::new();
+        let mut stack = vec![];
+        // Iterative in-order to keep the native stack shallow even for the
+        // lg n + lg m tall merge results.
+        enum Frame<K> {
+            Tree(RTree<K>),
+            Key(K),
+        }
+        stack.push(Frame::Tree(self.clone()));
+        while let Some(f) = stack.pop() {
+            match f {
+                Frame::Key(k) => out.push(k),
+                Frame::Tree(RTree::Leaf) => {}
+                Frame::Tree(RTree::Node(n)) => {
+                    stack.push(Frame::Tree(n.right.expect()));
+                    stack.push(Frame::Key(n.key.clone()));
+                    stack.push(Frame::Tree(n.left.expect()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Post-run inspection: height.
+    pub fn height(&self) -> usize {
+        match self {
+            RTree::Leaf => 0,
+            RTree::Node(n) => 1 + n.left.expect().height().max(n.right.expect().height()),
+        }
+    }
+}
+
+/// `split(s, t)` in CPS: partition the already-touched tree value `t` by
+/// `s` into `< s` (`lout`) and `>= s` (`rout`).
+pub fn split<K: RKey>(
+    wk: &Worker,
+    s: K,
+    t: RTree<K>,
+    lout: FutWrite<RTree<K>>,
+    rout: FutWrite<RTree<K>>,
+) {
+    match t {
+        RTree::Leaf => {
+            lout.fulfill(wk, RTree::Leaf);
+            rout.fulfill(wk, RTree::Leaf);
+        }
+        RTree::Node(n) => {
+            if n.key >= s {
+                let (rp1, rf1) = cell();
+                rout.fulfill(wk, RTree::node(n.key.clone(), rf1, n.right.clone()));
+                n.left.touch(wk, move |lv, wk| split(wk, s, lv, lout, rp1));
+            } else {
+                let (lp1, lf1) = cell();
+                lout.fulfill(wk, RTree::node(n.key.clone(), n.left.clone(), lf1));
+                n.right.touch(wk, move |rv, wk| split(wk, s, rv, lp1, rout));
+            }
+        }
+    }
+}
+
+/// `merge(a, b)` in CPS (Figure 3): write the merged tree into `out`.
+pub fn merge<K: RKey>(
+    wk: &Worker,
+    a: FutRead<RTree<K>>,
+    b: FutRead<RTree<K>>,
+    out: FutWrite<RTree<K>>,
+) {
+    a.touch(wk, move |av, wk| {
+        match av {
+            RTree::Leaf => b.touch(wk, move |bv, wk| out.fulfill(wk, bv)),
+            RTree::Node(n) => b.touch(wk, move |bv, wk| {
+                if bv.is_leaf() {
+                    out.fulfill(wk, RTree::Node(n));
+                    return;
+                }
+                // let (L2, R2) = ?split(v, B)
+                let (lp2, lf2) = cell();
+                let (rp2, rf2) = cell();
+                let key = n.key.clone();
+                wk.spawn(move |wk| split(wk, key, bv, lp2, rp2));
+                // Node(v, ?merge(L, L2), ?merge(R, R2))
+                let (mlp, mlf) = cell();
+                let (mrp, mrf) = cell();
+                out.fulfill(wk, RTree::node(n.key.clone(), mlf, mrf));
+                let l = n.left.clone();
+                let r = n.right.clone();
+                wk.spawn(move |wk| merge(wk, l, lf2, mlp));
+                wk.spawn(move |wk| merge(wk, r, rf2, mrp));
+            }),
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_rt::Runtime;
+
+    fn evens(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| 2 * i).collect()
+    }
+    fn odds(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| 2 * i + 1).collect()
+    }
+
+    fn run_merge(a: &[i64], b: &[i64], threads: usize) -> Vec<i64> {
+        let ta = ready(RTree::from_sorted(a));
+        let tb = ready(RTree::from_sorted(b));
+        let (op, of) = cell();
+        Runtime::new(threads).run(move |wk| merge(wk, ta, tb, op));
+        of.expect().to_sorted_vec()
+    }
+
+    #[test]
+    fn merge_small_cases() {
+        for (na, nb) in [(0, 0), (1, 0), (0, 1), (5, 3), (16, 16)] {
+            let (a, b) = (evens(na), odds(nb));
+            let mut expect: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+            expect.sort_unstable();
+            assert_eq!(run_merge(&a, &b, 2), expect, "na={na} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn merge_larger_all_thread_counts() {
+        let (a, b) = (evens(2000), odds(1500));
+        let mut expect: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(run_merge(&a, &b, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn merge_stress_repeated() {
+        let (a, b) = (evens(300), odds(300));
+        let mut expect: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        expect.sort_unstable();
+        for _ in 0..50 {
+            assert_eq!(run_merge(&a, &b, 4), expect);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let t = RTree::from_sorted(&evens(100));
+        let (lp, lf) = cell();
+        let (rp, rf) = cell();
+        Runtime::new(3).run(move |wk| split(wk, 41i64, t, lp, rp));
+        let l = lf.expect().to_sorted_vec();
+        let r = rf.expect().to_sorted_vec();
+        assert!(l.iter().all(|&k| k < 41));
+        assert!(r.iter().all(|&k| k >= 41));
+        assert_eq!(l.len() + r.len(), 100);
+    }
+}

@@ -1,0 +1,294 @@
+//! Lock-free write-once future cells with in-cell continuation suspension.
+//!
+//! The state machine (one `AtomicU8`):
+//!
+//! ```text
+//!   EMPTY ──write──────────────► FULL        (value published)
+//!   EMPTY ──touch──► WAITING ──write──► FULL (waiter reactivated)
+//! ```
+//!
+//! Linearity (§4 of the paper) guarantees at most one toucher, so a single
+//! waiter slot suffices and every transition is one CAS or swap:
+//!
+//! * the **toucher** publishes its continuation with `EMPTY → WAITING`
+//!   (release); if the CAS fails the cell filled concurrently and the
+//!   continuation runs immediately;
+//! * the **writer** publishes the value and swaps to `FULL` (AcqRel); if
+//!   the previous state was `WAITING` it takes the waiter — made visible
+//!   by the toucher's release CAS — and schedules it.
+//!
+//! The value itself stays in the cell (the waiter receives a clone), so
+//! finished data structures can be inspected after the run with
+//! [`FutRead::peek`] / [`FutRead::expect`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::scheduler::Worker;
+
+const EMPTY: u8 = 0;
+const WAITING: u8 = 1;
+const FULL: u8 = 2;
+
+type Waiter<T> = Box<dyn FnOnce(T, &Worker) + Send>;
+
+struct Inner<T> {
+    state: AtomicU8,
+    value: UnsafeCell<Option<T>>,
+    waiter: UnsafeCell<Option<Waiter<T>>>,
+}
+
+// SAFETY: access to the UnsafeCells is mediated by the state machine:
+// `value` is written exactly once before the release transition to FULL and
+// only read after an acquire load of FULL (or by the writer itself);
+// `waiter` is written once before the release transition to WAITING and
+// taken once after observing WAITING via the AcqRel swap to FULL (or taken
+// back by the toucher itself when its CAS fails).
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// The write pointer: consumed by [`FutWrite::fulfill`], so a cell is
+/// written at most once by construction.
+pub struct FutWrite<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The read pointer. Cloneable (result structures hold them); the paper's
+/// linearity restriction — at most one *touch* — is asserted dynamically.
+pub struct FutRead<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for FutRead<T> {
+    fn clone(&self) -> Self {
+        FutRead {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Create an empty future cell.
+pub fn cell<T>() -> (FutWrite<T>, FutRead<T>) {
+    let inner = Arc::new(Inner {
+        state: AtomicU8::new(EMPTY),
+        value: UnsafeCell::new(None),
+        waiter: UnsafeCell::new(None),
+    });
+    (
+        FutWrite {
+            inner: Arc::clone(&inner),
+        },
+        FutRead { inner },
+    )
+}
+
+/// Create an already-written cell (input construction).
+pub fn ready<T>(value: T) -> FutRead<T> {
+    FutRead {
+        inner: Arc::new(Inner {
+            state: AtomicU8::new(FULL),
+            value: UnsafeCell::new(Some(value)),
+            waiter: UnsafeCell::new(None),
+        }),
+    }
+}
+
+impl<T: Clone + Send + 'static> FutWrite<T> {
+    /// Write the value; if a continuation is suspended in the cell, hand it
+    /// a clone of the value as a new task on `worker`'s queue.
+    pub fn fulfill(self, worker: &Worker, value: T) {
+        // SAFETY: we are the unique writer (FutWrite is not Clone and is
+        // consumed); no reader dereferences `value` until it observes FULL.
+        unsafe { *self.inner.value.get() = Some(value) };
+        match self.inner.state.swap(FULL, Ordering::AcqRel) {
+            EMPTY => {}
+            WAITING => {
+                // SAFETY: WAITING was published by the toucher's release
+                // CAS, so its waiter write happens-before our read; state is
+                // now FULL, so no one else touches the slot.
+                let waiter = unsafe { (*self.inner.waiter.get()).take() }
+                    .expect("WAITING state without a waiter");
+                // SAFETY: we wrote the value above on this thread.
+                let v = unsafe { (*self.inner.value.get()).clone() }.expect("value vanished");
+                worker.enqueue_transferred(Box::new(move |wk| waiter(v, wk)));
+            }
+            _ => unreachable!("future cell written twice"),
+        }
+    }
+
+    /// Write the value from outside the runtime (input construction only:
+    /// panics if a continuation is already suspended, since there is no
+    /// worker to hand it to).
+    pub fn fulfill_outside(self, value: T) {
+        unsafe { *self.inner.value.get() = Some(value) };
+        match self.inner.state.swap(FULL, Ordering::AcqRel) {
+            EMPTY => {}
+            WAITING => panic!("fulfill_outside with a suspended waiter"),
+            _ => unreachable!("future cell written twice"),
+        }
+    }
+}
+
+impl<T: Clone + Send + 'static> FutRead<T> {
+    /// Touch the cell: run `cont` with the value — immediately (possibly
+    /// inline) if written, or suspended in the cell until the write
+    /// arrives. At most one touch per cell (the §4 linearity restriction);
+    /// a second touch panics.
+    pub fn touch(&self, worker: &Worker, cont: impl FnOnce(T, &Worker) + Send + 'static) {
+        match self.inner.state.load(Ordering::Acquire) {
+            FULL => {
+                // SAFETY: FULL observed with acquire ⇒ value write visible.
+                let v =
+                    unsafe { (*self.inner.value.get()).clone() }.expect("FULL cell without value");
+                worker.run_inline_or_spawn(v, cont);
+            }
+            WAITING => panic!("non-linear program: second touch of a future cell"),
+            _ => {
+                // SAFETY: slot owned by the (sole) toucher until the CAS
+                // below publishes it.
+                unsafe { *self.inner.waiter.get() = Some(Box::new(cont)) };
+                worker.note_suspend();
+                match self.inner.state.compare_exchange(
+                    EMPTY,
+                    WAITING,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {} // suspended; the writer will reactivate us
+                    Err(FULL) => {
+                        // The write raced us: reclaim the continuation and
+                        // run it now.
+                        worker.unnote_suspend();
+                        // SAFETY: state is FULL; the writer saw EMPTY and
+                        // never reads the waiter slot; we own it.
+                        let cont =
+                            unsafe { (*self.inner.waiter.get()).take() }.expect("waiter vanished");
+                        let v = unsafe { (*self.inner.value.get()).clone() }
+                            .expect("FULL cell without value");
+                        worker.run_inline_or_spawn(v, cont);
+                    }
+                    Err(WAITING) => {
+                        panic!("non-linear program: concurrent second touch")
+                    }
+                    Err(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Is the cell written?
+    pub fn is_written(&self) -> bool {
+        self.inner.state.load(Ordering::Acquire) == FULL
+    }
+
+    /// Clone the value out without a continuation, if written. Safe at any
+    /// time; intended for inspecting finished structures after
+    /// [`crate::Runtime::run`] returns.
+    pub fn peek(&self) -> Option<T> {
+        if self.inner.state.load(Ordering::Acquire) == FULL {
+            // SAFETY: FULL observed with acquire ⇒ value write visible, and
+            // the value is never removed from the slot.
+            unsafe { (*self.inner.value.get()).clone() }
+        } else {
+            None
+        }
+    }
+
+    /// [`FutRead::peek`], panicking on an unwritten cell.
+    pub fn expect(&self) -> T {
+        self.peek().expect("future cell not written")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+
+    #[test]
+    fn ready_cells() {
+        let r = ready(5u32);
+        assert!(r.is_written());
+        assert_eq!(r.peek(), Some(5));
+        assert_eq!(r.expect(), 5);
+    }
+
+    #[test]
+    fn empty_peek_is_none() {
+        let (_w, r) = cell::<u32>();
+        assert!(!r.is_written());
+        assert_eq!(r.peek(), None);
+    }
+
+    #[test]
+    fn fulfill_outside_then_peek() {
+        let (w, r) = cell::<String>();
+        w.fulfill_outside("hi".into());
+        assert_eq!(r.expect(), "hi");
+    }
+
+    #[test]
+    fn write_before_touch_runs_inline() {
+        let (w, r) = cell::<u32>();
+        let (op, of) = cell::<u32>();
+        let rt = Runtime::new(2);
+        rt.run(move |wk| {
+            w.fulfill(wk, 10);
+            r.touch(wk, move |v, wk| op.fulfill(wk, v * 2));
+        });
+        assert_eq!(of.expect(), 20);
+    }
+
+    #[test]
+    fn touch_before_write_suspends_and_wakes() {
+        let (w, r) = cell::<u32>();
+        let (op, of) = cell::<u32>();
+        let rt = Runtime::new(2);
+        rt.run(move |wk| {
+            r.touch(wk, move |v, wk| op.fulfill(wk, v + 1));
+            // The touch suspended (single worker path would otherwise
+            // deadlock — quiescence counting keeps the runtime alive).
+            wk.spawn(move |wk| w.fulfill(wk, 99));
+        });
+        assert_eq!(of.expect(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-linear")]
+    fn second_touch_panics() {
+        let (_w, r) = cell::<u32>();
+        let r2 = r.clone();
+        let rt = Runtime::new(1);
+        rt.run(move |wk| {
+            r.touch(wk, |_, _| {});
+            r2.touch(wk, |_, _| {});
+        });
+    }
+
+    #[test]
+    fn hammer_racing_write_and_touch() {
+        // Cross-thread race: producer and consumer race on many cells.
+        for round in 0..200 {
+            let n = 64;
+            let cells: Vec<_> = (0..n).map(|_| cell::<usize>()).collect();
+            let (writes, reads): (Vec<_>, Vec<_>) = cells.into_iter().unzip();
+            let outs: Vec<_> = (0..n).map(|_| cell::<usize>()).collect();
+            let (out_w, out_r): (Vec<_>, Vec<_>) = outs.into_iter().unzip();
+            let rt = Runtime::new(4);
+            rt.run(move |wk| {
+                let mut out_w = out_w;
+                for r in reads.into_iter() {
+                    let ow = out_w.remove(0);
+                    wk.spawn(move |wk| r.touch(wk, move |v, wk| ow.fulfill(wk, v * 3)));
+                }
+                for (i, w) in writes.into_iter().enumerate() {
+                    wk.spawn(move |wk| w.fulfill(wk, i + round));
+                }
+            });
+            for (i, o) in out_r.iter().enumerate() {
+                assert_eq!(o.expect(), (i + round) * 3);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # pf-rt — a real multicore runtime for fine-grained futures
+//!
+//! This crate implements the §4 runtime design of *Pipelining with
+//! Futures* on actual OS threads:
+//!
+//! * **future cells** ([`mod@cell`]): write-once single-assignment cells. A
+//!   touch of an unwritten cell stores the toucher's *continuation inside
+//!   the cell* (the paper's "write a pointer to the thread's closure into
+//!   the future cell and suspend"); the write reactivates it by spawning
+//!   the continuation as a task. Linearity (§4) means at most one waiter
+//!   per cell, so the cell is a single small state machine:
+//!   `EMPTY → {WAITING → } FULL`, resolved with one atomic swap/CAS pair
+//!   (implemented per *Rust Atomics and Locks*; a `Mutex`-based variant is
+//!   kept as the ablation baseline, [`mutex_cell`]);
+//! * a **work-stealing scheduler** ([`scheduler`]): per-worker LIFO deques
+//!   (the stack discipline the paper recommends for space) with stealing
+//!   and a global injector, plus quiescence detection via a live-closure
+//!   counter — the run ends when every spawned or suspended continuation
+//!   has executed.
+//!
+//! Algorithms are written in continuation-passing style: each paper-level
+//! *touch* becomes one [`FutRead::touch`] with the rest of the function as
+//! the continuation. Rust's `async` machinery is deliberately not used —
+//! poll-based futures with per-task heap state are a poor match for
+//! millions of single-assignment cells (see DESIGN.md).
+//!
+//! ```
+//! use pf_rt::{cell, Runtime};
+//!
+//! let (w, r) = cell::<u64>();
+//! let rt = Runtime::new(4);
+//! rt.run(move |wk| {
+//!     // producer
+//!     wk.spawn(move |wk| {
+//!         w.fulfill(wk, 41);
+//!     });
+//!     // consumer: suspends if the producer has not written yet
+//!     r.touch(wk, |v, _wk| assert_eq!(v, 41));
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod mutex_cell;
+pub mod scheduler;
+
+pub use cell::{cell, ready, FutRead, FutWrite};
+pub use scheduler::{RunStats, Runtime, Worker};

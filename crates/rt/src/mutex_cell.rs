@@ -1,0 +1,163 @@
+//! Mutex-based future cell: the straightforward implementation used as the
+//! ablation baseline against the lock-free cell (experiment E15). Same
+//! semantics and API shape as [`mod@crate::cell`], but every operation takes a
+//! `parking_lot::Mutex`, and the waiter list is unbounded — so this variant
+//! also supports **non-linear** programs (multiple touches per cell), like
+//! the fetch-and-add based CRCW implementation the paper cites.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::scheduler::Worker;
+
+type Waiter<T> = Box<dyn FnOnce(T, &Worker) + Send>;
+
+enum State<T> {
+    Empty(Vec<Waiter<T>>),
+    Full(T),
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+}
+
+/// Write half (consumed on write).
+pub struct MxWrite<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Read half (cloneable; any number of touches).
+pub struct MxRead<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for MxRead<T> {
+    fn clone(&self) -> Self {
+        MxRead {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Create an empty mutex-based cell.
+pub fn mx_cell<T>() -> (MxWrite<T>, MxRead<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State::Empty(Vec::new())),
+    });
+    (
+        MxWrite {
+            inner: Arc::clone(&inner),
+        },
+        MxRead { inner },
+    )
+}
+
+impl<T: Clone + Send + 'static> MxWrite<T> {
+    /// Write the value and reactivate every suspended continuation.
+    pub fn fulfill(self, worker: &Worker, value: T) {
+        let waiters = {
+            let mut g = self.inner.state.lock();
+            match std::mem::replace(&mut *g, State::Full(value.clone())) {
+                State::Empty(ws) => ws,
+                State::Full(_) => unreachable!("mutex cell written twice"),
+            }
+        };
+        for w in waiters {
+            let v = value.clone();
+            worker.enqueue_transferred(Box::new(move |wk| w(v, wk)));
+        }
+    }
+}
+
+impl<T: Clone + Send + 'static> MxRead<T> {
+    /// Touch: run `cont` with the value now or when it arrives.
+    pub fn touch(&self, worker: &Worker, cont: impl FnOnce(T, &Worker) + Send + 'static) {
+        let immediate = {
+            let mut g = self.inner.state.lock();
+            match &mut *g {
+                State::Full(v) => Some(v.clone()),
+                State::Empty(ws) => {
+                    worker.note_suspend();
+                    ws.push(Box::new(cont));
+                    return;
+                }
+            }
+        };
+        if let Some(v) = immediate {
+            worker.run_inline_or_spawn(v, cont);
+        }
+    }
+
+    /// Clone the value out if written (post-run inspection).
+    pub fn peek(&self) -> Option<T> {
+        match &*self.inner.state.lock() {
+            State::Full(v) => Some(v.clone()),
+            State::Empty(_) => None,
+        }
+    }
+
+    /// [`MxRead::peek`], panicking on an unwritten cell.
+    pub fn expect(&self) -> T {
+        self.peek().expect("mutex cell not written")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+
+    #[test]
+    fn write_then_touch() {
+        let (w, r) = mx_cell::<u32>();
+        let (ow, or) = mx_cell::<u32>();
+        Runtime::new(2).run(move |wk| {
+            w.fulfill(wk, 4);
+            r.touch(wk, move |v, wk| ow.fulfill(wk, v + 1));
+        });
+        assert_eq!(or.expect(), 5);
+    }
+
+    #[test]
+    fn touch_then_write_wakes() {
+        let (w, r) = mx_cell::<u32>();
+        let (ow, or) = mx_cell::<u32>();
+        Runtime::new(2).run(move |wk| {
+            r.touch(wk, move |v, wk| ow.fulfill(wk, v * 10));
+            wk.spawn(move |wk| w.fulfill(wk, 6));
+        });
+        assert_eq!(or.expect(), 60);
+    }
+
+    #[test]
+    fn multiple_waiters_all_wake() {
+        // Non-linear: five touches on one cell.
+        let (w, r) = mx_cell::<u32>();
+        let outs: Vec<_> = (0..5).map(|_| mx_cell::<u32>()).collect();
+        let (ows, ors): (Vec<_>, Vec<_>) = outs.into_iter().unzip();
+        Runtime::new(3).run(move |wk| {
+            for ow in ows {
+                let rr = r.clone();
+                wk.spawn(move |wk| rr.touch(wk, move |v, wk| ow.fulfill(wk, v)));
+            }
+            wk.spawn(move |wk| w.fulfill(wk, 123));
+        });
+        for or in ors {
+            assert_eq!(or.expect(), 123);
+        }
+    }
+
+    #[test]
+    fn racing_stress() {
+        for i in 0..100 {
+            let (w, r) = mx_cell::<usize>();
+            let (ow, or) = mx_cell::<usize>();
+            Runtime::new(4).run(move |wk| {
+                wk.spawn(move |wk| r.touch(wk, move |v, wk| ow.fulfill(wk, v)));
+                wk.spawn(move |wk| w.fulfill(wk, i));
+            });
+            assert_eq!(or.expect(), i);
+        }
+    }
+}

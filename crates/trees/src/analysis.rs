@@ -1,0 +1,152 @@
+//! Empirical checkers for the paper's timestamp-bounding definitions —
+//! τ-values (Definition 1), ρ-values (Definition 2), and γ-values
+//! (Definition 3) — plus small fitting helpers used by the experiment
+//! binaries.
+//!
+//! The simulator stamps every tree node with the exact DAG time `t(v)` at
+//! which it was written, so the lemmas' *existence of a bounding constant*
+//! can be tested directly: we compute the **smallest constant** that makes
+//! the bound hold on a concrete run and check that it stays bounded as the
+//! input grows.
+
+/// One observed cell: `(write_time, depth_in_tree, subtree_height)`.
+/// Produced by the `walk_cells` inspectors on the tree types.
+pub type CellObs = (u64, usize, usize);
+
+/// Collect the observations of a walker into a vector.
+pub fn collect<F>(walk: F) -> Vec<CellObs>
+where
+    F: FnOnce(&mut dyn FnMut(u64, usize, usize)),
+{
+    let mut v = Vec::new();
+    walk(&mut |t, d, h| v.push((t, d, h)));
+    v
+}
+
+/// Definition 1 (τ-values): τ is valid for tree `T` if for every node `v`,
+/// `t(v) <= τ + ks·(h(T) − h(v))`.
+///
+/// Given a proposed τ (usually the call time of the operation plus the
+/// O(h) slack of the theorem), return the **minimum `ks`** for which the
+/// bound holds, or `None` if some node with `h(v) = h(T)` already violates
+/// `t(v) <= τ` (no `ks` can fix a violation at height distance zero).
+pub fn min_tau_ks(cells: &[CellObs], tau: u64) -> Option<f64> {
+    let h_t = cells.iter().map(|c| c.2).max().unwrap_or(0);
+    let mut ks: f64 = 0.0;
+    for &(t, _d, h) in cells {
+        if t <= tau {
+            continue;
+        }
+        let gap = h_t - h;
+        if gap == 0 {
+            return None;
+        }
+        ks = ks.max((t - tau) as f64 / gap as f64);
+    }
+    Some(ks)
+}
+
+/// Definition 2 (ρ-values) and Definition 3 (γ-values) share one shape:
+/// `t(v) <= ρ + k·d_T(v)` with `d_T` the depth of `v` in the tree. Return
+/// the minimum `k` for which the bound holds with the proposed ρ, or
+/// `None` if the root itself violates `t(root) <= ρ`.
+pub fn min_rho_k(cells: &[CellObs], rho: u64) -> Option<f64> {
+    let mut k: f64 = 0.0;
+    for &(t, d, _h) in cells {
+        if t <= rho {
+            continue;
+        }
+        if d == 0 {
+            return None;
+        }
+        k = k.max((t - rho) as f64 / d as f64);
+    }
+    Some(k)
+}
+
+/// Least-squares fit of `y ≈ a·x + b`; returns `(a, b)`. Used to fit
+/// measured depths against `lg n` (Θ(lg n) claims fit with small residual;
+/// Θ(lg² n) shows up as a strongly growing slope between windows).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate x values");
+    let a = (n * sxy - sx * sy) / denom;
+    let b = (sy - a * sx) / n;
+    (a, b)
+}
+
+/// Base-2 logarithm of a positive count, as f64.
+pub fn lg(n: usize) -> f64 {
+    assert!(n > 0);
+    (n as f64).log2()
+}
+
+/// Ratio sequence `y[i+1] / y[i]`, for eyeballing growth rates in
+/// experiment output.
+pub fn growth_ratios(ys: &[f64]) -> Vec<f64> {
+    ys.windows(2).map(|w| w[1] / w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_bound_simple() {
+        // Tree of height 2: root (h=2) at t=5, child (h=1) at t=9,
+        // grandchild cell (h=0) at t=15.
+        let cells = vec![(5, 0, 2), (9, 1, 1), (15, 2, 0)];
+        // With τ = 5: child needs ks >= 4, grandchild ks >= 5.
+        assert_eq!(min_tau_ks(&cells, 5), Some(5.0));
+        // With τ = 15 everything is within τ.
+        assert_eq!(min_tau_ks(&cells, 15), Some(0.0));
+        // τ = 4 cannot hold at the root (gap 0).
+        assert_eq!(min_tau_ks(&cells, 4), None);
+    }
+
+    #[test]
+    fn rho_bound_simple() {
+        let cells = vec![(5, 0, 2), (9, 1, 1), (15, 2, 0)];
+        // ρ = 5: child needs k >= 4, grandchild k >= 5.
+        assert_eq!(min_rho_k(&cells, 5), Some(5.0));
+        assert_eq!(min_rho_k(&cells, 4), None);
+    }
+
+    #[test]
+    fn leaf_only_tree() {
+        let cells = vec![(3, 0, 0)];
+        assert_eq!(min_tau_ks(&cells, 3), Some(0.0));
+        assert_eq!(min_tau_ks(&cells, 2), None);
+    }
+
+    #[test]
+    fn fit_recovers_line() {
+        let xs: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x + 2.0).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 3.5).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_ratios_shape() {
+        let r = growth_ratios(&[1.0, 2.0, 4.0]);
+        assert_eq!(r, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn collect_adapts_walker() {
+        let cells = collect(|f| {
+            f(1, 0, 1);
+            f(2, 1, 0);
+        });
+        assert_eq!(cells, vec![(1, 0, 1), (2, 1, 0)]);
+    }
+}

@@ -1,0 +1,83 @@
+//! # pf-trees — the pipelined algorithms of *Pipelining with Futures*
+//!
+//! This crate implements, on top of the [`pf_core`] cost model, every
+//! algorithm analyzed in §3 of Blelloch & Reid-Miller plus the two
+//! calibration examples of §1 and the mergesort conjectured about in the
+//! conclusions:
+//!
+//! | module | paper artifact | bound |
+//! |---|---|---|
+//! | [`merge`] | §3.1, Thm 3.1 | merge of two balanced BSTs in Θ(lg n + lg m) depth, O(m lg(n/m)) work |
+//! | [`rebalance`] | §3.1 (end) | rebalance a merged tree in O(lg n + lg m) depth, O(n + m) work |
+//! | [`treap`] | §3.2–3.3, Thms 3.5–3.11 | treap union / difference in expected O(lg n + lg m) depth |
+//! | [`two_six`] | §3.4, Thm 3.13 | insert m sorted keys into a 2-6 tree in O(lg n + lg m) depth, O(m lg n) work |
+//! | [`quicksort`] | Fig. 2 | Halstead's futures quicksort — pipelining does *not* beat Θ(n) depth |
+//! | [`pipeline`] | Fig. 1 | producer/consumer list pipeline |
+//! | [`mergesort`] | §5 (conclusions) | tree mergesort with three levels of pipelining |
+//!
+//! Every pipelined algorithm also has a **strict** (non-pipelined) mode —
+//! the same code run under [`pf_core::Ctx::call_strict`] — so one
+//! implementation yields both sides of each paper comparison, and a plain
+//! **sequential** reference used as a correctness oracle and a work
+//! baseline ([`seq`]).
+//!
+//! The tree types ([`tree::Tree`], [`treap::Treap`], [`two_six::TsTree`])
+//! have *futures as child pointers*: a node can be handed to a consumer
+//! while its subtrees are still being computed — this is the entire
+//! mechanism by which the runtime pipelines the algorithms without any
+//! explicit pipeline management in the algorithm code.
+//!
+//! ```
+//! use pf_trees::treap::run_union;
+//! use pf_trees::workloads::union_entries;
+//! use pf_trees::Mode;
+//!
+//! let (a, b) = union_entries(1 << 10, 1 << 10, 7);
+//! let (root, pipelined) = run_union(&a, &b, Mode::Pipelined);
+//! let (_, strict) = run_union(&a, &b, Mode::Strict);
+//!
+//! assert!(root.get().check_invariants());
+//! assert_eq!(pipelined.work, strict.work);       // same computation
+//! assert!(2 * pipelined.depth < strict.depth);   // implicit pipelining
+//! assert!(pipelined.is_linear());                // §4-ready
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cole;
+pub mod merge;
+pub mod mergesort;
+pub mod pipeline;
+pub mod pvw;
+pub mod quicksort;
+pub mod rebalance;
+pub mod seq;
+pub mod treap;
+pub mod tree;
+pub mod two_six;
+pub mod workloads;
+
+/// Trait alias for the key types the tree algorithms accept.
+pub trait Key: Clone + Ord + 'static {}
+impl<T: Clone + Ord + 'static> Key for T {}
+
+/// Whether an algorithm runs with implicit pipelining (futures visible as
+/// soon as they are written) or strictly (each helper sub-computation's
+/// outputs become visible only when the whole helper has finished) — the
+/// paper's non-pipelined comparison point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Futures pipeline: partial results flow as soon as they are written.
+    Pipelined,
+    /// Strict helper calls: the non-pipelined variant.
+    Strict,
+}
+
+impl Mode {
+    /// True for [`Mode::Pipelined`].
+    pub fn is_pipelined(self) -> bool {
+        matches!(self, Mode::Pipelined)
+    }
+}

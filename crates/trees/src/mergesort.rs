@@ -1,0 +1,170 @@
+//! §5 (conclusions) — the pipelined tree mergesort the paper conjectures
+//! about: "We conjecture that a simple mergesort based on the merge in
+//! Section 3.1 has expected depth (averaged over all possible input
+//! orderings) close to O(lg n), perhaps O(lg n lg lg n). This algorithm
+//! has three levels of pipelining."
+//!
+//! `msort` recursively sorts the two halves of the input (as futures) and
+//! merges the resulting trees with the pipelined `merge` — so merges at
+//! different levels of the recursion tree overlap, exactly like Cole's
+//! mergesort but managed implicitly. Experiment E13 measures the depth
+//! growth empirically.
+
+use pf_core::{CostReport, Ctx, Fut, Promise, Sim};
+
+use crate::merge::merge;
+use crate::tree::Tree;
+use crate::{Key, Mode};
+
+/// Sort `keys` (distinct, in any order) into a BST by recursive halving
+/// and pipelined merging.
+pub fn msort<K: Key>(ctx: &mut Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
+    ctx.tick(1);
+    match keys.len() {
+        0 => out.fulfill(ctx, Tree::Leaf),
+        1 => {
+            let lf = ctx.filled(Tree::Leaf);
+            let rf = ctx.filled(Tree::Leaf);
+            let k = keys.into_iter().next().expect("len checked");
+            out.fulfill(ctx, Tree::node(k, lf, rf));
+        }
+        n => {
+            let mut a = keys;
+            let b = a.split_off(n / 2);
+            let (pa, fa) = ctx.promise();
+            ctx.fork_unit(move |ctx| msort(ctx, a, pa, mode));
+            let (pb, fb) = ctx.promise();
+            ctx.fork_unit(move |ctx| msort(ctx, b, pb, mode));
+            merge(ctx, fa, fb, out, mode);
+        }
+    }
+}
+
+/// Run the mergesort; returns the result root future and cost report.
+pub fn run_msort<K: Key>(keys: &[K], mode: Mode) -> (Fut<Tree<K>>, CostReport) {
+    Sim::new().run(|ctx| {
+        let (op, of) = ctx.promise();
+        msort(ctx, keys.to_vec(), op, mode);
+        of
+    })
+}
+
+/// Mergesort variant that **rebalances** the merged tree at every level of
+/// the recursion (using the §3.1 pipelined rebalancer). Merge outputs can
+/// reach height lg a + lg b, and those heights feed the next merge's
+/// depth; rebalancing between levels keeps every merge input at the
+/// optimal height — an ablation for the E13 conjecture measurement.
+pub fn msort_balanced<K: Key>(ctx: &mut Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
+    ctx.tick(1);
+    match keys.len() {
+        0 => out.fulfill(ctx, Tree::Leaf),
+        1 => {
+            let lf = ctx.filled(Tree::Leaf);
+            let rf = ctx.filled(Tree::Leaf);
+            let k = keys.into_iter().next().expect("len checked");
+            out.fulfill(ctx, Tree::node(k, lf, rf));
+        }
+        n => {
+            let mut a = keys;
+            let b = a.split_off(n / 2);
+            let (pa, fa) = ctx.promise();
+            ctx.fork_unit(move |ctx| msort_balanced(ctx, a, pa, mode));
+            let (pb, fb) = ctx.promise();
+            ctx.fork_unit(move |ctx| msort_balanced(ctx, b, pb, mode));
+            let (mp, mf) = ctx.promise();
+            merge(ctx, fa, fb, mp, mode);
+            crate::rebalance::rebalance(ctx, mf, out, mode);
+        }
+    }
+}
+
+/// Run the rebalancing mergesort.
+pub fn run_msort_balanced<K: Key>(keys: &[K], mode: Mode) -> (Fut<Tree<K>>, CostReport) {
+    Sim::new().run(|ctx| {
+        let (op, of) = ctx.promise();
+        msort_balanced(ctx, keys.to_vec(), op, mode);
+        of
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    fn shuffled(n: usize, seed: u64) -> Vec<i64> {
+        let mut v: Vec<i64> = (0..n as i64).collect();
+        v.shuffle(&mut SmallRng::seed_from_u64(seed));
+        v
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        for n in [0usize, 1, 2, 5, 64, 257] {
+            let keys = shuffled(n, n as u64);
+            let (root, _) = run_msort(&keys, Mode::Pipelined);
+            let t = root.get();
+            assert!(t.is_search_tree());
+            assert_eq!(t.to_sorted_vec(), (0..n as i64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pipelined_shallower_than_strict() {
+        let keys = shuffled(512, 11);
+        let (_, cp) = run_msort(&keys, Mode::Pipelined);
+        let (_, cs) = run_msort(&keys, Mode::Strict);
+        assert!(
+            cs.depth > cp.depth,
+            "pipelining should reduce mergesort depth: {} vs {}",
+            cs.depth,
+            cp.depth
+        );
+    }
+
+    #[test]
+    fn depth_grows_slowly() {
+        // The conjecture: close to O(lg n). At minimum, doubling n must add
+        // far less than a multiplicative factor.
+        let d = |n: usize| run_msort(&shuffled(n, 3), Mode::Pipelined).1.depth as f64;
+        let (d1, d2) = (d(512), d(2048));
+        assert!(
+            d2 / d1 < 2.0,
+            "depth should be strongly sublinear: {d1} -> {d2}"
+        );
+    }
+
+    #[test]
+    fn balanced_variant_sorts_and_is_balanced() {
+        for n in [0usize, 1, 2, 33, 200] {
+            let keys = shuffled(n, 5);
+            let (root, c) = run_msort_balanced(&keys, Mode::Pipelined);
+            let t = root.get();
+            assert!(t.is_search_tree());
+            assert_eq!(t.to_sorted_vec(), (0..n as i64).collect::<Vec<_>>());
+            if n > 0 {
+                let perfect = (n as f64).log2().floor() as usize + 1;
+                assert!(t.height() <= perfect, "height {} n {}", t.height(), n);
+            }
+            assert!(c.is_linear());
+        }
+    }
+
+    #[test]
+    fn balanced_variant_produces_shallower_result_tree() {
+        let keys = shuffled(1 << 9, 13);
+        let (plain, _) = run_msort(&keys, Mode::Pipelined);
+        let (bal, _) = run_msort_balanced(&keys, Mode::Pipelined);
+        assert!(bal.get().height() <= plain.get().height());
+        assert_eq!(bal.get().height(), 10);
+    }
+
+    #[test]
+    fn work_n_log_n() {
+        let w = |n: usize| run_msort(&shuffled(n, 3), Mode::Pipelined).1.work as f64;
+        let ratio = w(2048) / w(512);
+        // 4x n with lg factor 11/9 ⇒ ≈ 4.9; allow generous range.
+        assert!((3.5..7.0).contains(&ratio), "work ratio {ratio}");
+    }
+}

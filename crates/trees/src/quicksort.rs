@@ -1,0 +1,191 @@
+//! Figure 2 — Halstead's futures quicksort, the paper's *negative*
+//! example: the algorithm pipelines (partial partition output feeds the
+//! recursive calls), yet its expected depth stays Θ(n), no better
+//! asymptotically than the non-pipelined version — only a constant factor
+//! more parallelism.
+//!
+//! The implementation follows the Multilisp original: `qs(l, rest)`
+//! computes `sort(l) ++ rest` with an accumulator, and `partition` streams
+//! its two output lists element by element through future-tailed cons
+//! cells.
+
+use pf_core::{CostReport, Ctx, FList, Promise, Sim};
+
+use crate::{Key, Mode};
+
+/// Build an [`FList`] from a slice using free pre-written cells (input
+/// construction).
+pub fn preload_list<K: Key>(ctx: &mut Ctx, keys: &[K]) -> FList<K> {
+    let mut cur = FList::nil();
+    for k in keys.iter().rev() {
+        let f = ctx.preload(cur);
+        cur = FList::cons(k.clone(), f);
+    }
+    cur
+}
+
+/// `partition(pivot, l)`: stream `l` into elements `< pivot` (`lout`) and
+/// elements `>= pivot` (`gout`). Each output element is written as soon as
+/// it is classified — the pipelined producer for the recursive sorts.
+pub fn partition<K: Key>(
+    ctx: &mut Ctx,
+    pivot: &K,
+    mut l: FList<K>,
+    mut lout: Promise<FList<K>>,
+    mut gout: Promise<FList<K>>,
+) {
+    loop {
+        ctx.tick(1);
+        let (h, t) = match l.as_cons() {
+            None => {
+                lout.fulfill(ctx, FList::nil());
+                gout.fulfill(ctx, FList::nil());
+                return;
+            }
+            Some((h, t)) => (h.clone(), t.clone()),
+        };
+        let tail = ctx.touch(&t);
+        if h < *pivot {
+            let (np, nf) = ctx.promise();
+            lout.fulfill(ctx, FList::cons(h, nf));
+            lout = np;
+        } else {
+            let (np, nf) = ctx.promise();
+            gout.fulfill(ctx, FList::cons(h, nf));
+            gout = np;
+        }
+        l = tail;
+    }
+}
+
+/// `qs(l, rest)`: sort `l` and append `rest` (Figure 2, with the standard
+/// accumulator formulation). The `< pivot` side is consumed by the
+/// continuing loop; the `>= pivot` side is sorted by a forked future whose
+/// result becomes the tail of `pivot :: …`.
+pub fn qs<K: Key>(
+    ctx: &mut Ctx,
+    mut l: FList<K>,
+    mut rest: FList<K>,
+    out: Promise<FList<K>>,
+    mode: Mode,
+) {
+    loop {
+        ctx.tick(1);
+        let (h, t) = match l.as_cons() {
+            None => {
+                out.fulfill(ctx, rest);
+                return;
+            }
+            Some((h, t)) => (h.clone(), t.clone()),
+        };
+        let tail = ctx.touch(&t);
+        // let (less, greater) = ?partition(h, tail)
+        let (lp, lf) = ctx.promise();
+        let (gp, gf) = ctx.promise();
+        let pivot = h.clone();
+        match mode {
+            Mode::Pipelined => {
+                ctx.fork_unit(move |ctx| partition(ctx, &pivot, tail, lp, gp));
+            }
+            Mode::Strict => {
+                ctx.call_strict(move |ctx| {
+                    ctx.fork_unit(move |ctx| partition(ctx, &pivot, tail, lp, gp));
+                });
+            }
+        }
+        // qs(less) ++ (h :: ?qs(greater, rest))
+        let (gout_p, gout_f) = ctx.promise();
+        let rest_in = rest;
+        ctx.fork_unit(move |ctx| {
+            let g = ctx.touch(&gf);
+            qs(ctx, g, rest_in, gout_p, mode);
+        });
+        rest = FList::cons(h, gout_f);
+        l = ctx.touch(&lf);
+    }
+}
+
+/// Sort `keys` with the futures quicksort under `mode`; returns the result
+/// list (post-run inspectable) and the cost report.
+pub fn run_quicksort<K: Key>(keys: &[K], mode: Mode) -> (FList<K>, CostReport) {
+    Sim::new().run(|ctx| {
+        let l = preload_list(ctx, keys);
+        let (op, of) = ctx.promise();
+        qs(ctx, l, FList::nil(), op, mode);
+        ctx.touch(&of)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    fn shuffled(n: usize, seed: u64) -> Vec<i64> {
+        let mut v: Vec<i64> = (0..n as i64).collect();
+        v.shuffle(&mut SmallRng::seed_from_u64(seed));
+        v
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        for n in [0usize, 1, 2, 3, 10, 100, 500] {
+            let keys = shuffled(n, 42 + n as u64);
+            let (l, _) = run_quicksort(&keys, Mode::Pipelined);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(l.collect_vec(), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let keys = vec![3i64, 1, 3, 2, 1, 3, 0];
+        let (l, _) = run_quicksort(&keys, Mode::Pipelined);
+        assert_eq!(l.collect_vec(), vec![0, 1, 1, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn strict_same_result_same_work() {
+        let keys = shuffled(300, 7);
+        let (l1, c1) = run_quicksort(&keys, Mode::Pipelined);
+        let (l2, c2) = run_quicksort(&keys, Mode::Strict);
+        assert_eq!(l1.collect_vec(), l2.collect_vec());
+        assert_eq!(c1.work, c2.work);
+        assert!(c1.depth <= c2.depth);
+    }
+
+    #[test]
+    fn depth_is_linear_even_pipelined() {
+        // The paper's point: pipelining does NOT make quicksort polylog.
+        let d = |n: usize| run_quicksort(&shuffled(n, 99), Mode::Pipelined).1.depth as f64;
+        let (d1, d2) = (d(400), d(800));
+        let ratio = d2 / d1;
+        assert!(
+            ratio > 1.6,
+            "expected ~linear depth growth, got ratio {ratio} ({d1} -> {d2})"
+        );
+    }
+
+    #[test]
+    fn pipelining_gains_only_constant_factor() {
+        let keys = shuffled(600, 3);
+        let (_, cp) = run_quicksort(&keys, Mode::Pipelined);
+        let (_, cs) = run_quicksort(&keys, Mode::Strict);
+        let gain = cs.depth as f64 / cp.depth as f64;
+        assert!(
+            (1.0..4.0).contains(&gain),
+            "pipelining gain should be a small constant, got {gain}"
+        );
+    }
+
+    #[test]
+    fn work_is_n_log_n_expected() {
+        let w = |n: usize| run_quicksort(&shuffled(n, 5), Mode::Pipelined).1.work as f64;
+        let (w1, w2) = (w(256), w(1024));
+        // n lg n: 1024·10 / 256·8 = 5: ratio should be near 5, certainly < 8.
+        let ratio = w2 / w1;
+        assert!((3.0..8.0).contains(&ratio), "work ratio {ratio}");
+    }
+}

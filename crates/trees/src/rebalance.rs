@@ -1,0 +1,470 @@
+//! §3.1 (end) — rebalancing an unbalanced BST with pipelining.
+//!
+//! The merge of two balanced trees can produce a tree of height
+//! `lg n + lg m`. The paper sketches a three-phase fix, all within
+//! O(lg n + lg m) depth and O(n + m) work:
+//!
+//! 1. a bottom-up pass storing subtree **sizes** ([`annotate_sizes`]);
+//! 2. a top-down pass assigning each node its in-order **rank**
+//!    ([`assign_ranks`]) — neither pass needs pipelining;
+//! 3. a pipelined rebuild ([`rebuild`]) that repeatedly splits by rank
+//!    (`split_rank`, the rank analogue of `splitm`) and uses the rank-`mid`
+//!    node as the root — the splits at different levels overlap exactly
+//!    like the splits in `merge`.
+//!
+//! Storing each node's **left-subtree size** during phase 1 is what lets
+//! phase 2 compute ranks without touching children a second time, keeping
+//! the program linear (§4).
+
+use std::rc::Rc;
+
+use pf_core::{CostReport, Ctx, Fut, Promise, Sim};
+
+use crate::tree::Tree;
+use crate::{Key, Mode};
+
+/// A size-annotated tree (phase-1 output). Built strictly bottom-up, so
+/// children are plain values, not futures.
+pub enum SizedTree<K> {
+    /// Empty.
+    Leaf,
+    /// Node with subtree size and left-subtree size cached.
+    Node(Rc<SizedNode<K>>),
+}
+
+/// Node of a [`SizedTree`].
+pub struct SizedNode<K> {
+    /// The key.
+    pub key: K,
+    /// Total number of keys in this subtree.
+    pub size: usize,
+    /// Number of keys in the left subtree (caches the rank offset).
+    pub left_size: usize,
+    /// Left subtree.
+    pub left: SizedTree<K>,
+    /// Right subtree.
+    pub right: SizedTree<K>,
+}
+
+impl<K> Clone for SizedTree<K> {
+    fn clone(&self) -> Self {
+        match self {
+            SizedTree::Leaf => SizedTree::Leaf,
+            SizedTree::Node(n) => SizedTree::Node(Rc::clone(n)),
+        }
+    }
+}
+
+impl<K> SizedTree<K> {
+    /// Size of the subtree (0 for leaf).
+    pub fn size(&self) -> usize {
+        match self {
+            SizedTree::Leaf => 0,
+            SizedTree::Node(n) => n.size,
+        }
+    }
+}
+
+/// A rank-annotated tree (phase-2 output). Children are futures again:
+/// phase 2 emits nodes top-down and `split_rank`/`rebuild` consume them in
+/// pipelined fashion.
+pub enum RankedTree<K> {
+    /// Empty.
+    Leaf,
+    /// Node carrying its global in-order rank.
+    Node(Rc<RankedNode<K>>),
+}
+
+/// Node of a [`RankedTree`].
+pub struct RankedNode<K> {
+    /// The key.
+    pub key: K,
+    /// Global in-order index of this key in the whole tree.
+    pub rank: usize,
+    /// Future of the left subtree.
+    pub left: Fut<RankedTree<K>>,
+    /// Future of the right subtree.
+    pub right: Fut<RankedTree<K>>,
+}
+
+impl<K> Clone for RankedTree<K> {
+    fn clone(&self) -> Self {
+        match self {
+            RankedTree::Leaf => RankedTree::Leaf,
+            RankedTree::Node(n) => RankedTree::Node(Rc::clone(n)),
+        }
+    }
+}
+
+/// Phase 1: bottom-up size annotation. Depth O(h), work O(n).
+pub fn annotate_sizes<K: Key>(ctx: &mut Ctx, t: Fut<Tree<K>>, out: Promise<SizedTree<K>>) {
+    let tv = ctx.touch(&t);
+    ctx.tick(1);
+    match tv {
+        Tree::Leaf => out.fulfill(ctx, SizedTree::Leaf),
+        Tree::Node(n) => {
+            let (lp, lf) = ctx.promise();
+            let (rp, rf) = ctx.promise();
+            let l = n.left.clone();
+            let r = n.right.clone();
+            ctx.fork_unit(move |ctx| annotate_sizes(ctx, l, lp));
+            ctx.fork_unit(move |ctx| annotate_sizes(ctx, r, rp));
+            let lv = ctx.touch(&lf);
+            let rv = ctx.touch(&rf);
+            ctx.tick(1);
+            let left_size = lv.size();
+            let size = 1 + left_size + rv.size();
+            out.fulfill(
+                ctx,
+                SizedTree::Node(Rc::new(SizedNode {
+                    key: n.key.clone(),
+                    size,
+                    left_size,
+                    left: lv,
+                    right: rv,
+                })),
+            );
+        }
+    }
+}
+
+/// Phase 2: top-down rank assignment. `offset` is the number of keys to
+/// the left of this subtree. Depth O(h), work O(n).
+pub fn assign_ranks<K: Key>(
+    ctx: &mut Ctx,
+    t: SizedTree<K>,
+    offset: usize,
+    out: Promise<RankedTree<K>>,
+) {
+    ctx.tick(1);
+    match t {
+        SizedTree::Leaf => out.fulfill(ctx, RankedTree::Leaf),
+        SizedTree::Node(n) => {
+            let rank = offset + n.left_size;
+            let (lp, lf) = ctx.promise();
+            let (rp, rf) = ctx.promise();
+            out.fulfill(
+                ctx,
+                RankedTree::Node(Rc::new(RankedNode {
+                    key: n.key.clone(),
+                    rank,
+                    left: lf,
+                    right: rf,
+                })),
+            );
+            let (l, r) = (n.left.clone(), n.right.clone());
+            ctx.fork_unit(move |ctx| assign_ranks(ctx, l, offset, lp));
+            ctx.fork_unit(move |ctx| assign_ranks(ctx, r, rank + 1, rp));
+        }
+    }
+}
+
+/// Phase 3a: `split_rank(r, t)` — partition by global rank: nodes with
+/// rank `< r` to `lout`, rank `> r` to `rout`, and the key of the rank-`r`
+/// node to `kout`. Structurally `splitm` with ranks as keys.
+pub fn split_rank<K: Key>(
+    ctx: &mut Ctx,
+    r: usize,
+    t: RankedTree<K>,
+    lout: Promise<RankedTree<K>>,
+    rout: Promise<RankedTree<K>>,
+    kout: Promise<K>,
+) {
+    ctx.tick(1);
+    match t {
+        RankedTree::Leaf => unreachable!("split_rank: rank {r} not present"),
+        RankedTree::Node(n) => {
+            if r == n.rank {
+                kout.fulfill(ctx, n.key.clone());
+                let lv = ctx.touch(&n.left);
+                lout.fulfill(ctx, lv);
+                let rv = ctx.touch(&n.right);
+                rout.fulfill(ctx, rv);
+            } else if r < n.rank {
+                let (rp1, rf1) = ctx.promise();
+                rout.fulfill(
+                    ctx,
+                    RankedTree::Node(Rc::new(RankedNode {
+                        key: n.key.clone(),
+                        rank: n.rank,
+                        left: rf1,
+                        right: n.right.clone(),
+                    })),
+                );
+                let lv = ctx.touch(&n.left);
+                split_rank(ctx, r, lv, lout, rp1, kout);
+            } else {
+                let (lp1, lf1) = ctx.promise();
+                lout.fulfill(
+                    ctx,
+                    RankedTree::Node(Rc::new(RankedNode {
+                        key: n.key.clone(),
+                        rank: n.rank,
+                        left: n.left.clone(),
+                        right: lf1,
+                    })),
+                );
+                let rv = ctx.touch(&n.right);
+                split_rank(ctx, r, rv, lp1, rout, kout);
+            }
+        }
+    }
+}
+
+/// Phase 3b: rebuild the subtree holding ranks `lo..hi` of `t` into a
+/// perfectly balanced tree: split at the median rank, use that node as the
+/// root, recurse on the halves (pipelined like `merge`).
+pub fn rebuild<K: Key>(
+    ctx: &mut Ctx,
+    t: Fut<RankedTree<K>>,
+    lo: usize,
+    hi: usize,
+    out: Promise<Tree<K>>,
+    mode: Mode,
+) {
+    ctx.tick(1);
+    if lo >= hi {
+        out.fulfill(ctx, Tree::Leaf);
+        return;
+    }
+    let tv = ctx.touch(&t);
+    let mid = lo + (hi - lo) / 2;
+    let (lp, lf) = ctx.promise();
+    let (rp, rf) = ctx.promise();
+    let (kp, kf) = ctx.promise();
+    match mode {
+        Mode::Pipelined => {
+            ctx.fork_unit(move |ctx| split_rank(ctx, mid, tv, lp, rp, kp));
+        }
+        Mode::Strict => {
+            ctx.call_strict(move |ctx| {
+                ctx.fork_unit(move |ctx| split_rank(ctx, mid, tv, lp, rp, kp));
+            });
+        }
+    }
+    // Fork the child rebuilds *before* touching the median key: they need
+    // only the piece futures, which `split_rank` streams out node by node,
+    // so they start peeling while this level's split is still searching
+    // for its median.
+    let (blp, blf) = ctx.promise();
+    let (brp, brf) = ctx.promise();
+    ctx.fork_unit(move |ctx| rebuild(ctx, lf, lo, mid, blp, mode));
+    ctx.fork_unit(move |ctx| rebuild(ctx, rf, mid + 1, hi, brp, mode));
+    let key = ctx.touch(&kf);
+    ctx.tick(1);
+    out.fulfill(ctx, Tree::node(key, blf, brf));
+}
+
+/// The full three-phase rebalance of an arbitrary BST.
+pub fn rebalance<K: Key>(ctx: &mut Ctx, t: Fut<Tree<K>>, out: Promise<Tree<K>>, mode: Mode) {
+    let (sp, sf) = ctx.promise();
+    ctx.fork_unit(move |ctx| annotate_sizes(ctx, t, sp));
+    let sv = ctx.touch(&sf);
+    let n = sv.size();
+    let (rp, rf) = ctx.promise();
+    ctx.fork_unit(move |ctx| assign_ranks(ctx, sv, 0, rp));
+    rebuild(ctx, rf, 0, n, out, mode);
+}
+
+/// The §3.1 composite the rebalance exists for: **merge two balanced
+/// trees, then rebalance the result** — both phases pipelined, the
+/// rebalance consuming the merge's output tree while the merge is still
+/// producing it. Total depth O(lg n + lg m), work O(n + m), and the
+/// output is perfectly balanced (unlike raw merge, whose height can reach
+/// lg n + lg m).
+pub fn merge_balanced<K: Key>(
+    ctx: &mut Ctx,
+    a: Fut<Tree<K>>,
+    b: Fut<Tree<K>>,
+    out: Promise<Tree<K>>,
+    mode: Mode,
+) {
+    let (mp, mf) = ctx.promise();
+    ctx.fork_unit(move |ctx| crate::merge::merge(ctx, a, b, mp, mode));
+    rebalance(ctx, mf, out, mode);
+}
+
+/// Run [`merge_balanced`] on two sorted disjoint key sets.
+pub fn run_merge_balanced<K: Key>(a: &[K], b: &[K], mode: Mode) -> (Fut<Tree<K>>, CostReport) {
+    Sim::new().run(|ctx| {
+        let ta = Tree::preload_balanced(ctx, a);
+        let tb = Tree::preload_balanced(ctx, b);
+        let (fa, fb) = (ctx.preload(ta), ctx.preload(tb));
+        let (op, of) = ctx.promise();
+        merge_balanced(ctx, fa, fb, op, mode);
+        of
+    })
+}
+
+/// Build the input from a (possibly unbalanced) insertion sequence, run
+/// the rebalance, and return the result root with the cost report.
+pub fn run_rebalance<K: Key>(keys_in_tree_order: &[K], mode: Mode) -> (Fut<Tree<K>>, CostReport) {
+    Sim::new().run(|ctx| {
+        let t = preload_unbalanced(ctx, keys_in_tree_order);
+        let ft = ctx.preload(t);
+        let (op, of) = ctx.promise();
+        rebalance(ctx, ft, op, mode);
+        of
+    })
+}
+
+/// Build a BST by naive (unbalanced) insertion order using free cells —
+/// a worst-case input generator for the rebalancer.
+pub fn preload_unbalanced<K: Key>(ctx: &mut Ctx, keys: &[K]) -> Tree<K> {
+    #[derive(Clone)]
+    enum P<K> {
+        Leaf,
+        Node(K, Box<P<K>>, Box<P<K>>),
+    }
+    fn ins<K: Ord + Clone>(t: P<K>, k: K) -> P<K> {
+        match t {
+            P::Leaf => P::Node(k, Box::new(P::Leaf), Box::new(P::Leaf)),
+            P::Node(key, l, r) => {
+                if k < key {
+                    P::Node(key, Box::new(ins(*l, k)), r)
+                } else if k > key {
+                    P::Node(key, l, Box::new(ins(*r, k)))
+                } else {
+                    P::Node(key, l, r)
+                }
+            }
+        }
+    }
+    fn conv<K: Key>(ctx: &mut Ctx, t: &P<K>) -> Tree<K> {
+        match t {
+            P::Leaf => Tree::Leaf,
+            P::Node(k, l, r) => {
+                let lv = conv(ctx, l);
+                let rv = conv(ctx, r);
+                let lf = ctx.preload(lv);
+                let rf = ctx.preload(rv);
+                Tree::node(k.clone(), lf, rf)
+            }
+        }
+    }
+    let mut p = P::Leaf;
+    for k in keys {
+        p = ins(p, k.clone());
+    }
+    conv(ctx, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::SmallRng;
+
+    fn shuffled(n: usize, seed: u64) -> Vec<i64> {
+        let mut v: Vec<i64> = (0..n as i64).collect();
+        v.shuffle(&mut SmallRng::seed_from_u64(seed));
+        v
+    }
+
+    #[test]
+    fn rebalance_preserves_keys_and_balances() {
+        let keys = shuffled(200, 1);
+        let (root, _) = run_rebalance(&keys, Mode::Pipelined);
+        let t = root.get();
+        assert!(t.is_search_tree());
+        assert_eq!(t.to_sorted_vec(), (0..200).collect::<Vec<_>>());
+        assert_eq!(t.height(), 8, "200 keys must pack into height 8");
+    }
+
+    #[test]
+    fn rebalance_pathological_input() {
+        // A fully sorted insertion order gives a height-n right spine.
+        let keys: Vec<i64> = (0..128).collect();
+        let (root, _) = run_rebalance(&keys, Mode::Pipelined);
+        let t = root.get();
+        assert_eq!(t.height(), 8);
+        assert_eq!(t.size(), 128);
+    }
+
+    #[test]
+    fn rebalance_small_cases() {
+        for n in [0usize, 1, 2, 3] {
+            let keys: Vec<i64> = (0..n as i64).collect();
+            let (root, _) = run_rebalance(&keys, Mode::Pipelined);
+            let t = root.get();
+            assert_eq!(t.size(), n);
+            assert!(t.is_search_tree());
+        }
+    }
+
+    #[test]
+    fn pipelined_rebuild_shallower_than_strict() {
+        let keys = shuffled(1 << 10, 4);
+        let (_, cp) = run_rebalance(&keys, Mode::Pipelined);
+        let (_, cs) = run_rebalance(&keys, Mode::Strict);
+        assert_eq!(cp.work, cs.work);
+        assert!(
+            cs.depth > cp.depth + cp.depth / 4,
+            "strict {} vs pipelined {}",
+            cs.depth,
+            cp.depth
+        );
+    }
+
+    #[test]
+    fn merge_balanced_composite() {
+        let a: Vec<i64> = (0..700).map(|i| 2 * i).collect();
+        let b: Vec<i64> = (0..500).map(|i| 2 * i + 1).collect();
+        let (root, c) = run_merge_balanced(&a, &b, Mode::Pipelined);
+        let t = root.get();
+        assert!(t.is_search_tree());
+        assert_eq!(t.size(), 1200);
+        // Perfectly balanced: 1200 keys fit in height 11.
+        assert_eq!(t.height(), 11);
+        assert!(c.is_linear());
+        // The composite depth stays close to the raw merge + a rebalance,
+        // i.e. logarithmic — far below the sequential work.
+        assert!(c.depth * 20 < c.work, "depth {} work {}", c.depth, c.work);
+    }
+
+    #[test]
+    fn merge_balanced_depth_logarithmic() {
+        let d = |lg: u32| {
+            let n = 1usize << lg;
+            let a: Vec<i64> = (0..n as i64).map(|i| 2 * i).collect();
+            let b: Vec<i64> = (0..n as i64).map(|i| 2 * i + 1).collect();
+            run_merge_balanced(&a, &b, Mode::Pipelined).1.depth as i64
+        };
+        let (d1, d2, d3) = (d(9), d(10), d(11));
+        let (g1, g2) = (d2 - d1, d3 - d2);
+        assert!(
+            g2 <= g1 + d1 / 4,
+            "composite depth should add ~constant per doubling: {d1} {d2} {d3}"
+        );
+    }
+
+    #[test]
+    fn rebalance_is_linear_code() {
+        let keys = shuffled(300, 9);
+        let (_, c) = run_rebalance(&keys, Mode::Pipelined);
+        assert!(c.is_linear());
+    }
+
+    #[test]
+    fn work_is_linear_in_n() {
+        let w = |n: usize| run_rebalance(&shuffled(n, 2), Mode::Pipelined).1.work as f64;
+        let ratio = w(2048) / w(1024);
+        assert!(
+            (1.7..2.4).contains(&ratio),
+            "rebalance work should be Θ(n): ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // The rebalance depth is O(height of the input), which for a random
+        // BST is ~3 lg n with noticeable variance; quadrupling n must not
+        // come close to doubling the depth.
+        let d = |n: usize| run_rebalance(&shuffled(n, 6), Mode::Pipelined).1.depth as i64;
+        let (d1, d3) = (d(1 << 9), d(1 << 11));
+        assert!(
+            d3 < 2 * d1,
+            "depth should grow logarithmically: {d1} -> {d3}"
+        );
+    }
+}

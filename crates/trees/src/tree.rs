@@ -1,0 +1,223 @@
+//! Binary search trees with **futures as child pointers** — the data
+//! representation that makes implicit pipelining possible (§3.1).
+//!
+//! A consumer holding a [`Tree`] node can read its key and hand each child
+//! future to a further consumer *before the producer has materialized the
+//! child*: "if an operation examines the head of a linked list to get a
+//! pointer to the second element, the operation is strict on the head but
+//! not the second or any other element. We make significant use of this
+//! property" (§2).
+
+use std::rc::Rc;
+
+use pf_core::{Ctx, Fut};
+
+use crate::Key;
+
+/// A binary search tree whose children are future cells.
+pub enum Tree<K> {
+    /// The empty tree.
+    Leaf,
+    /// An interior node (shared, immutable).
+    Node(Rc<Node<K>>),
+}
+
+/// An interior node of a [`Tree`].
+pub struct Node<K> {
+    /// The key stored at this node.
+    pub key: K,
+    /// Future of the left subtree (keys `< key`).
+    pub left: Fut<Tree<K>>,
+    /// Future of the right subtree (keys `> key`).
+    pub right: Fut<Tree<K>>,
+}
+
+impl<K> Clone for Tree<K> {
+    fn clone(&self) -> Self {
+        match self {
+            Tree::Leaf => Tree::Leaf,
+            Tree::Node(n) => Tree::Node(Rc::clone(n)),
+        }
+    }
+}
+
+impl<K> Tree<K> {
+    /// Construct an interior node.
+    pub fn node(key: K, left: Fut<Tree<K>>, right: Fut<Tree<K>>) -> Self {
+        Tree::Node(Rc::new(Node { key, left, right }))
+    }
+
+    /// Is this the empty tree?
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Tree::Leaf)
+    }
+}
+
+impl<K: Key> Tree<K> {
+    /// Build a balanced tree from a sorted slice using **free** pre-written
+    /// cells ([`Ctx::preload`]) — input construction must not pollute the
+    /// measured cost of the algorithm under test.
+    pub fn preload_balanced(ctx: &mut Ctx, sorted: &[K]) -> Tree<K> {
+        if sorted.is_empty() {
+            return Tree::Leaf;
+        }
+        let mid = sorted.len() / 2;
+        let left = Self::preload_balanced(ctx, &sorted[..mid]);
+        let right = Self::preload_balanced(ctx, &sorted[mid + 1..]);
+        let lf = ctx.preload(left);
+        let rf = ctx.preload(right);
+        Tree::node(sorted[mid].clone(), lf, rf)
+    }
+
+    /// Post-run inspection: collect the keys in symmetric order.
+    ///
+    /// # Panics
+    /// If any child cell is still unwritten.
+    pub fn to_sorted_vec(&self) -> Vec<K> {
+        let mut out = Vec::new();
+        self.inorder_into(&mut out);
+        out
+    }
+
+    fn inorder_into(&self, out: &mut Vec<K>) {
+        if let Tree::Node(n) = self {
+            n.left.with(|l| l.inorder_into(out));
+            out.push(n.key.clone());
+            n.right.with(|r| r.inorder_into(out));
+        }
+    }
+
+    /// Post-run inspection: number of keys.
+    pub fn size(&self) -> usize {
+        match self {
+            Tree::Leaf => 0,
+            Tree::Node(n) => 1 + n.left.with(|l| l.size()) + n.right.with(|r| r.size()),
+        }
+    }
+
+    /// Post-run inspection: height (empty tree has height 0, a single node
+    /// height 1) — the paper's `h(T)` up to the off-by-one convention.
+    pub fn height(&self) -> usize {
+        match self {
+            Tree::Leaf => 0,
+            Tree::Node(n) => {
+                1 + n
+                    .left
+                    .with(|l| l.height())
+                    .max(n.right.with(|r| r.height()))
+            }
+        }
+    }
+
+    /// Post-run inspection: is this a valid BST with strictly increasing
+    /// keys in symmetric order?
+    pub fn is_search_tree(&self) -> bool {
+        let keys = self.to_sorted_vec();
+        keys.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Post-run inspection: the largest write timestamp of any node cell in
+    /// the tree reachable from `root` — the virtual time at which the tree
+    /// was fully materialized. `root` itself counts.
+    pub fn completion_time(root: &Fut<Tree<K>>) -> u64 {
+        let mut t = root.time();
+        root.with(|tree| {
+            if let Tree::Node(n) = tree {
+                t = t
+                    .max(Self::completion_time(&n.left))
+                    .max(Self::completion_time(&n.right));
+            }
+        });
+        t
+    }
+
+    /// Post-run inspection: visit every *node cell* in the tree with its
+    /// `(write_time, depth_in_tree, height_of_subtree)` triple; used by the
+    /// τ/ρ-value checkers in [`crate::analysis`]. Returns the height of the
+    /// subtree stored in `cell` (leaf = 0).
+    pub fn walk_cells(
+        cell: &Fut<Tree<K>>,
+        depth: usize,
+        f: &mut impl FnMut(u64, usize, usize),
+    ) -> usize {
+        let t = cell.time();
+        let h = cell.with(|tree| match tree {
+            Tree::Leaf => 0,
+            Tree::Node(n) => {
+                let hl = Self::walk_cells(&n.left, depth + 1, f);
+                let hr = Self::walk_cells(&n.right, depth + 1, f);
+                1 + hl.max(hr)
+            }
+        });
+        f(t, depth, h);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_core::Sim;
+
+    fn keys(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| 2 * i).collect()
+    }
+
+    #[test]
+    fn preload_balanced_shape() {
+        let (t, r) = Sim::new().run(|ctx| Tree::preload_balanced(ctx, &keys(127)));
+        assert_eq!(r.work, 0, "input construction must be free");
+        assert_eq!(t.size(), 127);
+        assert_eq!(t.height(), 7, "127 nodes must pack into height 7");
+        assert!(t.is_search_tree());
+        assert_eq!(t.to_sorted_vec(), keys(127));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let (t, _) = Sim::new().run(|ctx| Tree::<i64>::preload_balanced(ctx, &[]));
+        assert!(t.is_leaf());
+        assert_eq!(t.size(), 0);
+        assert_eq!(t.height(), 0);
+        assert!(t.to_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn single_node() {
+        let (t, _) = Sim::new().run(|ctx| Tree::preload_balanced(ctx, &[5i64]));
+        assert_eq!(t.size(), 1);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn completion_time_sees_deep_writes() {
+        let (root, _) = Sim::new().run(|ctx| {
+            // Build a node whose right child is written late.
+            let (rp, rf) = ctx.promise();
+            let lf = ctx.preload(Tree::Leaf);
+            let t = Tree::node(1i64, lf, rf);
+            let root = ctx.preload(t);
+            ctx.fork_unit(move |c| {
+                c.tick(100);
+                rp.fulfill(c, Tree::Leaf);
+            });
+            root
+        });
+        assert_eq!(root.time(), 0);
+        assert!(Tree::completion_time(&root) > 100);
+    }
+
+    #[test]
+    fn walk_cells_heights() {
+        let (root, _) = Sim::new().run(|ctx| {
+            let t = Tree::preload_balanced(ctx, &keys(7));
+            ctx.preload(t)
+        });
+        let mut seen = 0usize;
+        let h = Tree::walk_cells(&root, 0, &mut |_, _, _| seen += 1);
+        assert_eq!(h, 3);
+        // 7 nodes + 8 leaf cells + ... every cell visited once:
+        // a tree of 7 nodes has 14 child cells + the root cell = 15.
+        assert_eq!(seen, 15);
+    }
+}

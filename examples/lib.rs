@@ -1,0 +1,19 @@
+//! Shared helpers for the pf-examples binaries.
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format a work/depth cost report on one line.
+pub fn cost_line(label: &str, c: &pf_core::CostReport) -> String {
+    format!(
+        "{label}: work={} depth={} parallelism={:.1} (forks={}, touches={}, cells={})",
+        c.work,
+        c.depth,
+        c.parallelism(),
+        c.forks,
+        c.touches,
+        c.cells
+    )
+}

@@ -1,0 +1,173 @@
+//! Cross-backend agreement: the cost-model simulator, the real runtime,
+//! and the sequential references must produce identical results (and for
+//! treaps, identical shapes) on identical inputs, across thread counts.
+
+use pf_rt::{cell, ready, Runtime};
+use pf_rt_algs::rlist::{consume, produce, qs, RList};
+use pf_rt_algs::rtreap::{diff as rt_diff, union as rt_union, RTreap};
+use pf_rt_algs::rtree::{merge as rt_merge, RTree};
+use pf_tests::entries;
+use pf_trees::merge::run_merge;
+use pf_trees::seq::PlainTreap;
+use pf_trees::treap::{run_diff, run_union};
+use pf_trees::workloads::shuffled_keys;
+use pf_trees::Mode;
+
+#[test]
+fn merge_agrees_across_backends() {
+    for (na, nb) in [(0usize, 5usize), (5, 0), (100, 100), (777, 333)] {
+        let a: Vec<i64> = (0..na as i64).map(|i| 2 * i).collect();
+        let b: Vec<i64> = (0..nb as i64).map(|i| 2 * i + 1).collect();
+        let (root, _) = run_merge(&a, &b, Mode::Pipelined);
+        let model = root.get().to_sorted_vec();
+        for threads in [1, 3] {
+            let (op, of) = cell();
+            let (ta, tb) = (ready(RTree::from_sorted(&a)), ready(RTree::from_sorted(&b)));
+            Runtime::new(threads).run(move |wk| rt_merge(wk, ta, tb, op));
+            assert_eq!(
+                of.expect().to_sorted_vec(),
+                model,
+                "na={na} nb={nb} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn union_shape_agrees_across_all_three_backends() {
+    let a = entries((0..500).map(|i| 3 * i));
+    let b = entries((0..500).map(|i| 2 * i));
+    // Sequential.
+    let pu = PlainTreap::union(PlainTreap::from_entries(&a), PlainTreap::from_entries(&b));
+    let seq_keys = PlainTreap::to_sorted_vec(&pu);
+    let seq_height = PlainTreap::height(&pu);
+    // Cost model.
+    let (root, _) = run_union(&a, &b, Mode::Pipelined);
+    assert_eq!(root.get().to_sorted_vec(), seq_keys);
+    assert_eq!(root.get().height(), seq_height);
+    // Real runtime.
+    for threads in [1, 2, 4] {
+        let (op, of) = cell();
+        let (ta, tb) = (
+            ready(RTreap::from_entries(&a)),
+            ready(RTreap::from_entries(&b)),
+        );
+        Runtime::new(threads).run(move |wk| rt_union(wk, ta, tb, op));
+        let t = of.expect();
+        assert_eq!(t.to_sorted_vec(), seq_keys, "threads={threads}");
+        assert_eq!(t.height(), seq_height, "threads={threads}");
+    }
+}
+
+#[test]
+fn diff_agrees_across_backends() {
+    let a = entries(0..600);
+    let b = entries((0..600).filter(|k| k % 4 == 0));
+    let pd = PlainTreap::diff(PlainTreap::from_entries(&a), PlainTreap::from_entries(&b));
+    let seq_keys = PlainTreap::to_sorted_vec(&pd);
+    let (root, _) = run_diff(&a, &b, Mode::Pipelined);
+    assert_eq!(root.get().to_sorted_vec(), seq_keys);
+    assert_eq!(root.get().height(), PlainTreap::height(&pd));
+    for threads in [1, 4] {
+        let (op, of) = cell();
+        let (ta, tb) = (
+            ready(RTreap::from_entries(&a)),
+            ready(RTreap::from_entries(&b)),
+        );
+        Runtime::new(threads).run(move |wk| rt_diff(wk, ta, tb, op));
+        assert_eq!(of.expect().to_sorted_vec(), seq_keys, "threads={threads}");
+    }
+}
+
+#[test]
+fn pipeline_sum_agrees() {
+    let n = 5000u64;
+    // The eager evaluator nests one native frame per list element; use the
+    // big-stack helper for deep pipelines (see pf_core::run_with_big_stack).
+    let (sum_model, _) = pf_core::run_with_big_stack(256 << 20, move || {
+        pf_trees::pipeline::run_pipeline(n, Mode::Pipelined)
+    });
+    let (sp, sf) = cell();
+    Runtime::new(3).run(move |wk| {
+        let (lp, lf) = cell();
+        wk.spawn(move |wk| produce(wk, n, lp));
+        lf.touch(wk, move |l, wk| consume(wk, l, 0, sp));
+    });
+    assert_eq!(sf.expect(), sum_model);
+}
+
+#[test]
+fn quicksort_agrees_with_std_sort() {
+    for seed in 0..5 {
+        let keys = shuffled_keys(400, seed);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        // Cost model.
+        let (l, _) = pf_trees::quicksort::run_quicksort(&keys, Mode::Pipelined);
+        assert_eq!(l.collect_vec(), expect);
+        // Real runtime.
+        let rl = RList::from_slice(&keys);
+        let (op, of) = cell();
+        Runtime::new(4).run(move |wk| qs(wk, rl, RList::Nil, op));
+        assert_eq!(of.expect().collect_vec(), expect);
+    }
+}
+
+#[test]
+fn algorithms_are_generic_over_key_types() {
+    // Everything so far runs on i64; the API is generic — prove it with
+    // owned string keys across both backends.
+    let a: Vec<String> = (0..60).map(|i| format!("a{:03}", 2 * i)).collect();
+    let b: Vec<String> = (0..40).map(|i| format!("a{:03}", 2 * i + 1)).collect();
+    let mut expect: Vec<String> = a.iter().chain(b.iter()).cloned().collect();
+    expect.sort();
+
+    let (root, c) = run_merge(&a, &b, Mode::Pipelined);
+    assert_eq!(root.get().to_sorted_vec(), expect);
+    assert!(c.is_linear());
+
+    let (op, of) = cell();
+    let (ta, tb) = (ready(RTree::from_sorted(&a)), ready(RTree::from_sorted(&b)));
+    Runtime::new(2).run(move |wk| rt_merge(wk, ta, tb, op));
+    assert_eq!(of.expect().to_sorted_vec(), expect);
+
+    // Treap union over string keys in the cost model.
+    let ea: Vec<(String, u64)> = a
+        .iter()
+        .map(|k| {
+            (
+                k.clone(),
+                pf_trees::seq::splitmix64(k.len() as u64 ^ 0x77)
+                    ^ (k.bytes().map(u64::from).sum::<u64>() * 2654435761),
+            )
+        })
+        .collect();
+    let eb: Vec<(String, u64)> = b
+        .iter()
+        .map(|k| (k.clone(), k.bytes().map(u64::from).product::<u64>() | 1))
+        .collect();
+    let (uroot, _) = run_union(&ea, &eb, Mode::Pipelined);
+    assert_eq!(uroot.get().to_sorted_vec(), expect);
+    assert!(uroot.get().check_invariants());
+}
+
+#[test]
+fn repeated_rt_runs_are_deterministic_in_value() {
+    // Scheduling is nondeterministic; results must not be.
+    let a = entries((0..300).map(|i| 2 * i));
+    let b = entries((0..300).map(|i| 2 * i + 1));
+    let mut first: Option<Vec<i64>> = None;
+    for _ in 0..20 {
+        let (op, of) = cell();
+        let (ta, tb) = (
+            ready(RTreap::from_entries(&a)),
+            ready(RTreap::from_entries(&b)),
+        );
+        Runtime::new(4).run(move |wk| rt_union(wk, ta, tb, op));
+        let keys = of.expect().to_sorted_vec();
+        match &first {
+            None => first = Some(keys),
+            Some(f) => assert_eq!(&keys, f),
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use std::collections::BTreeSet;
+
+use pf_trees::seq::Entry;
+
+/// Sorted union of two entry lists' keys.
+pub fn oracle_union(a: &[Entry<i64>], b: &[Entry<i64>]) -> Vec<i64> {
+    let s: BTreeSet<i64> = a.iter().chain(b.iter()).map(|e| e.0).collect();
+    s.into_iter().collect()
+}
+
+/// Sorted difference (a minus b) of two entry lists' keys.
+pub fn oracle_diff(a: &[Entry<i64>], b: &[Entry<i64>]) -> Vec<i64> {
+    let bs: BTreeSet<i64> = b.iter().map(|e| e.0).collect();
+    let s: BTreeSet<i64> = a.iter().map(|e| e.0).filter(|k| !bs.contains(k)).collect();
+    s.into_iter().collect()
+}
+
+/// Sorted merge of two disjoint sorted key lists.
+pub fn oracle_merge(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let mut v: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Deterministic entries from a key iterator (priorities hashed from keys).
+pub fn entries(keys: impl IntoIterator<Item = i64>) -> Vec<Entry<i64>> {
+    keys.into_iter()
+        .map(|k| (k, pf_trees::seq::splitmix64(k as u64 ^ 0xDEAD_BEEF)))
+        .collect()
+}
