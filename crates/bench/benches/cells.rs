@@ -1,6 +1,9 @@
 //! Criterion microbenchmarks for the future-cell implementations (the
 //! E15b ablation, measured properly): fulfill+touch round-trips through
 //! the lock-free cell vs the mutex cell, plus raw task spawn throughput.
+//!
+//! Every benchmark runs on a warm pool built outside `b.iter`, so the
+//! numbers measure cell and scheduler hot paths, not thread creation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pf_rt::mutex_cell::mx_cell;
@@ -12,9 +15,11 @@ fn bench_cells(c: &mut Criterion) {
     let mut g = c.benchmark_group("future-cell");
     g.sample_size(20);
 
+    let rt = Runtime::new(1);
+
     g.bench_function("lockfree_write_then_touch_10k", |b| {
         b.iter(|| {
-            Runtime::new(1).run(move |wk| {
+            rt.run(move |wk| {
                 for i in 0..N {
                     let (w, r) = cell::<usize>();
                     w.fulfill(wk, i);
@@ -28,7 +33,7 @@ fn bench_cells(c: &mut Criterion) {
 
     g.bench_function("lockfree_touch_then_write_10k", |b| {
         b.iter(|| {
-            Runtime::new(1).run(move |wk| {
+            rt.run(move |wk| {
                 for i in 0..N {
                     let (w, r) = cell::<usize>();
                     r.touch(wk, |v, _| {
@@ -42,7 +47,7 @@ fn bench_cells(c: &mut Criterion) {
 
     g.bench_function("mutex_write_then_touch_10k", |b| {
         b.iter(|| {
-            Runtime::new(1).run(move |wk| {
+            rt.run(move |wk| {
                 for i in 0..N {
                     let (w, r) = mx_cell::<usize>();
                     w.fulfill(wk, i);
@@ -56,7 +61,7 @@ fn bench_cells(c: &mut Criterion) {
 
     g.bench_function("mutex_touch_then_write_10k", |b| {
         b.iter(|| {
-            Runtime::new(1).run(move |wk| {
+            rt.run(move |wk| {
                 for i in 0..N {
                     let (w, r) = mx_cell::<usize>();
                     r.touch(wk, |v, _| {
@@ -70,7 +75,7 @@ fn bench_cells(c: &mut Criterion) {
 
     g.bench_function("spawn_10k_empty_tasks", |b| {
         b.iter(|| {
-            Runtime::new(1).run(|wk| {
+            rt.run(|wk| {
                 for _ in 0..N {
                     wk.spawn(|_| {});
                 }

@@ -1,10 +1,12 @@
-//! Criterion benchmarks for the §4 scheduler replay: how fast the
-//! cycle-level machine simulator chews through a computation-DAG trace at
-//! various simulated processor counts and disciplines.
+//! Criterion benchmarks for the §4 scheduler replay (how fast the
+//! cycle-level machine simulator chews through a computation-DAG trace)
+//! and for the real runtime's session and spawn hot paths on a
+//! persistent pool.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pf_bench::exp_machine::capture_traces;
 use pf_machine::{replay, Discipline, INFINITE_P};
+use pf_rt::{Runtime, Worker};
 
 fn bench_replay(c: &mut Criterion) {
     let traces = capture_traces(10);
@@ -28,5 +30,49 @@ fn bench_replay(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_replay);
+/// Per-session overhead of the persistent pool: repeated `run` calls on
+/// one long-lived `Runtime` (the pattern every driver and server uses).
+fn bench_repeated_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime-session");
+    g.sample_size(20);
+    for threads in [1usize, 4] {
+        let rt = Runtime::new(threads);
+        rt.run(|_| {}); // warm the pool
+        g.bench_function(format!("repeated_run_noop_t{threads}"), |b| {
+            b.iter(|| rt.run(|_| {}));
+        });
+    }
+    g.finish();
+}
+
+fn spawn_tree(wk: &Worker, depth: usize) {
+    if depth > 0 {
+        wk.spawn2(
+            move |wk| spawn_tree(wk, depth - 1),
+            move |wk| spawn_tree(wk, depth - 1),
+        );
+    }
+}
+
+/// Spawn throughput on a warm pool: a binary fan-out of 2^15-1 empty
+/// tasks (the tree algorithms' two-child shape, via `spawn2`).
+fn bench_spawn_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime-spawn");
+    g.sample_size(20);
+    for threads in [1usize, 4] {
+        let rt = Runtime::new(threads);
+        rt.run(|_| {});
+        g.bench_function(format!("spawn_tree_32k_t{threads}"), |b| {
+            b.iter(|| rt.run(|wk| spawn_tree(wk, 14)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replay,
+    bench_repeated_run,
+    bench_spawn_throughput
+);
 criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! PR 1 evidence harness: scheduler-overhead microbenchmarks measured
+//! identically before and after the persistent-pool / allocation-diet
+//! rework, so the committed `BENCH_PR1.json` compares like with like.
+//!
+//! Usage: `bench_pr1 [label]` — writes `results/bench_pr1_<label>.json`
+//! (default label `current`) and prints the table. The committed
+//! `results/BENCH_PR1.json` merges a `before` run (seed scheduler design:
+//! per-run thread spawn/join, condvar 1 ms idle poll, boxed tasks) and an
+//! `after` run (persistent pool, spin→yield→park idle, inline small
+//! tasks) taken on the same machine.
+
+use std::time::{Duration, Instant};
+
+use pf_rt::{cell, Runtime, Worker};
+use pf_rt_algs::drivers::{best_of, time_merge_rt, time_union_rt};
+use pf_trees::workloads::union_entries;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn time(mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+/// Mean µs per `run` call on one long-lived runtime (the repeated-run
+/// session cost: the headline number for the persistent pool).
+fn repeated_run_us(threads: usize, reps: u32) -> f64 {
+    let rt = Runtime::new(threads);
+    // Warm-up: first run pays one-time costs on either implementation.
+    rt.run(|_| {});
+    let dt = time(|| {
+        for _ in 0..reps {
+            rt.run(|_| {});
+        }
+    });
+    dt.as_secs_f64() * 1e6 / reps as f64
+}
+
+/// Mean µs per run when a fresh `Runtime` is constructed per call (the
+/// seed's usage pattern in drivers/benches).
+fn fresh_runtime_run_us(threads: usize, reps: u32) -> f64 {
+    let dt = time(|| {
+        for _ in 0..reps {
+            Runtime::new(threads).run(|_| {});
+        }
+    });
+    dt.as_secs_f64() * 1e6 / reps as f64
+}
+
+fn spawn_tree(wk: &Worker, depth: usize) {
+    if depth > 0 {
+        wk.spawn(move |wk| spawn_tree(wk, depth - 1));
+        wk.spawn(move |wk| spawn_tree(wk, depth - 1));
+    }
+}
+
+/// Spawn throughput in million tasks/second: a binary fan-out tree of
+/// 2^(d+1)-1 empty tasks (the tree algorithms' two-child spawn shape).
+fn spawn_throughput_mops(threads: usize, depth: usize) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let tasks = (1u64 << (depth + 1)) - 1;
+    let dt = best_of(5, || time(|| rt.run(move |wk| spawn_tree(wk, depth))));
+    tasks as f64 / dt.as_secs_f64() / 1e6
+}
+
+/// Single-producer spawn burst (the `spawn_10k_empty_tasks` shape).
+fn spawn_burst_mops(threads: usize, n: usize) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let dt = best_of(5, || {
+        time(|| {
+            rt.run(move |wk| {
+                for _ in 0..n {
+                    wk.spawn(|_| {});
+                }
+            })
+        })
+    });
+    n as f64 / dt.as_secs_f64() / 1e6
+}
+
+/// µs per 10k fulfilled-then-touched cells on one worker.
+fn cell_write_then_touch_us(n: usize) -> f64 {
+    let rt = Runtime::new(1);
+    rt.run(|_| {});
+    let dt = best_of(5, || {
+        time(|| {
+            rt.run(move |wk| {
+                for i in 0..n {
+                    let (w, r) = cell::<usize>();
+                    w.fulfill(wk, i);
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                }
+            })
+        })
+    });
+    dt.as_secs_f64() * 1e6
+}
+
+/// µs per 10k touched-then-fulfilled cells (the suspension/WAITING path).
+fn cell_touch_then_write_us(n: usize) -> f64 {
+    let rt = Runtime::new(1);
+    rt.run(|_| {});
+    let dt = best_of(5, || {
+        time(|| {
+            rt.run(move |wk| {
+                for i in 0..n {
+                    let (w, r) = cell::<usize>();
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                    w.fulfill(wk, i);
+                }
+            })
+        })
+    });
+    dt.as_secs_f64() * 1e6
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, v: f64| {
+        println!("{name:<40} {v:>12.3}");
+        entries.push((name, v));
+    };
+
+    for t in THREADS {
+        push(
+            format!("repeated_run_noop_t{t}_us"),
+            repeated_run_us(t, 400),
+        );
+    }
+    for t in THREADS {
+        push(
+            format!("fresh_runtime_run_t{t}_us"),
+            fresh_runtime_run_us(t, 100),
+        );
+    }
+    for t in THREADS {
+        push(
+            format!("spawn_tree_throughput_t{t}_mops"),
+            spawn_throughput_mops(t, 17),
+        );
+    }
+    push("spawn_burst_t1_mops".into(), spawn_burst_mops(1, 100_000));
+    push(
+        "lockfree_write_then_touch_10k_us".into(),
+        cell_write_then_touch_us(10_000),
+    );
+    push(
+        "lockfree_touch_then_write_10k_us".into(),
+        cell_touch_then_write_us(10_000),
+    );
+
+    let (ea, eb) = union_entries(50_000, 50_000, 5);
+    for t in THREADS {
+        let dt = best_of(3, || time_union_rt(&ea, &eb, t));
+        push(format!("time_union_rt_50k_t{t}_ms"), dt.as_secs_f64() * 1e3);
+    }
+    let a: Vec<i64> = (0..50_000).map(|i| 2 * i).collect();
+    let b: Vec<i64> = (0..50_000).map(|i| 2 * i + 1).collect();
+    for t in THREADS {
+        let dt = best_of(3, || time_merge_rt(&a, &b, t));
+        push(format!("time_merge_rt_50k_t{t}_ms"), dt.as_secs_f64() * 1e3);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{label}\",\n"));
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{k}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = format!("results/bench_pr1_{label}.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!("\nwrote {path}");
+}

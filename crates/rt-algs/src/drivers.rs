@@ -1,6 +1,8 @@
 //! Wall-clock measurement drivers for the real-runtime experiments (E12):
 //! run one operation end to end — input construction excluded — and return
-//! the elapsed time.
+//! the elapsed time. Drivers run on the process-wide shared pool for the
+//! requested width ([`Runtime::shared`]), so a timing sweep reuses warm
+//! workers instead of paying thread creation inside every measurement.
 
 use std::time::{Duration, Instant};
 
@@ -15,7 +17,7 @@ use crate::rtree::{merge, RTree};
 pub fn time_union_rt(a: &[Entry<i64>], b: &[Entry<i64>], threads: usize) -> Duration {
     let ta = RTreap::from_entries(a);
     let tb = RTreap::from_entries(b);
-    let rt = Runtime::new(threads);
+    let rt = Runtime::shared(threads);
     let (op, of) = cell();
     let (fa, fb) = (ready(ta), ready(tb));
     let start = Instant::now();
@@ -40,7 +42,7 @@ pub fn time_union_seq(a: &[Entry<i64>], b: &[Entry<i64>]) -> Duration {
 pub fn time_merge_rt(a: &[i64], b: &[i64], threads: usize) -> Duration {
     let ta = RTree::from_sorted(a);
     let tb = RTree::from_sorted(b);
-    let rt = Runtime::new(threads);
+    let rt = Runtime::shared(threads);
     let (op, of) = cell();
     let (fa, fb) = (ready(ta), ready(tb));
     let start = Instant::now();
@@ -74,7 +76,7 @@ pub fn time_merge_seq(a: &[i64], b: &[i64]) -> Duration {
 pub fn time_insert_rt(initial: &[i64], newk: &[i64], threads: usize) -> Duration {
     use crate::rtwosix::{insert_many, RTsTree};
     let t = RTsTree::from_sorted(initial);
-    let rt = Runtime::new(threads);
+    let rt = Runtime::shared(threads);
     let ft = ready(t);
     let (op, of) = cell();
     let keys = newk.to_vec();
@@ -107,7 +109,7 @@ pub fn time_rebalance_rt(n: usize, threads: usize) -> Duration {
     for k in (0..n as i64).rev() {
         t = crate::rtree::RTree::node(k, ready(crate::rtree::RTree::Leaf), ready(t));
     }
-    let rt = Runtime::new(threads);
+    let rt = Runtime::shared(threads);
     let ft = ready(t);
     let (op, of) = cell();
     let start = Instant::now();

@@ -85,8 +85,10 @@ pub fn annotate_sizes<K: RKey>(wk: &Worker, t: FutRead<RTree<K>>, out: FutWrite<
             let (lp, lf) = cell();
             let (rp, rf) = cell();
             let (l, r) = (n.left.clone(), n.right.clone());
-            wk.spawn(move |wk| annotate_sizes(wk, l, lp));
-            wk.spawn(move |wk| annotate_sizes(wk, r, rp));
+            wk.spawn2(
+                move |wk| annotate_sizes(wk, l, lp),
+                move |wk| annotate_sizes(wk, r, rp),
+            );
             lf.touch(wk, move |lv, wk| {
                 rf.touch(wk, move |rv, wk| {
                     let left_size = lv.size();
@@ -125,8 +127,10 @@ pub fn assign_ranks<K: RKey>(wk: &Worker, t: RSized<K>, offset: usize, out: FutW
                 })),
             );
             let (l, r) = (n.left.clone(), n.right.clone());
-            wk.spawn(move |wk| assign_ranks(wk, l, offset, lp));
-            wk.spawn(move |wk| assign_ranks(wk, r, rank + 1, rp));
+            wk.spawn2(
+                move |wk| assign_ranks(wk, l, offset, lp),
+                move |wk| assign_ranks(wk, r, rank + 1, rp),
+            );
         }
     }
 }
@@ -202,8 +206,10 @@ pub fn rebuild<K: RKey>(
         wk.spawn(move |wk| split_rank(wk, mid, tv, lp, rp, kp));
         let (blp, blf) = cell();
         let (brp, brf) = cell();
-        wk.spawn(move |wk| rebuild(wk, lf, lo, mid, blp));
-        wk.spawn(move |wk| rebuild(wk, rf, mid + 1, hi, brp));
+        wk.spawn2(
+            move |wk| rebuild(wk, lf, lo, mid, blp),
+            move |wk| rebuild(wk, rf, mid + 1, hi, brp),
+        );
         kf.touch(wk, move |key, wk| {
             out.fulfill(wk, RTree::node(key, blf, brf));
         });

@@ -233,8 +233,10 @@ pub fn union<K: RKey>(
             out.fulfill(wk, RTreap::node(w.key.clone(), w.prio, ulf, urf));
             let wl = w.left.clone();
             let wr = w.right.clone();
-            wk.spawn(move |wk| union(wk, wl, lf, ulp));
-            wk.spawn(move |wk| union(wk, wr, rf, urp));
+            wk.spawn2(
+                move |wk| union(wk, wl, lf, ulp),
+                move |wk| union(wk, wr, rf, urp),
+            );
         });
     });
 }
@@ -268,8 +270,10 @@ pub fn diff<K: RKey>(
             let (drp, drf) = cell();
             let al = n1.left.clone();
             let ar = n1.right.clone();
-            wk.spawn(move |wk| diff(wk, al, lf, dlp));
-            wk.spawn(move |wk| diff(wk, ar, rf, drp));
+            wk.spawn2(
+                move |wk| diff(wk, al, lf, dlp),
+                move |wk| diff(wk, ar, rf, drp),
+            );
             ff.touch(wk, move |found, wk| {
                 if found {
                     dlf.touch(wk, move |lv, wk| {
@@ -312,8 +316,10 @@ pub fn intersect<K: RKey>(
             let (irp, irf) = cell();
             let al = n1.left.clone();
             let ar = n1.right.clone();
-            wk.spawn(move |wk| intersect(wk, al, lf, ilp));
-            wk.spawn(move |wk| intersect(wk, ar, rf, irp));
+            wk.spawn2(
+                move |wk| intersect(wk, al, lf, ilp),
+                move |wk| intersect(wk, ar, rf, irp),
+            );
             ff.touch(wk, move |found, wk| {
                 if found {
                     out.fulfill(wk, RTreap::node(n1.key.clone(), n1.prio, ilf, irf));

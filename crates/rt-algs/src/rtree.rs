@@ -146,8 +146,10 @@ pub fn merge<K: RKey>(
                 out.fulfill(wk, RTree::node(n.key.clone(), mlf, mrf));
                 let l = n.left.clone();
                 let r = n.right.clone();
-                wk.spawn(move |wk| merge(wk, l, lf2, mlp));
-                wk.spawn(move |wk| merge(wk, r, rf2, mrp));
+                wk.spawn2(
+                    move |wk| merge(wk, l, lf2, mlp),
+                    move |wk| merge(wk, r, rf2, mrp),
+                );
             }),
         }
     });

@@ -20,23 +20,38 @@
 //! The value itself stays in the cell (the waiter receives a clone), so
 //! finished data structures can be inspected after the run with
 //! [`FutRead::peek`] / [`FutRead::expect`].
+//!
+//! A suspended continuation is stored as **one** allocation: the box made
+//! at touch time already captures the cell (an `Arc`) and clones the
+//! value out when it runs, so the writer hands it to the scheduler as-is
+//! instead of re-boxing it with the value (the old double allocation on
+//! every suspension). The one cost of this shape: while a waiter sits in
+//! a cell, the cell keeps itself alive through the waiter's `Arc`. The
+//! cycle is broken whenever the waiter is taken out — every path of a run
+//! that reaches quiescence — but if a run *aborts on a panic* with a
+//! continuation still suspended, that cell and its waiter leak. That is
+//! an accepted cost: an aborted run's pending graph is unreachable
+//! garbage anyway, and the paper's model has no panics.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crate::scheduler::Worker;
+use crate::task::Task;
 
 const EMPTY: u8 = 0;
 const WAITING: u8 = 1;
 const FULL: u8 = 2;
 
-type Waiter<T> = Box<dyn FnOnce(T, &Worker) + Send>;
+/// A suspended continuation, pre-bound to its cell: calling it clones the
+/// (by then published) value out and runs the user's closure.
+type Waiter = Box<dyn FnOnce(&Worker) + Send>;
 
 struct Inner<T> {
     state: AtomicU8,
     value: UnsafeCell<Option<T>>,
-    waiter: UnsafeCell<Option<Waiter<T>>>,
+    waiter: UnsafeCell<Option<Waiter>>,
 }
 
 // SAFETY: access to the UnsafeCells is mediated by the state machine:
@@ -109,9 +124,14 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
                 // now FULL, so no one else touches the slot.
                 let waiter = unsafe { (*self.inner.waiter.get()).take() }
                     .expect("WAITING state without a waiter");
-                // SAFETY: we wrote the value above on this thread.
-                let v = unsafe { (*self.inner.value.get()).clone() }.expect("value vanished");
-                worker.enqueue_transferred(Box::new(move |wk| waiter(v, wk)));
+                // Waiter hand-off: the box allocated at touch time is
+                // enqueued as-is — no re-boxing, no value capture. The
+                // waiter reads the value from the cell when it runs; our
+                // value write above happens-before that read through the
+                // deque push/steal pair that delivers the task. Its
+                // liveness unit was added by `note_suspend`, so this is a
+                // transfer, not a spawn.
+                worker.enqueue_transferred(Task::from_boxed(waiter));
             }
             _ => unreachable!("future cell written twice"),
         }
@@ -145,9 +165,22 @@ impl<T: Clone + Send + 'static> FutRead<T> {
             }
             WAITING => panic!("non-linear program: second touch of a future cell"),
             _ => {
+                // Build the single-allocation waiter: it captures the
+                // cell and clones the value out when it eventually runs
+                // (by which point the cell is FULL — either published by
+                // the writer's swap before it took the waiter, or
+                // observed below on the failed CAS).
+                let inner = Arc::clone(&self.inner);
+                let waiter: Waiter = Box::new(move |wk: &Worker| {
+                    // SAFETY: this closure only runs after FULL is
+                    // established (see above); the value is never removed.
+                    let v =
+                        unsafe { (*inner.value.get()).clone() }.expect("FULL cell without value");
+                    cont(v, wk);
+                });
                 // SAFETY: slot owned by the (sole) toucher until the CAS
                 // below publishes it.
-                unsafe { *self.inner.waiter.get() = Some(Box::new(cont)) };
+                unsafe { *self.inner.waiter.get() = Some(waiter) };
                 worker.note_suspend();
                 match self.inner.state.compare_exchange(
                     EMPTY,
@@ -158,15 +191,14 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                     Ok(_) => {} // suspended; the writer will reactivate us
                     Err(FULL) => {
                         // The write raced us: reclaim the continuation and
-                        // run it now.
+                        // run it now (the failed CAS's acquire load makes
+                        // the value visible to the waiter's clone).
                         worker.unnote_suspend();
                         // SAFETY: state is FULL; the writer saw EMPTY and
                         // never reads the waiter slot; we own it.
-                        let cont =
+                        let waiter =
                             unsafe { (*self.inner.waiter.get()).take() }.expect("waiter vanished");
-                        let v = unsafe { (*self.inner.value.get()).clone() }
-                            .expect("FULL cell without value");
-                        worker.run_inline_or_spawn(v, cont);
+                        worker.run_boxed_inline_or_spawn(waiter);
                     }
                     Err(WAITING) => {
                         panic!("non-linear program: concurrent second touch")

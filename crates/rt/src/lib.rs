@@ -12,11 +12,16 @@
 //!   `EMPTY → {WAITING → } FULL`, resolved with one atomic swap/CAS pair
 //!   (implemented per *Rust Atomics and Locks*; a `Mutex`-based variant is
 //!   kept as the ablation baseline, [`mutex_cell`]);
-//! * a **work-stealing scheduler** ([`scheduler`]): per-worker LIFO deques
-//!   (the stack discipline the paper recommends for space) with stealing
-//!   and a global injector, plus quiescence detection via a live-closure
+//! * a **work-stealing scheduler** ([`scheduler`]) on a **persistent
+//!   worker pool** ([`pool`]): per-worker LIFO deques (the stack
+//!   discipline the paper recommends for space) with stealing and a
+//!   global injector, plus quiescence detection via a live-closure
 //!   counter — the run ends when every spawned or suspended continuation
-//!   has executed.
+//!   has executed. Workers are spawned once per [`Runtime`] and parked
+//!   between runs (spin → yield → park), so a `run` call costs one
+//!   injector push and a wakeup, not a round of thread creation. Small
+//!   spawned closures are stored inline in the [`task::Task`] payload and
+//!   never touch the allocator.
 //!
 //! Algorithms are written in continuation-passing style: each paper-level
 //! *touch* becomes one [`FutRead::touch`] with the rest of the function as
@@ -42,8 +47,11 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod deque;
 pub mod mutex_cell;
+pub mod pool;
 pub mod scheduler;
+pub mod task;
 
 pub use cell::{cell, ready, FutRead, FutWrite};
 pub use scheduler::{RunStats, Runtime, Worker};

@@ -7,14 +7,18 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::scheduler::Worker;
+use crate::task::Task;
 
-type Waiter<T> = Box<dyn FnOnce(T, &Worker) + Send>;
+/// A suspended continuation, pre-bound to its cell: it locks the cell and
+/// clones the value out when it runs (one allocation per suspension, same
+/// hand-off shape as the lock-free cell).
+type Waiter = Box<dyn FnOnce(&Worker) + Send>;
 
 enum State<T> {
-    Empty(Vec<Waiter<T>>),
+    Empty(Vec<Waiter>),
     Full(T),
 }
 
@@ -57,15 +61,18 @@ impl<T: Clone + Send + 'static> MxWrite<T> {
     /// Write the value and reactivate every suspended continuation.
     pub fn fulfill(self, worker: &Worker, value: T) {
         let waiters = {
-            let mut g = self.inner.state.lock();
-            match std::mem::replace(&mut *g, State::Full(value.clone())) {
+            let mut g = self.inner.state.lock().unwrap();
+            match std::mem::replace(&mut *g, State::Full(value)) {
                 State::Empty(ws) => ws,
                 State::Full(_) => unreachable!("mutex cell written twice"),
             }
         };
+        // Waiter hand-off: each box was allocated at touch time and is
+        // enqueued as-is (no re-boxing, no per-waiter clone here — the
+        // waiter clones the value out of the cell when it runs). Each
+        // waiter's liveness unit was added by `note_suspend`.
         for w in waiters {
-            let v = value.clone();
-            worker.enqueue_transferred(Box::new(move |wk| w(v, wk)));
+            worker.enqueue_transferred(Task::from_boxed(w));
         }
     }
 }
@@ -74,12 +81,19 @@ impl<T: Clone + Send + 'static> MxRead<T> {
     /// Touch: run `cont` with the value now or when it arrives.
     pub fn touch(&self, worker: &Worker, cont: impl FnOnce(T, &Worker) + Send + 'static) {
         let immediate = {
-            let mut g = self.inner.state.lock();
+            let mut g = self.inner.state.lock().unwrap();
             match &mut *g {
                 State::Full(v) => Some(v.clone()),
                 State::Empty(ws) => {
                     worker.note_suspend();
-                    ws.push(Box::new(cont));
+                    let inner = Arc::clone(&self.inner);
+                    ws.push(Box::new(move |wk: &Worker| {
+                        let v = match &*inner.state.lock().unwrap() {
+                            State::Full(v) => v.clone(),
+                            State::Empty(_) => unreachable!("waiter ran before write"),
+                        };
+                        cont(v, wk);
+                    }));
                     return;
                 }
             }
@@ -91,7 +105,7 @@ impl<T: Clone + Send + 'static> MxRead<T> {
 
     /// Clone the value out if written (post-run inspection).
     pub fn peek(&self) -> Option<T> {
-        match &*self.inner.state.lock() {
+        match &*self.inner.state.lock().unwrap() {
             State::Full(v) => Some(v.clone()),
             State::Empty(_) => None,
         }

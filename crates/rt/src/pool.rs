@@ -1,0 +1,500 @@
+//! Persistent worker pool with exact quiescence detection.
+//!
+//! [`Runtime::new`] spawns its workers **once**; every [`Runtime::run`]
+//! call is a *session* on the same pool, so the per-run cost is one
+//! injector push plus one wakeup instead of N thread creations and joins.
+//! Workers never exit between sessions — they park and are reused.
+//!
+//! # Session protocol
+//!
+//! `run_stats` (serialized by a session mutex, so a `Runtime` may be
+//! shared freely):
+//!
+//! 1. reset the per-worker statistics (safe: the pool is quiescent — no
+//!    task exists between sessions, and workers only write stats while
+//!    running one);
+//! 2. set `live = 1` (the root's unit), clear `done`, push the root task
+//!    into the injector, and wake one sleeper;
+//! 3. block on the `done` condvar until a worker brings `live` to zero
+//!    (or an abort begins — see below).
+//!
+//! The `live` counter is the paper's quiescence argument made explicit:
+//! it counts closures that are queued, running, or suspended in a future
+//! cell. Spawning and suspending increment it; finishing a task
+//! decrements it; a write that reactivates a waiter *transfers* the
+//! suspended unit to the queue without touching the counter. The run is
+//! over exactly when `live == 0`, and the worker whose decrement reaches
+//! zero signals the client. Nothing here needs a timeout.
+//!
+//! # Idle strategy: spin → yield → park, with no timeout backstop
+//!
+//! An idle worker spins briefly (new work usually arrives within a few
+//! hundred cycles during a parallel phase), then yields, then publishes
+//! its index in the `sleepers` bitmask and parks on its own thread token.
+//! The predecessor of this design polled a condvar with a 1 ms timeout —
+//! the timeout existed because its wakeup path could miss a sleeper. Here
+//! the classic lost-wakeup race (store-buffer/Dekker shape) is closed
+//! exactly, so parking is indefinite:
+//!
+//! * the **sleeper** sets its bit with a `SeqCst` RMW, *then* re-checks
+//!   every queue, and only parks if all are empty;
+//! * the **producer** pushes its task, *then* executes a `SeqCst` fence,
+//!   *then* reads the bitmask, and unparks a claimed sleeper.
+//!
+//! In any interleaving consistent with the single total order on these
+//! `SeqCst` operations, either the producer's mask read observes the
+//! sleeper's bit (so the sleeper is unparked — `park` consumes the token
+//! even if the unpark arrives first), or the sleeper's queue re-check
+//! observes the push (so it does not park). A missed wakeup would require
+//! both sides to read state older than the other's write, which the fence
+//! pair forbids. Waking is therefore a performance hint everywhere else
+//! but a guarantee where it matters.
+//!
+//! # Panic protocol
+//!
+//! Workers are persistent, so a panicking task must not kill its thread,
+//! and the old trick of forcing `live = 0` is unsound here (a concurrent
+//! `fetch_sub` would underflow the counter for the *next* session).
+//! Instead:
+//!
+//! 1. the panicking worker stores the payload (first panic wins), raises
+//!    `aborting`, and wakes everyone — including the client;
+//! 2. each worker finishes its current task normally, then enters an
+//!    *abort rendezvous*: it increments `abort_idle` and parks until
+//!    `aborting` clears, touching no queue;
+//! 3. once `abort_idle` equals the pool size, every worker is provably
+//!    idle, so the client single-threadedly drains and drops all queued
+//!    tasks, clears `aborting`, wakes the workers back into their normal
+//!    loop, and re-throws the payload.
+//!
+//! Continuations still suspended inside future cells when a run aborts
+//! are dropped with the cells that hold them (see `cell.rs` for the one
+//! caveat).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::resume_unwind;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::{JoinHandle, Thread};
+
+use crate::deque::{deque, Injector, Steal, Stealer};
+use crate::scheduler::Worker;
+use crate::task::Task;
+
+/// Maximum pool size (sleeper state is one `u64` bitmask).
+pub const MAX_WORKERS: usize = 64;
+
+/// Idle rounds spent spinning before yielding. Each idle round is a full
+/// `find_task` sweep (it polls every sibling's deque), so a few rounds
+/// suffice; long spins just hammer the busy workers' cache lines.
+const SPIN_ROUNDS: u32 = 4;
+/// Idle rounds spent yielding before parking.
+const YIELD_ROUNDS: u32 = 2;
+
+/// Worker thread stack size. Deep recursive structures (future-tailed
+/// lists, tall trees) drop with one native frame per element when their
+/// last reference dies on a worker; a large lazily-committed reservation
+/// makes that a non-issue for any realistic input.
+const WORKER_STACK: usize = 256 << 20;
+
+thread_local! {
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Per-worker statistics, padded to a cache line so the owner's updates
+/// (plain load+store: no other thread writes while a session is live)
+/// never contend with a sibling's.
+#[repr(align(128))]
+#[derive(Default)]
+pub(crate) struct WorkerStats {
+    tasks_executed: AtomicU64,
+    spawns: AtomicU64,
+    suspensions: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// Owner-only increment: cheaper than an atomic RMW, and exact because
+/// each counter is written by a single thread at any time.
+#[inline]
+fn bump(c: &AtomicU64, delta: u64) {
+    c.store(
+        c.load(Ordering::Relaxed).wrapping_add(delta),
+        Ordering::Relaxed,
+    );
+}
+
+impl WorkerStats {
+    #[inline]
+    pub(crate) fn add_tasks(&self, k: u64) {
+        bump(&self.tasks_executed, k);
+    }
+    #[inline]
+    pub(crate) fn add_spawns(&self, k: u64) {
+        bump(&self.spawns, k);
+    }
+    #[inline]
+    pub(crate) fn add_suspensions(&self, k: u64) {
+        bump(&self.suspensions, k);
+    }
+    #[inline]
+    pub(crate) fn sub_suspensions(&self, k: u64) {
+        bump(&self.suspensions, k.wrapping_neg());
+    }
+    #[inline]
+    pub(crate) fn add_steals(&self, k: u64) {
+        bump(&self.steals, k);
+    }
+    fn reset(&self) {
+        self.tasks_executed.store(0, Ordering::Relaxed);
+        self.spawns.store(0, Ordering::Relaxed);
+        self.suspensions.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Execution statistics of one [`Runtime::run_stats`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Closures executed (root + spawned tasks + reactivated waiters).
+    pub tasks_executed: u64,
+    /// [`Worker::spawn`] calls (a `spawn2` counts twice).
+    pub spawns: u64,
+    /// Touches that found their cell unwritten and parked in it.
+    pub suspensions: u64,
+    /// Tasks obtained by stealing from a sibling worker.
+    pub steals: u64,
+}
+
+/// State shared by the client and every worker of one pool.
+pub(crate) struct Shared {
+    pub(crate) injector: Injector<Task>,
+    pub(crate) stealers: Vec<Stealer<Task>>,
+    pub(crate) live: AtomicUsize,
+    pub(crate) stats: Vec<WorkerStats>,
+    /// Bit *i* set ⇔ worker *i* is parked (or committing to park).
+    sleepers: AtomicU64,
+    /// Unpark handles, indexed like `stealers`; set once at pool start.
+    threads: OnceLock<Vec<Thread>>,
+    /// A task panicked; workers rendezvous instead of running tasks.
+    aborting: AtomicBool,
+    /// Pool teardown: workers exit their loop.
+    shutdown: AtomicBool,
+    /// Number of workers currently parked in the abort rendezvous.
+    abort_idle: AtomicUsize,
+    /// First panic payload of the aborting session.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Session-over flag + condvar the client blocks on.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// Ignore mutex poisoning: every guarded invariant here is re-established
+/// explicitly by the session/abort protocol, not by the guard scope.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    /// Wake up to `budget` parked workers. Must be called **after** the
+    /// corresponding queue push: the fence orders the push before the
+    /// mask read (the producer half of the lost-wakeup argument above).
+    pub(crate) fn notify(&self, mut budget: usize) {
+        fence(Ordering::SeqCst);
+        while budget > 0 {
+            let mask = self.sleepers.load(Ordering::Relaxed);
+            if mask == 0 {
+                return;
+            }
+            let bit = mask & mask.wrapping_neg();
+            // Claim the sleeper so concurrent producers wake distinct
+            // workers; the loser of the race retries on the next bit.
+            if self.sleepers.fetch_and(!bit, Ordering::SeqCst) & bit != 0 {
+                if let Some(threads) = self.threads.get() {
+                    threads[bit.trailing_zeros() as usize].unpark();
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    fn unpark_all(&self) {
+        if let Some(threads) = self.threads.get() {
+            for t in threads {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Retire one task's liveness unit; the final unit ends the session.
+    pub(crate) fn task_done(&self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            *lock(&self.done) = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// A task panicked: record the payload and start the abort protocol.
+    fn begin_abort(&self, payload: Box<dyn Any + Send>) {
+        {
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.aborting.store(true, Ordering::SeqCst);
+        // Wake parked workers into the rendezvous and the client out of
+        // its condvar wait (it re-checks `aborting`).
+        self.unpark_all();
+        let _g = lock(&self.done);
+        self.done_cv.notify_all();
+    }
+
+    /// Worker side of the abort protocol: report idle, then hold still
+    /// (touching no queue) until the client finishes cleaning up.
+    fn abort_rendezvous(&self) {
+        self.abort_idle.fetch_add(1, Ordering::SeqCst);
+        while self.aborting.load(Ordering::SeqCst) && !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::park();
+        }
+        self.abort_idle.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(wk: &Worker) {
+    let shared = wk.shared();
+    let bit = 1u64 << wk.index();
+    let mut idle: u32 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if shared.aborting.load(Ordering::Acquire) {
+            shared.abort_rendezvous();
+            idle = 0;
+            continue;
+        }
+        if let Some(task) = wk.find_task() {
+            idle = 0;
+            wk.stats().add_tasks(1);
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run(wk))) {
+                Ok(()) => shared.task_done(),
+                Err(payload) => shared.begin_abort(payload),
+            }
+            continue;
+        }
+        idle += 1;
+        if idle <= SPIN_ROUNDS {
+            std::hint::spin_loop();
+        } else if idle <= SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            // Publish intent to sleep, then re-check: the sleeper half of
+            // the lost-wakeup argument (module docs).
+            shared.sleepers.fetch_or(bit, Ordering::SeqCst);
+            if wk.work_available()
+                || shared.shutdown.load(Ordering::SeqCst)
+                || shared.aborting.load(Ordering::SeqCst)
+            {
+                shared.sleepers.fetch_and(!bit, Ordering::SeqCst);
+                idle = 0;
+                continue;
+            }
+            std::thread::park();
+            // A claiming producer already cleared our bit; clearing again
+            // is harmless and also covers spurious unparks.
+            shared.sleepers.fetch_and(!bit, Ordering::SeqCst);
+            idle = 0;
+        }
+    }
+}
+
+/// A futures runtime with a fixed pool of persistent worker threads.
+///
+/// Workers are spawned by [`Runtime::new`] and live until the `Runtime`
+/// is dropped; each [`Runtime::run`] call executes one computation to
+/// quiescence on the same pool. Results written into future cells can be
+/// inspected as soon as `run` returns. Concurrent `run` calls on one
+/// runtime are serialized.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    /// Serializes sessions; a pool runs one computation at a time.
+    session: Mutex<()>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    nthreads: usize,
+}
+
+impl Runtime {
+    /// A runtime with `nthreads` persistent workers
+    /// (`1 ..= `[`MAX_WORKERS`]).
+    pub fn new(nthreads: usize) -> Self {
+        assert!(
+            (1..=MAX_WORKERS).contains(&nthreads),
+            "nthreads must be in 1..={MAX_WORKERS}, got {nthreads}"
+        );
+        let locals: Vec<_> = (0..nthreads).map(|_| deque()).collect();
+        let stealers = locals.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            live: AtomicUsize::new(0),
+            stats: (0..nthreads).map(|_| WorkerStats::default()).collect(),
+            sleepers: AtomicU64::new(0),
+            threads: OnceLock::new(),
+            aborting: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            abort_idle: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let handles: Vec<JoinHandle<()>> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pf-rt-worker-{i}"))
+                    .stack_size(WORKER_STACK)
+                    .spawn(move || {
+                        IN_WORKER.with(|f| f.set(true));
+                        let worker = Worker::new(shared, local, i);
+                        worker_loop(&worker);
+                    })
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        shared
+            .threads
+            .set(handles.iter().map(|h| h.thread().clone()).collect())
+            .expect("threads set twice");
+        Runtime {
+            shared,
+            session: Mutex::new(()),
+            handles: Mutex::new(handles),
+            nthreads,
+        }
+    }
+
+    /// The process-wide default runtime, sized to the available
+    /// parallelism. Its workers are spawned on first use and never torn
+    /// down.
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_WORKERS);
+            Runtime::new(n)
+        })
+    }
+
+    /// A process-wide shared runtime with exactly `nthreads` workers,
+    /// created on first request and reused thereafter. This is what
+    /// benchmark drivers sweeping thread counts should use: repeated
+    /// timings at the same width hit a warm pool instead of paying
+    /// thread creation per measurement.
+    pub fn shared(nthreads: usize) -> Arc<Runtime> {
+        static POOLS: OnceLock<Mutex<HashMap<usize, Arc<Runtime>>>> = OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = lock(pools);
+        Arc::clone(
+            map.entry(nthreads)
+                .or_insert_with(|| Arc::new(Runtime::new(nthreads))),
+        )
+    }
+
+    /// Number of worker threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Execute `root` and every task it transitively spawns; returns when
+    /// the computation is quiescent (every closure has run). Panics in
+    /// tasks propagate.
+    pub fn run(&self, root: impl FnOnce(&Worker) + Send + 'static) {
+        let _ = self.run_stats(root);
+    }
+
+    /// [`Runtime::run`], returning execution statistics for this call
+    /// only (counters reset at session start).
+    pub fn run_stats(&self, root: impl FnOnce(&Worker) + Send + 'static) -> RunStats {
+        assert!(
+            !IN_WORKER.with(|f| f.get()),
+            "Runtime::run called from inside a worker task (would deadlock)"
+        );
+        let _session = lock(&self.session);
+        let shared = &*self.shared;
+
+        // Quiescent between sessions: nothing is running, so plain resets
+        // are race-free; the injector push below publishes them.
+        for s in &shared.stats {
+            s.reset();
+        }
+        *lock(&shared.done) = false;
+        shared.live.store(1, Ordering::Relaxed);
+        shared.injector.push(Task::new(root));
+        shared.notify(1);
+
+        {
+            let mut done = lock(&shared.done);
+            while !*done && !shared.aborting.load(Ordering::SeqCst) {
+                done = shared.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        if shared.aborting.load(Ordering::SeqCst) {
+            self.finish_abort();
+            let payload = lock(&shared.panic).take().expect("abort without payload");
+            resume_unwind(payload);
+        }
+
+        debug_assert_eq!(shared.live.load(Ordering::SeqCst), 0);
+        let mut out = RunStats::default();
+        for s in &shared.stats {
+            out.tasks_executed += s.tasks_executed.load(Ordering::Relaxed);
+            out.spawns += s.spawns.load(Ordering::Relaxed);
+            out.suspensions += s.suspensions.load(Ordering::Relaxed);
+            out.steals += s.steals.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Client side of the abort protocol (module docs, step 3).
+    fn finish_abort(&self) {
+        let shared = &*self.shared;
+        // Wait until all workers sit in the rendezvous: any worker still
+        // running a task is not counted, so reaching `nthreads` proves
+        // no queue or counter is being touched.
+        while shared.abort_idle.load(Ordering::SeqCst) != self.nthreads {
+            std::thread::yield_now();
+        }
+        // Sole owner of every queue now: drop the unstarted tasks.
+        while shared.injector.pop().is_some() {}
+        for s in &shared.stealers {
+            loop {
+                match s.steal() {
+                    Steal::Success(task) => {
+                        // A destructor panic must not wedge the cleanup.
+                        let _ =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => break,
+                }
+            }
+        }
+        shared.aborting.store(false, Ordering::SeqCst);
+        shared.unpark_all();
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.unpark_all();
+        for h in lock(&self.handles).drain(..) {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,122 +1,127 @@
-//! The work-stealing scheduler: per-worker LIFO deques (the paper's stack
-//! discipline), a global injector, condvar-based parking, and quiescence
-//! detection through a live-closure counter.
+//! The per-worker execution context of the work-stealing scheduler:
+//! per-worker LIFO deques (the paper's stack discipline), a global
+//! injector, and the liveness accounting that drives quiescence
+//! detection. The pool that hosts workers — thread lifecycle, parking,
+//! session and panic protocols — lives in [`crate::pool`].
 //!
 //! Liveness accounting (the invariant behind termination detection): the
 //! counter holds the number of closures that are queued, running, or
 //! suspended in a future cell. It is incremented by [`Worker::spawn`] and
-//! by a touch that suspends (`note_suspend`), and decremented
-//! when a task finishes. A write that reactivates a waiter transfers the
-//! suspended unit to the queue without changing the count
-//! (`enqueue_transferred`). When the counter reaches zero the
-//! computation is quiescent and [`Runtime::run`] returns.
+//! by a touch that suspends (`note_suspend`), and decremented when a task
+//! finishes. A write that reactivates a waiter transfers the suspended
+//! unit to the queue without changing the count (`enqueue_transferred`).
+//! When the counter reaches zero the computation is quiescent and
+//! [`Runtime::run`] returns.
 
 use std::cell::Cell;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Duration;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-use crossbeam_deque::{Injector, Stealer, Worker as Deque};
-use parking_lot::{Condvar, Mutex};
+use crate::deque::{LocalQueue, Steal};
+use crate::pool::{Shared, WorkerStats};
+use crate::task::Task;
 
-/// A unit of work: a boxed continuation.
-pub type Task = Box<dyn FnOnce(&Worker) + Send>;
+pub use crate::pool::{RunStats, Runtime};
 
 /// Maximum depth of inline continuation execution before a ready touch is
 /// deferred to the queue instead — bounds native stack growth on long
 /// ready chains (e.g. list pipelines whose producer runs ahead).
 const MAX_INLINE_DEPTH: usize = 128;
 
-/// Worker thread stack size. Deep recursive structures (future-tailed
-/// lists, tall trees) drop with one native frame per element when their
-/// last reference dies on a worker; a large lazily-committed reservation
-/// makes that a non-issue for any realistic input.
-const WORKER_STACK: usize = 256 << 20;
-
-struct Shared {
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
-    live: AtomicUsize,
-    sleepers: AtomicUsize,
-    sleep_lock: Mutex<()>,
-    wake: Condvar,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    tasks_executed: AtomicU64,
-    spawns: AtomicU64,
-    suspensions: AtomicU64,
-    steals: AtomicU64,
-}
-
-/// Execution statistics of one [`Runtime::run_stats`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RunStats {
-    /// Closures executed (root + spawned tasks + reactivated waiters).
-    pub tasks_executed: u64,
-    /// [`Worker::spawn`] calls.
-    pub spawns: u64,
-    /// Touches that found their cell unwritten and parked in it.
-    pub suspensions: u64,
-    /// Tasks obtained by stealing from a sibling worker.
-    pub steals: u64,
-}
-
-impl Shared {
-    fn notify_one(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _g = self.sleep_lock.lock();
-            self.wake.notify_one();
-        }
-    }
-
-    fn notify_all(&self) {
-        let _g = self.sleep_lock.lock();
-        self.wake.notify_all();
-    }
-
-    fn task_done(&self) {
-        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.notify_all();
-        }
-    }
-}
-
 /// The per-thread execution context handed to every task.
-pub struct Worker<'a> {
-    shared: &'a Shared,
-    local: Deque<Task>,
+pub struct Worker {
+    shared: Arc<Shared>,
+    local: LocalQueue<Task>,
     index: usize,
     inline_depth: Cell<usize>,
     steal_seed: Cell<u64>,
 }
 
-impl<'a> Worker<'a> {
+impl Worker {
+    pub(crate) fn new(shared: Arc<Shared>, local: LocalQueue<Task>, index: usize) -> Worker {
+        Worker {
+            shared,
+            local,
+            index,
+            inline_depth: Cell::new(0),
+            steal_seed: Cell::new(0x9E3779B97F4A7C15 ^ (index as u64) << 7),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    #[inline]
+    pub(crate) fn stats(&self) -> &WorkerStats {
+        &self.shared.stats[self.index]
+    }
+
+    /// Skip the wakeup fence when this is the pool's only worker: no
+    /// sibling exists to wake, and the client never sleeps on the work
+    /// queues (only on the session-done condvar).
+    #[inline]
+    fn notify_push(&self, n: usize) {
+        if self.shared.stealers.len() > 1 {
+            self.shared.notify(n);
+        }
+    }
+
     /// Spawn `f` as a new task (a future fork). The paper charges this
-    /// constant time: one allocation plus one deque push.
+    /// constant time: one deque push, with an allocation only when the
+    /// closure exceeds the inline [`Task`] payload.
     pub fn spawn(&self, f: impl FnOnce(&Worker) + Send + 'static) {
-        self.shared.live.fetch_add(1, Ordering::AcqRel);
-        self.shared.spawns.fetch_add(1, Ordering::Relaxed);
-        self.local.push(Box::new(f));
-        self.shared.notify_one();
+        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        self.stats().add_spawns(1);
+        self.local.push(Task::new(f));
+        self.notify_push(1);
+    }
+
+    /// Spawn two tasks with one round of liveness/stat accounting — the
+    /// two-child fan-out every tree algorithm performs at each internal
+    /// node. Equivalent to two [`Worker::spawn`] calls ( `g` is pushed
+    /// last, so a LIFO owner pops it first) but with a single
+    /// `fetch_add(2)` on the shared live counter.
+    pub fn spawn2(
+        &self,
+        f: impl FnOnce(&Worker) + Send + 'static,
+        g: impl FnOnce(&Worker) + Send + 'static,
+    ) {
+        self.shared.live.fetch_add(2, Ordering::Relaxed);
+        self.stats().add_spawns(2);
+        self.local.push(Task::new(f));
+        self.local.push(Task::new(g));
+        self.notify_push(2);
+    }
+
+    /// Spawn an already-boxed continuation without re-boxing it.
+    pub(crate) fn spawn_boxed(&self, f: Box<dyn FnOnce(&Worker) + Send>) {
+        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        self.stats().add_spawns(1);
+        self.local.push(Task::from_boxed(f));
+        self.notify_push(1);
     }
 
     /// Enqueue a task whose liveness unit already exists (a reactivated
     /// waiter — its unit was added by [`Worker::note_suspend`]).
     pub(crate) fn enqueue_transferred(&self, t: Task) {
         self.local.push(t);
-        self.shared.notify_one();
+        self.notify_push(1);
     }
 
     /// Account a continuation that is being suspended into a future cell.
     pub(crate) fn note_suspend(&self) {
-        self.shared.live.fetch_add(1, Ordering::AcqRel);
-        self.shared.suspensions.fetch_add(1, Ordering::Relaxed);
+        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        self.stats().add_suspensions(1);
     }
 
     /// Undo [`Worker::note_suspend`] when the suspension raced a write and
-    /// the continuation runs immediately after all.
+    /// the continuation runs immediately after all. Cannot drive `live`
+    /// to zero: the currently-running closure still holds its own unit.
     pub(crate) fn unnote_suspend(&self) {
-        self.shared.live.fetch_sub(1, Ordering::AcqRel);
-        self.shared.suspensions.fetch_sub(1, Ordering::Relaxed);
+        self.shared.live.fetch_sub(1, Ordering::Relaxed);
+        self.stats().sub_suspensions(1);
     }
 
     /// Run a ready continuation inline (bounded depth), or spawn it when
@@ -136,22 +141,31 @@ impl<'a> Worker<'a> {
         }
     }
 
+    /// [`Worker::run_inline_or_spawn`] for an already-boxed continuation
+    /// (a waiter reclaimed after its suspension raced the write).
+    pub(crate) fn run_boxed_inline_or_spawn(&self, cont: Box<dyn FnOnce(&Worker) + Send>) {
+        let d = self.inline_depth.get();
+        if d < MAX_INLINE_DEPTH {
+            self.inline_depth.set(d + 1);
+            cont(self);
+            self.inline_depth.set(d);
+        } else {
+            self.spawn_boxed(cont);
+        }
+    }
+
     /// This worker's index (0-based).
     pub fn index(&self) -> usize {
         self.index
     }
 
-    fn find_task(&self) -> Option<Task> {
+    pub(crate) fn find_task(&self) -> Option<Task> {
         if let Some(t) = self.local.pop() {
             return Some(t);
         }
         // Injector, then siblings, starting from a pseudo-random victim.
-        loop {
-            match self.shared.injector.steal_batch_and_pop(&self.local) {
-                crossbeam_deque::Steal::Success(t) => return Some(t),
-                crossbeam_deque::Steal::Retry => continue,
-                crossbeam_deque::Steal::Empty => break,
-            }
+        if let Some(t) = self.shared.injector.pop() {
+            return Some(t);
         }
         let n = self.shared.stealers.len();
         let mut seed = self.steal_seed.get();
@@ -167,19 +181,19 @@ impl<'a> Worker<'a> {
             }
             loop {
                 match self.shared.stealers[v].steal() {
-                    crossbeam_deque::Steal::Success(t) => {
-                        self.shared.steals.fetch_add(1, Ordering::Relaxed);
+                    Steal::Success(t) => {
+                        self.stats().add_steals(1);
                         return Some(t);
                     }
-                    crossbeam_deque::Steal::Retry => continue,
-                    crossbeam_deque::Steal::Empty => break,
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
                 }
             }
         }
         None
     }
 
-    fn work_available(&self) -> bool {
+    pub(crate) fn work_available(&self) -> bool {
         !self.local.is_empty()
             || !self.shared.injector.is_empty()
             || self
@@ -189,115 +203,6 @@ impl<'a> Worker<'a> {
                 .enumerate()
                 .any(|(i, s)| i != self.index && !s.is_empty())
     }
-
-    fn run_loop(&self) {
-        loop {
-            if let Some(task) = self.find_task() {
-                self.shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
-                let r = catch_unwind(AssertUnwindSafe(|| task(self)));
-                if let Err(payload) = r {
-                    // Record the panic and force quiescence so every worker
-                    // exits; the payload is re-thrown by Runtime::run.
-                    *self.shared.panic.lock() = Some(payload);
-                    self.shared.live.store(0, Ordering::SeqCst);
-                    self.shared.notify_all();
-                    return;
-                }
-                self.shared.task_done();
-                continue;
-            }
-            if self.shared.live.load(Ordering::Acquire) == 0 {
-                return;
-            }
-            // Park (with a timeout backstop against lost wakeups).
-            self.shared.sleepers.fetch_add(1, Ordering::SeqCst);
-            if self.work_available() || self.shared.live.load(Ordering::SeqCst) == 0 {
-                self.shared.sleepers.fetch_sub(1, Ordering::SeqCst);
-                continue;
-            }
-            {
-                let mut g = self.shared.sleep_lock.lock();
-                self.shared.wake.wait_for(&mut g, Duration::from_millis(1));
-            }
-            self.shared.sleepers.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-}
-
-/// A futures runtime with a fixed number of worker threads. Threads are
-/// created per [`Runtime::run`] call (scoped), so results written into
-/// cells can be inspected as soon as `run` returns.
-pub struct Runtime {
-    nthreads: usize,
-}
-
-impl Runtime {
-    /// A runtime with `nthreads` workers (≥ 1).
-    pub fn new(nthreads: usize) -> Self {
-        assert!(nthreads >= 1);
-        Runtime { nthreads }
-    }
-
-    /// Number of worker threads.
-    pub fn nthreads(&self) -> usize {
-        self.nthreads
-    }
-
-    /// Execute `root` and every task it transitively spawns; returns when
-    /// the computation is quiescent (every closure has run). Panics in
-    /// tasks propagate.
-    pub fn run(&self, root: impl FnOnce(&Worker) + Send + 'static) {
-        let _ = self.run_stats(root);
-    }
-
-    /// [`Runtime::run`], returning execution statistics.
-    pub fn run_stats(&self, root: impl FnOnce(&Worker) + Send + 'static) -> RunStats {
-        let deques: Vec<Deque<Task>> = (0..self.nthreads).map(|_| Deque::new_lifo()).collect();
-        let stealers = deques.iter().map(|d| d.stealer()).collect();
-        let shared = Shared {
-            injector: Injector::new(),
-            stealers,
-            live: AtomicUsize::new(1),
-            sleepers: AtomicUsize::new(0),
-            sleep_lock: Mutex::new(()),
-            wake: Condvar::new(),
-            panic: Mutex::new(None),
-            tasks_executed: AtomicU64::new(0),
-            spawns: AtomicU64::new(0),
-            suspensions: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-        };
-        shared.injector.push(Box::new(root));
-        std::thread::scope(|scope| {
-            for (i, local) in deques.into_iter().enumerate() {
-                let shared = &shared;
-                std::thread::Builder::new()
-                    .name(format!("pf-rt-worker-{i}"))
-                    .stack_size(WORKER_STACK)
-                    .spawn_scoped(scope, move || {
-                        let worker = Worker {
-                            shared,
-                            local,
-                            index: i,
-                            inline_depth: Cell::new(0),
-                            steal_seed: Cell::new(0x9E3779B97F4A7C15 ^ (i as u64) << 7),
-                        };
-                        worker.run_loop();
-                    })
-                    .expect("failed to spawn worker");
-            }
-        });
-        if let Some(payload) = shared.panic.lock().take() {
-            resume_unwind(payload);
-        }
-        debug_assert_eq!(shared.live.load(Ordering::SeqCst), 0);
-        RunStats {
-            tasks_executed: shared.tasks_executed.load(Ordering::Relaxed),
-            spawns: shared.spawns.load(Ordering::Relaxed),
-            suspensions: shared.suspensions.load(Ordering::Relaxed),
-            steals: shared.steals.load(Ordering::Relaxed),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -305,7 +210,7 @@ mod tests {
     use super::*;
     use crate::cell;
     use std::sync::atomic::AtomicU64;
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     #[test]
     fn runs_root_to_completion() {
@@ -346,6 +251,26 @@ mod tests {
     }
 
     #[test]
+    fn spawn2_matches_two_spawns() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        fn rec(wk: &Worker, depth: usize, c: Arc<AtomicU64>) {
+            c.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                let (a, b) = (Arc::clone(&c), c);
+                wk.spawn2(
+                    move |wk| rec(wk, depth - 1, a),
+                    move |wk| rec(wk, depth - 1, b),
+                );
+            }
+        }
+        let stats = Runtime::new(4).run_stats(move |wk| rec(wk, 10, c2));
+        assert_eq!(counter.load(Ordering::Relaxed), (1 << 11) - 1);
+        assert_eq!(stats.spawns, (1 << 11) - 2);
+        assert_eq!(stats.tasks_executed, (1 << 11) - 1);
+    }
+
+    #[test]
     fn single_thread_still_terminates() {
         let counter = Arc::new(AtomicU64::new(0));
         let c2 = Arc::clone(&counter);
@@ -369,13 +294,13 @@ mod tests {
             for _ in 0..4000 {
                 let s = Arc::clone(&s2);
                 wk.spawn(move |wk| {
-                    s.lock().insert(wk.index());
+                    s.lock().unwrap().insert(wk.index());
                     std::thread::yield_now();
                 });
             }
         });
         // With 4000 tiny tasks, stealing should engage several workers.
-        assert!(seen.lock().len() >= 2, "stealing never happened");
+        assert!(seen.lock().unwrap().len() >= 2, "stealing never happened");
     }
 
     #[test]
@@ -383,6 +308,40 @@ mod tests {
     fn task_panic_propagates() {
         Runtime::new(3).run(|wk| {
             wk.spawn(|_| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_run() {
+        let rt = Runtime::new(3);
+        for round in 0..10 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt.run(move |wk| {
+                    for _ in 0..100 {
+                        wk.spawn(|_| {});
+                    }
+                    wk.spawn(|_| panic!("kaboom"));
+                    for _ in 0..100 {
+                        wk.spawn(|_| {});
+                    }
+                });
+            }));
+            assert!(r.is_err(), "round {round}: panic was swallowed");
+            // The same pool must keep working after the abort.
+            let stats = rt.run_stats(|wk| {
+                wk.spawn(|_| {});
+            });
+            assert_eq!(stats.spawns, 1);
+            assert_eq!(stats.tasks_executed, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inside a worker task")]
+    fn nested_run_panics() {
+        let rt = Runtime::new(2);
+        rt.run(|_wk| {
+            Runtime::new(1).run(|_| {});
         });
     }
 
@@ -424,5 +383,33 @@ mod tests {
             });
             assert_eq!(r.expect(), i);
         }
+    }
+
+    #[test]
+    fn one_pool_many_runs() {
+        let rt = Runtime::new(3);
+        for i in 0..200 {
+            let (w, r) = cell::<usize>();
+            rt.run(move |wk| {
+                wk.spawn(move |wk| w.fulfill(wk, i));
+            });
+            assert_eq!(r.expect(), i);
+        }
+    }
+
+    #[test]
+    fn global_and_shared_pools() {
+        let g = Runtime::global();
+        assert!(g.nthreads() >= 1);
+        let (w, r) = cell::<u32>();
+        g.run(move |wk| w.fulfill(wk, 3));
+        assert_eq!(r.expect(), 3);
+
+        let a = Runtime::shared(2);
+        let b = Runtime::shared(2);
+        assert!(Arc::ptr_eq(&a, &b), "shared(2) must return one pool");
+        let (w, r) = cell::<u32>();
+        a.run(move |wk| w.fulfill(wk, 9));
+        assert_eq!(r.expect(), 9);
     }
 }

@@ -186,6 +186,58 @@ fn repeated_runs_many_threads() {
 }
 
 #[test]
+fn persistent_pool_150_sessions_with_races() {
+    // One persistent Runtime across 150 consecutive `run` calls, each with
+    // producers racing already-suspended consumers. Checks, per session:
+    //   * the results of THIS run only (cross-run task leakage would
+    //     corrupt sums or crash a consumed-write invariant);
+    //   * that per-run stats were reset (counts match this run's shape,
+    //     not an accumulation over the pool's lifetime).
+    let rt = Runtime::new(4);
+    for round in 0u64..150 {
+        let n = 32 + (round as usize % 17);
+        let pairs: Vec<_> = (0..n).map(|_| cell::<u64>()).collect();
+        let (writes, reads): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let outs: Vec<_> = (0..n).map(|_| cell::<u64>()).collect();
+        let (out_w, out_r): (Vec<_>, Vec<_>) = outs.into_iter().unzip();
+        let stats = rt.run_stats(move |wk| {
+            // Consumers first: most will suspend, producers reactivate
+            // them from racing workers.
+            for (r, ow) in reads.into_iter().zip(out_w) {
+                wk.spawn(move |wk| {
+                    r.touch(wk, move |v, wk| ow.fulfill(wk, v.wrapping_mul(3)));
+                });
+            }
+            for (i, w) in writes.into_iter().enumerate() {
+                wk.spawn(move |wk| w.fulfill(wk, round.wrapping_add(i as u64)));
+            }
+        });
+        for (i, o) in out_r.iter().enumerate() {
+            assert_eq!(
+                o.expect(),
+                round.wrapping_add(i as u64).wrapping_mul(3),
+                "round {round}, cell {i}"
+            );
+        }
+        // Stats are per-session: exactly this round's 2n spawns, and at
+        // most one suspension per consumer. Any carry-over from earlier
+        // rounds (or leaked tasks executing late) would break these.
+        assert_eq!(stats.spawns, 2 * n as u64, "round {round}: stats not reset");
+        assert!(
+            stats.suspensions <= n as u64,
+            "round {round}: impossible suspension count {}",
+            stats.suspensions
+        );
+        // root + spawned tasks + one reactivation per actual suspension.
+        assert_eq!(
+            stats.tasks_executed,
+            1 + 2 * n as u64 + stats.suspensions,
+            "round {round}: task count shows cross-run leakage"
+        );
+    }
+}
+
+#[test]
 fn deep_chain_of_suspensions() {
     // A 10_000-long dependency chain where every consumer registers before
     // its producer fires: exercises the WAITING path massively.

@@ -53,6 +53,9 @@ fn main() {
     let batches = synthesize_traffic(12, 2026);
 
     banner("replaying batched updates on the real runtime (4 workers)");
+    // One persistent pool for the whole replay: a long-lived service keeps
+    // its workers warm instead of spawning threads per batch.
+    let rt = Runtime::new(4);
     let mut state = RTreap::<i64>::Leaf;
     let mut oracle: BTreeSet<i64> = BTreeSet::new();
     let mut seq_state: Option<Box<PlainTreap<i64>>> = None;
@@ -81,8 +84,8 @@ fn main() {
         let bt = ready(batch_treap);
         let (op, of) = cell();
         match batch {
-            Batch::Insert(_) => Runtime::new(4).run(move |wk| rt_union(wk, cur, bt, op)),
-            Batch::Delete(_) => Runtime::new(4).run(move |wk| rt_diff(wk, cur, bt, op)),
+            Batch::Insert(_) => rt.run(move |wk| rt_union(wk, cur, bt, op)),
+            Batch::Delete(_) => rt.run(move |wk| rt_diff(wk, cur, bt, op)),
         }
         state = of.expect();
 

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Same bench-authoring API surface as criterion 0.5 for what this
+//! workspace uses — `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`/`criterion_main!`
+//! — but the measurement core is a plain min/median/mean timer that
+//! prints one line per benchmark and keeps no on-disk history. Good
+//! enough to compare before/after on the same machine, which is all the
+//! in-repo benches need.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured sample batch.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Target wall-clock time for calibration (and warm-up).
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let n = self.default_sample_size;
+        run_bench(id.as_ref(), n, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (printing nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Nanoseconds per iteration of each timed sample (filled by `iter`).
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, batching iterations so each timed sample runs long
+    /// enough for the clock to resolve it.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit in SAMPLE_TARGET?
+        let mut batch = 1u64;
+        let mut spent = Duration::ZERO;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            spent += dt;
+            if dt >= SAMPLE_TARGET {
+                break;
+            }
+            if spent >= WARMUP_TARGET && dt < SAMPLE_TARGET {
+                // Slow clock resolution path: scale up directly.
+                let per = dt.as_nanos().max(1) as u64 / batch.max(1);
+                batch = (SAMPLE_TARGET.as_nanos() as u64 / per.max(1)).clamp(batch, batch * 1024);
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        // Timed samples.
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<48} (no samples — closure never called Bencher::iter)");
+        return;
+    }
+    let mut s = b.samples_ns.clone();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = s[0];
+    let median = s[s.len() / 2];
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    println!(
+        "{id:<48} time: [min {} | median {} | mean {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (for `harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12e9).contains('s'));
+    }
+}
