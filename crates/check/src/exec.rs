@@ -1,0 +1,489 @@
+//! The execution core: model threads and the virtual scheduler.
+//!
+//! A *model execution* runs N model threads — real OS threads, but
+//! serialized so that **exactly one** executes model code at any moment.
+//! Every operation on a model synchronization primitive ([`crate::sync`])
+//! is a *scheduling point*: the running thread hands control to the
+//! scheduler, which picks the next thread to run from the runnable set
+//! according to the active exploration strategy ([`crate::chooser`]).
+//! Because only the chosen thread ever runs between scheduling points, an
+//! execution is a deterministic function of the sequence of choices — the
+//! *schedule* — which is what makes failures replayable.
+//!
+//! ## What counts as a scheduling point
+//!
+//! Atomic loads/stores/RMWs, fences, mutex lock/unlock, condvar
+//! wait/notify, park/unpark, spawn, join, and `yield_now`. Operations on
+//! plain (non-model) memory are *not* scheduling points: under the
+//! sequentially-consistent interleaving semantics modelled here, a
+//! preemption between two operations that touch no shared state is
+//! unobservable, so skipping those points loses no distinct behaviors.
+//!
+//! ## Failure modes
+//!
+//! * **Panic** — a panic escapes a model thread's body (an assertion in
+//!   the test, or a bug in the code under test). Panics *caught inside*
+//!   the model (e.g. a worker pool's panic protocol) are not failures.
+//! * **Deadlock** — no thread is runnable but some are still blocked
+//!   (parked / waiting on a lock, condvar, or join). This is the oracle
+//!   that catches lost wakeups: a missed unpark leaves the sleeper parked
+//!   and everyone else waiting on it.
+//! * **Step limit** — the schedule exceeded the configured decision
+//!   budget; either the model is too large or the code livelocks.
+//!
+//! On failure the execution *aborts*: the failing schedule is recorded,
+//! and every other model thread is frozen at its current scheduling point
+//! (they are never scheduled again; the harness reports the failure
+//! without joining them). A panicking thread first unwinds normally —
+//! destructors run under the scheduler as ordinary model code — so the
+//! common case tears down cleanly.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::chooser::Chooser;
+
+/// Hard cap on model threads per execution (schedule strings encode a
+/// thread id as one of 62 characters).
+pub const MAX_MODEL_THREADS: usize = 62;
+
+pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Why a schedule failed.
+#[derive(Debug, Clone)]
+pub enum FailureKind {
+    /// A panic escaped a model thread (message, thread id).
+    Panic(String, usize),
+    /// No thread runnable, some still blocked; the string describes every
+    /// live thread's blocked state.
+    Deadlock(String),
+    /// The schedule exceeded the per-execution decision limit.
+    StepLimit(usize),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panic(msg, tid) => write!(f, "panic in model thread t{tid}: {msg}"),
+            FailureKind::Deadlock(desc) => write!(f, "deadlock: {desc}"),
+            FailureKind::StepLimit(n) => {
+                write!(
+                    f,
+                    "schedule exceeded {n} decisions (livelock or model too large)"
+                )
+            }
+        }
+    }
+}
+
+/// What a model thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// May be chosen to run.
+    Runnable,
+    /// Called `yield_now`: not eligible until some *other* thread has
+    /// been scheduled (or no other thread can run). This is what makes
+    /// spin-wait loops (`while !flag { yield_now() }`) explorable: a
+    /// strategy that always favors the spinner would otherwise livelock
+    /// into the step limit without the flag-setter ever running.
+    Yielded,
+    /// In `thread::park()` with no token available.
+    Parked,
+    /// Waiting to acquire the model mutex with this id.
+    LockWait(usize),
+    /// Waiting on the model condvar with this id.
+    CvWait(usize),
+    /// Waiting for the thread with this id to finish.
+    JoinWait(usize),
+    /// Body returned (or unwound); never scheduled again.
+    Finished,
+}
+
+impl TState {
+    fn describe(&self) -> String {
+        match self {
+            TState::Runnable => "runnable".into(),
+            TState::Yielded => "yielded".into(),
+            TState::Parked => "parked".into(),
+            TState::LockWait(id) => format!("waiting on mutex #{id}"),
+            TState::CvWait(id) => format!("waiting on condvar #{id}"),
+            TState::JoinWait(t) => format!("joining t{t}"),
+            TState::Finished => "finished".into(),
+        }
+    }
+}
+
+pub(crate) struct ThreadRec {
+    pub(crate) state: TState,
+    /// `unpark` before `park` is remembered (std token semantics).
+    pub(crate) park_token: bool,
+    name: Option<String>,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+pub(crate) enum Mode {
+    /// Normal scheduling.
+    Run,
+    /// All threads finished; harness may collect the result.
+    Done,
+    /// A failure was recorded; remaining threads are frozen forever.
+    Abort,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadRec>,
+    /// The single thread currently allowed to execute model code.
+    pub(crate) active: usize,
+    pub(crate) mode: Mode,
+    /// The exploration strategy making the scheduling choices.
+    pub(crate) chooser: Option<Box<dyn Chooser>>,
+    /// Chosen thread id at every *choice point* (|runnable| > 1).
+    pub(crate) schedule: Vec<usize>,
+    /// Decision budget: choice points remaining before StepLimit.
+    pub(crate) steps_left: usize,
+    pub(crate) failure: Option<FailureKind>,
+    /// Monotonic id source for model mutexes and condvars.
+    pub(crate) next_sync_id: usize,
+}
+
+/// One model execution: the scheduler state plus the handoff condvar every
+/// model thread sleeps on while it is not the active thread.
+pub(crate) struct Execution {
+    pub(crate) state: Mutex<ExecState>,
+    pub(crate) cond: Condvar,
+    /// OS handles of all model threads, joined by the harness on success.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the calling thread's execution context. Panics (with an
+/// actionable message) when called from outside a model thread.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (exec, tid) = b.as_ref().expect(
+            "pf-check model synchronization used outside a model execution; \
+             run this code under pf_check::check()/explore()",
+        );
+        f(exec, *tid)
+    })
+}
+
+/// True when the calling thread is a model thread.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn lock_state(e: &Execution) -> MutexGuard<'_, ExecState> {
+    e.state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn payload_to_string(p: &PanicPayload) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl Execution {
+    fn new(chooser: Box<dyn Chooser>, max_steps: usize) -> Execution {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                active: 0,
+                mode: Mode::Run,
+                chooser: Some(chooser),
+                schedule: Vec::new(),
+                steps_left: max_steps,
+                failure: None,
+                next_sync_id: 0,
+            }),
+            cond: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record a failure and freeze the execution. Lock held by caller.
+    fn fail_locked(&self, st: &mut ExecState, kind: FailureKind) {
+        if st.failure.is_none() {
+            st.failure = Some(kind);
+        }
+        st.mode = Mode::Abort;
+        self.cond.notify_all();
+    }
+
+    /// Pick the next active thread (the heart of the scheduler). Called
+    /// with the lock held by the thread leaving its active slot.
+    fn schedule_locked(&self, st: &mut ExecState) {
+        if st.mode != Mode::Run {
+            return;
+        }
+        let collect = |st: &ExecState| -> Vec<usize> {
+            st.threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state == TState::Runnable)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut runnable = collect(st);
+        // Yielded threads: excluded from this choice when anyone else can
+        // run (the yield contract), then immediately eligible again.
+        if runnable.is_empty() {
+            Execution::wake_where(st, |s| *s == TState::Yielded);
+            runnable = collect(st);
+        } else {
+            Execution::wake_where(st, |s| *s == TState::Yielded);
+        }
+        match runnable.len() {
+            0 => {
+                if st.threads.iter().all(|t| t.state == TState::Finished) {
+                    st.mode = Mode::Done;
+                    self.cond.notify_all();
+                } else {
+                    let desc = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.state != TState::Finished)
+                        .map(|(i, t)| {
+                            let name = t.name.as_deref().unwrap_or("");
+                            if name.is_empty() {
+                                format!("t{i}: {}", t.state.describe())
+                            } else {
+                                format!("t{i} [{name}]: {}", t.state.describe())
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    self.fail_locked(st, FailureKind::Deadlock(desc));
+                }
+            }
+            1 => {
+                // No choice to make: not recorded in the schedule. Waking
+                // the other (blocked) threads is only needed when control
+                // actually moves to a different thread.
+                let prev = st.active;
+                st.active = runnable[0];
+                if st.active != prev {
+                    self.cond.notify_all();
+                }
+            }
+            _ => {
+                if st.steps_left == 0 {
+                    let limit = st.schedule.len();
+                    self.fail_locked(st, FailureKind::StepLimit(limit));
+                    return;
+                }
+                st.steps_left -= 1;
+                let chooser = st.chooser.as_mut().expect("chooser taken mid-run");
+                let idx = chooser.choose(&runnable);
+                debug_assert!(idx < runnable.len());
+                st.schedule.push(runnable[idx]);
+                let prev = st.active;
+                st.active = runnable[idx];
+                if st.active != prev {
+                    self.cond.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Sleep until this thread is runnable *and* chosen. In Abort mode the
+    /// thread freezes here forever (the harness reports the failure and
+    /// leaks it).
+    fn wait_for_go(&self, mut st: MutexGuard<'_, ExecState>, tid: usize) {
+        loop {
+            if st.mode == Mode::Run && st.threads[tid].state == TState::Runnable && st.active == tid
+            {
+                return;
+            }
+            st = self.cond.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// A scheduling point: possibly hand control to another thread.
+    pub(crate) fn op_point(self: &Arc<Self>, tid: usize) {
+        let mut st = lock_state(self);
+        if st.mode == Mode::Abort {
+            // Freeze (e.g. a destructor running while the execution is
+            // tearing down after a failure elsewhere).
+            self.wait_for_go(st, tid);
+            return;
+        }
+        debug_assert_eq!(st.active, tid, "a non-active model thread executed code");
+        self.schedule_locked(&mut st);
+        self.wait_for_go(st, tid);
+    }
+
+    /// Block the calling thread in `state` after running `setup` under the
+    /// scheduler lock; returns when the thread is rescheduled.
+    pub(crate) fn block(
+        self: &Arc<Self>,
+        tid: usize,
+        state: TState,
+        setup: impl FnOnce(&mut ExecState),
+    ) {
+        let mut st = lock_state(self);
+        setup(&mut st);
+        st.threads[tid].state = state;
+        self.schedule_locked(&mut st);
+        self.wait_for_go(st, tid);
+    }
+
+    /// Run `f` under the scheduler lock *without* yielding — for effects
+    /// that must be atomic with respect to scheduling (waking waiters,
+    /// transferring a park token).
+    pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut ExecState) -> R) -> R {
+        let mut st = lock_state(self);
+        f(&mut st)
+    }
+
+    /// Make every thread matching `pred` runnable.
+    pub(crate) fn wake_where(st: &mut ExecState, pred: impl Fn(&TState) -> bool) {
+        for t in st.threads.iter_mut() {
+            if pred(&t.state) {
+                t.state = TState::Runnable;
+            }
+        }
+    }
+
+    /// Register a new model thread and start its OS thread. Called by the
+    /// active thread (or the harness for the root). Returns its id.
+    pub(crate) fn spawn_model_thread(
+        self: &Arc<Self>,
+        name: Option<String>,
+        body: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let tid = self.with_state(|st| {
+            assert!(
+                st.threads.len() < MAX_MODEL_THREADS,
+                "model spawned more than {MAX_MODEL_THREADS} threads"
+            );
+            st.threads.push(ThreadRec {
+                state: TState::Runnable,
+                park_token: false,
+                name: name.clone(),
+            });
+            let tid = st.threads.len() - 1;
+            if let Some(c) = st.chooser.as_mut() {
+                c.on_spawn(tid);
+            }
+            tid
+        });
+        let exec = Arc::clone(self);
+        let os = std::thread::Builder::new()
+            .name(format!("pf-check-t{tid}"))
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+                // Wait to be scheduled for the first time.
+                {
+                    let st = lock_state(&exec);
+                    exec.wait_for_go(st, tid);
+                }
+                let result = std::panic::catch_unwind(AssertUnwindSafe(body));
+                exec.thread_finished(tid, result.err());
+                CURRENT.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("failed to spawn model OS thread");
+        self.os_handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(os);
+        tid
+    }
+
+    fn thread_finished(self: &Arc<Self>, tid: usize, panic: Option<PanicPayload>) {
+        let mut st = lock_state(self);
+        st.threads[tid].state = TState::Finished;
+        Execution::wake_where(&mut st, |s| *s == TState::JoinWait(tid));
+        if let Some(p) = panic {
+            if st.mode != Mode::Abort {
+                let msg = payload_to_string(&p);
+                self.fail_locked(&mut st, FailureKind::Panic(msg, tid));
+            }
+            return;
+        }
+        if st.mode == Mode::Run {
+            self.schedule_locked(&mut st);
+        }
+    }
+
+    /// Allocate an id for a model mutex or condvar.
+    pub(crate) fn alloc_sync_id(&self) -> usize {
+        self.with_state(|st| {
+            let id = st.next_sync_id;
+            st.next_sync_id += 1;
+            id
+        })
+    }
+}
+
+/// The outcome of one schedule.
+pub(crate) struct RunOutcome {
+    /// Chosen tid at every choice point.
+    pub(crate) schedule: Vec<usize>,
+    /// The strategy, returned so stateful strategies (DFS) can be mined.
+    pub(crate) chooser: Box<dyn Chooser>,
+    pub(crate) failure: Option<FailureKind>,
+}
+
+/// Global count of model executions that aborted and leaked their frozen
+/// threads (observable for diagnostics; failing runs leak by design).
+pub(crate) static LEAKED_EXECUTIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Run one schedule of `f` under `chooser`.
+pub(crate) fn run_one(
+    chooser: Box<dyn Chooser>,
+    max_steps: usize,
+    f: impl FnOnce() + Send + 'static,
+) -> RunOutcome {
+    assert!(
+        !in_model(),
+        "pf_check executions cannot be nested inside a model thread"
+    );
+    let exec = Arc::new(Execution::new(chooser, max_steps));
+    let root = exec.spawn_model_thread(Some("root".into()), f);
+    debug_assert_eq!(root, 0);
+    // The root is the only thread: it is already active (active == 0).
+    let (schedule, chooser, failure) = {
+        let mut st = lock_state(&exec);
+        while st.mode == Mode::Run {
+            st = exec.cond.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        (
+            std::mem::take(&mut st.schedule),
+            st.chooser.take().expect("chooser vanished"),
+            st.failure.take(),
+        )
+    };
+    if failure.is_none() {
+        // Clean completion: every model thread has finished; join the OS
+        // threads so nothing leaks.
+        for h in exec
+            .os_handles
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+        {
+            let _ = h.join();
+        }
+    } else {
+        // Aborted: frozen threads are leaked deliberately.
+        LEAKED_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+    RunOutcome {
+        schedule,
+        chooser,
+        failure,
+    }
+}

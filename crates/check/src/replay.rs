@@ -1,0 +1,127 @@
+//! Compact schedule strings: encode/decode the choice sequence of one
+//! model execution so a failure can be replayed exactly.
+//!
+//! A schedule is the list of thread ids chosen at each *choice point*
+//! (a scheduling point where more than one thread was runnable). Thread
+//! ids are encoded as single characters from a 62-symbol alphabet
+//! (`0-9a-zA-Z`), with runs of the same id compressed as `<char>x<count>`
+//! when the run is longer than 3. Example: `0011112` encodes as
+//! `001x42` — threads 0,0 then 1 four times then 2.
+
+use crate::exec::MAX_MODEL_THREADS;
+
+const ALPHABET: &[u8; 62] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+fn enc_tid(tid: usize) -> char {
+    assert!(tid < MAX_MODEL_THREADS, "thread id {tid} out of range");
+    ALPHABET[tid] as char
+}
+
+fn dec_tid(c: char) -> Option<usize> {
+    ALPHABET.iter().position(|&b| b as char == c)
+}
+
+/// Encode a choice sequence as a replay string.
+pub fn encode(schedule: &[usize]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < schedule.len() {
+        let tid = schedule[i];
+        let mut run = 1;
+        while i + run < schedule.len() && schedule[i + run] == tid {
+            run += 1;
+        }
+        if run > 3 {
+            out.push(enc_tid(tid));
+            out.push('x');
+            out.push_str(&run.to_string());
+            // A count is terminated by the next non-digit; 'x' never
+            // follows a digit ambiguously because counts never precede it.
+            out.push('.');
+        } else {
+            for _ in 0..run {
+                out.push(enc_tid(tid));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// Decode a replay string back into a choice sequence.
+///
+/// Returns `Err` with a description on malformed input.
+pub fn decode(s: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '.' {
+            continue; // run terminator, no content
+        }
+        let tid = dec_tid(c).ok_or_else(|| format!("invalid schedule char {c:?}"))?;
+        if chars.peek() == Some(&'x') {
+            chars.next(); // consume 'x'
+            let mut digits = String::new();
+            while let Some(d) = chars.peek() {
+                if d.is_ascii_digit() {
+                    digits.push(*d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let count: usize = digits
+                .parse()
+                .map_err(|_| format!("invalid run count after {c:?}x"))?;
+            if count == 0 {
+                return Err(format!("zero run count after {c:?}x"));
+            }
+            out.extend(std::iter::repeat_n(tid, count));
+        } else {
+            out.push(tid);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{decode, encode};
+
+    #[test]
+    fn roundtrip_simple() {
+        for sched in [
+            vec![],
+            vec![0],
+            vec![0, 1, 2],
+            vec![0, 0, 1, 1, 1, 1, 2],
+            vec![5; 100],
+            vec![0, 10, 36, 61],
+        ] {
+            let s = encode(&sched);
+            assert_eq!(decode(&s).unwrap(), sched, "string was {s:?}");
+        }
+    }
+
+    #[test]
+    fn runs_compress() {
+        let sched = vec![1; 40];
+        let s = encode(&sched);
+        assert!(s.len() < 10, "expected RLE, got {s:?}");
+    }
+
+    #[test]
+    fn run_followed_by_digit_tid_is_unambiguous() {
+        // run of t1 (len 12) followed by a single t3: "1x12.3"
+        let sched: Vec<usize> = std::iter::repeat_n(1, 12).chain([3]).collect();
+        let s = encode(&sched);
+        assert_eq!(decode(&s).unwrap(), sched, "string was {s:?}");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode("!").is_err());
+        assert!(decode("1x").is_err());
+        assert!(decode("1x0").is_err());
+    }
+}

@@ -34,8 +34,9 @@
 //! garbage anyway, and the paper's model has no panics.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU8, Ordering};
 
 use crate::scheduler::Worker;
 use crate::task::Task;

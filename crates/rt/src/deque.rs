@@ -26,8 +26,10 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 
 /// Result of a steal attempt (mirrors `crossbeam_deque::Steal`).
 pub enum Steal<T> {
@@ -144,8 +146,12 @@ impl<T> Clone for Stealer<T> {
     }
 }
 
-/// Initial ring capacity (slots); grows by doubling.
+/// Initial ring capacity (slots); grows by doubling. Tiny under the model
+/// checker so the grow path is reachable with a handful of model pushes.
+#[cfg(not(pf_check))]
 const INITIAL_CAP: usize = 256;
+#[cfg(pf_check)]
+const INITIAL_CAP: usize = 2;
 
 /// Create a deque, returning the owner handle.
 pub fn deque<T>() -> LocalQueue<T> {

@@ -51,6 +51,7 @@ pub mod deque;
 pub mod mutex_cell;
 pub mod pool;
 pub mod scheduler;
+pub mod sync;
 pub mod task;
 
 pub use cell::{cell, ready, FutRead, FutWrite};

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use std::sync::Mutex;
+use crate::sync::Mutex;
 
 use crate::scheduler::Worker;
 use crate::task::Task;

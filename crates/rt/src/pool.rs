@@ -72,11 +72,12 @@
 //! caveat).
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::panic::resume_unwind;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::thread::{JoinHandle, Thread};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::thread::{JoinHandle, Thread};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::deque::{deque, Injector, Steal, Stealer};
 use crate::scheduler::Worker;
@@ -88,9 +89,17 @@ pub const MAX_WORKERS: usize = 64;
 /// Idle rounds spent spinning before yielding. Each idle round is a full
 /// `find_task` sweep (it polls every sibling's deque), so a few rounds
 /// suffice; long spins just hammer the busy workers' cache lines.
+/// Zero under the model checker: spinning only multiplies schedules
+/// without adding behaviors, and parking is what the checker must cover.
+#[cfg(not(pf_check))]
 const SPIN_ROUNDS: u32 = 4;
+#[cfg(pf_check)]
+const SPIN_ROUNDS: u32 = 0;
 /// Idle rounds spent yielding before parking.
+#[cfg(not(pf_check))]
 const YIELD_ROUNDS: u32 = 2;
+#[cfg(pf_check)]
+const YIELD_ROUNDS: u32 = 0;
 
 /// Worker thread stack size. Deep recursive structures (future-tailed
 /// lists, tall trees) drop with one native frame per element when their
@@ -255,12 +264,16 @@ impl Shared {
     fn abort_rendezvous(&self) {
         self.abort_idle.fetch_add(1, Ordering::SeqCst);
         while self.aborting.load(Ordering::SeqCst) && !self.shutdown.load(Ordering::SeqCst) {
-            std::thread::park();
+            crate::sync::thread::park();
         }
         self.abort_idle.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
+// Model builds set SPIN_ROUNDS = YIELD_ROUNDS = 0, making the ladder
+// comparisons degenerate (`idle <= 0` on an unsigned counter) — that is
+// intended, not a bug, so silence the lint rather than restructure.
+#[cfg_attr(pf_check, allow(clippy::absurd_extreme_comparisons))]
 fn worker_loop(wk: &Worker) {
     let shared = wk.shared();
     let bit = 1u64 << wk.index();
@@ -287,11 +300,18 @@ fn worker_loop(wk: &Worker) {
         if idle <= SPIN_ROUNDS {
             std::hint::spin_loop();
         } else if idle <= SPIN_ROUNDS + YIELD_ROUNDS {
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         } else {
             // Publish intent to sleep, then re-check: the sleeper half of
             // the lost-wakeup argument (module docs).
             shared.sleepers.fetch_or(bit, Ordering::SeqCst);
+            // `pf_check_lost_wakeup` is a *deliberate seeded bug* for the
+            // model checker's non-vacuity test (crates/check/tests): it
+            // removes this re-check, reopening the classic race where a
+            // producer's push lands between the worker's last sweep and
+            // its park — the exact bug the re-check exists to close.
+            // Never set outside that test.
+            #[cfg(not(pf_check_lost_wakeup))]
             if wk.work_available()
                 || shared.shutdown.load(Ordering::SeqCst)
                 || shared.aborting.load(Ordering::SeqCst)
@@ -300,7 +320,7 @@ fn worker_loop(wk: &Worker) {
                 idle = 0;
                 continue;
             }
-            std::thread::park();
+            crate::sync::thread::park();
             // A claiming producer already cleared our bit; clearing again
             // is harmless and also covers spurious unparks.
             shared.sleepers.fetch_and(!bit, Ordering::SeqCst);
@@ -353,7 +373,7 @@ impl Runtime {
             .enumerate()
             .map(|(i, local)| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                crate::sync::thread::Builder::new()
                     .name(format!("pf-rt-worker-{i}"))
                     .stack_size(WORKER_STACK)
                     .spawn(move || {
@@ -378,7 +398,9 @@ impl Runtime {
 
     /// The process-wide default runtime, sized to the available
     /// parallelism. Its workers are spawned on first use and never torn
-    /// down.
+    /// down. (Unavailable under the model checker: a process-lifetime
+    /// pool would leak model threads across executions.)
+    #[cfg(not(pf_check))]
     pub fn global() -> &'static Runtime {
         static GLOBAL: OnceLock<Runtime> = OnceLock::new();
         GLOBAL.get_or_init(|| {
@@ -394,8 +416,11 @@ impl Runtime {
     /// created on first request and reused thereafter. This is what
     /// benchmark drivers sweeping thread counts should use: repeated
     /// timings at the same width hit a warm pool instead of paying
-    /// thread creation per measurement.
+    /// thread creation per measurement. (Unavailable under the model
+    /// checker, like [`Runtime::global`].)
+    #[cfg(not(pf_check))]
     pub fn shared(nthreads: usize) -> Arc<Runtime> {
+        use std::collections::HashMap;
         static POOLS: OnceLock<Mutex<HashMap<usize, Arc<Runtime>>>> = OnceLock::new();
         let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = lock(pools);
@@ -467,7 +492,7 @@ impl Runtime {
         // running a task is not counted, so reaching `nthreads` proves
         // no queue or counter is being touched.
         while shared.abort_idle.load(Ordering::SeqCst) != self.nthreads {
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         }
         // Sole owner of every queue now: drop the unstarted tasks.
         while shared.injector.pop().is_some() {}

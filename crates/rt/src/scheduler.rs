@@ -14,8 +14,9 @@
 //! [`Runtime::run`] returns.
 
 use std::cell::Cell;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+use crate::sync::atomic::Ordering;
 
 use crate::deque::{LocalQueue, Steal};
 use crate::pool::{Shared, WorkerStats};
@@ -193,6 +194,9 @@ impl Worker {
         None
     }
 
+    // Unused under the seeded lost-wakeup mutation (its only caller is
+    // the sleeper re-check that the mutation removes).
+    #[cfg_attr(pf_check_lost_wakeup, allow(dead_code))]
     pub(crate) fn work_available(&self) -> bool {
         !self.local.is_empty()
             || !self.shared.injector.is_empty()

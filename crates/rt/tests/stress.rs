@@ -1,42 +1,64 @@
-//! Randomized stress tests for the runtime (in lieu of loom, which is not
-//! in the approved dependency set): random dataflow DAGs executed across
-//! worker counts, with racing producers/consumers and diamond
+//! Randomized stress tests for the runtime: random dataflow DAGs executed
+//! across worker counts, with racing producers/consumers and diamond
 //! dependencies, validated against sequentially computed expectations.
+//!
+//! These run on real threads and real time, so they cover scheduling
+//! noise a model checker cannot (preemption mid-instruction, cache
+//! effects). Deterministic interleaving coverage is `pf-check`'s job: see
+//! `crates/check` and the model suite in `crates/check/tests/model_rt.rs`.
 
 use pf_rt::{cell, FutRead, Runtime, Worker};
 use proptest::prelude::*;
+use proptest::TestRng;
 
 /// A half-open cell pair: the write side is taken (`Option`) when a task
 /// claims it.
 type CellPair = (Option<pf_rt::FutWrite<u64>>, FutRead<u64>);
 
-/// Build a random layered dataflow: `width` cells per layer; each cell of
-/// layer i+1 sums 1–3 cells of layer i (by index), possibly with the
-/// producer and consumer racing. Returns the expected final sums.
+/// The random dataflow shape shared by the expected-value computation and
+/// the runtime execution: `plan[l - 1][i]` lists the source indices in
+/// layer `l - 1` that cell `i` of layer `l` sums (1–3 of them). Derived
+/// from proptest's own generator so the per-case `seed` drawn by the
+/// `proptest!` strategy is the single source of randomness.
+fn build_plan(seed: u64, width: usize, layers: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut rng = TestRng::from_seed(seed);
+    (1..layers)
+        .map(|_| {
+            (0..width)
+                .map(|_| {
+                    let k = (rng.next_u64() % 3 + 1) as usize;
+                    (0..k).map(|_| rng.next_u64() as usize % width).collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Layer-0 values for a given seed.
+fn layer0(seed: u64, width: usize) -> Vec<u64> {
+    (0..width as u64).map(|i| i + seed % 97).collect()
+}
+
+/// Sequentially compute every layer's expected sums for the plan.
 fn layered_expected(seed: u64, width: usize, layers: usize) -> Vec<Vec<u64>> {
-    let mut vals = vec![(0..width as u64).map(|i| i + seed % 97).collect::<Vec<_>>()];
+    let plan = build_plan(seed, width, layers);
+    let mut vals = vec![layer0(seed, width)];
     for l in 1..layers {
-        let prev = &vals[l - 1];
-        let mut row = Vec::with_capacity(width);
-        for i in 0..width {
-            let mut s = seed
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add((l * width + i) as u64);
-            let k = (s % 3 + 1) as usize;
-            let mut acc = 0u64;
-            for j in 0..k {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(j as u64);
-                acc = acc.wrapping_add(prev[(s >> 16) as usize % width]);
-            }
-            row.push(acc);
-        }
+        let row = (0..width)
+            .map(|i| {
+                plan[l - 1][i]
+                    .iter()
+                    .fold(0u64, |acc, &s| acc.wrapping_add(vals[l - 1][s]))
+            })
+            .collect();
         vals.push(row);
     }
     vals
 }
 
 fn run_layered(seed: u64, width: usize, layers: usize, threads: usize) -> Vec<u64> {
-    // Same index choices as layered_expected, but as a cell DAG.
+    // Same plan as layered_expected, but executed as a cell DAG.
+    let plan = build_plan(seed, width, layers);
     let mut cells: Vec<Vec<CellPair>> = (0..layers)
         .map(|_| {
             (0..width)
@@ -47,25 +69,6 @@ fn run_layered(seed: u64, width: usize, layers: usize, threads: usize) -> Vec<u6
                 .collect()
         })
         .collect();
-
-    // Plan: (layer, index) -> source indices in previous layer.
-    let mut plan: Vec<Vec<Vec<usize>>> = Vec::new();
-    for l in 1..layers {
-        let mut row = Vec::new();
-        for i in 0..width {
-            let mut s = seed
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add((l * width + i) as u64);
-            let k = (s % 3 + 1) as usize;
-            let mut srcs = Vec::with_capacity(k);
-            for j in 0..k {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(j as u64);
-                srcs.push((s >> 16) as usize % width);
-            }
-            row.push(srcs);
-        }
-        plan.push(row);
-    }
 
     // Every consumer must touch each source cell at most once (linearity);
     // but several consumers may share a source, so give each consumer its
@@ -156,8 +159,7 @@ fn run_layered(seed: u64, width: usize, layers: usize, threads: usize) -> Vec<u6
         }
         // Producers last: maximize racing against already-suspended
         // consumers.
-        for (i, w) in layer0_writes.into_iter().enumerate() {
-            let v = i as u64 + seed % 97;
+        for (w, v) in layer0_writes.into_iter().zip(layer0(seed, width)) {
             wk.spawn(move |wk| w.fulfill(wk, v));
         }
     });

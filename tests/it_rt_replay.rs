@@ -1,0 +1,131 @@
+//! Trace/replay cross-validation: Lemma 4.1 tied to the *real* runtime.
+//!
+//! For each workload (treap union, 2-6 tree multi-insert) we:
+//!
+//! 1. run it on the cost-model simulator with tracing and assert the
+//!    p = ∞ greedy replay of the captured DAG finishes in exactly `depth`
+//!    steps — Lemma 4.1's "greedy schedule achieves the depth bound"
+//!    claim, checked on the actual trace rather than the closed form;
+//! 2. run the *same* workload on the real work-stealing runtime across
+//!    thread counts and assert it computes the identical structure with
+//!    internally consistent scheduling stats.
+//!
+//! Together these tie the lemma to `pf_rt`: the DAG whose replay meets
+//! the depth bound is demonstrably the DAG the runtime executes (same
+//! algorithm, same input, same output shape), not an artifact of `Sim`.
+
+use pf_core::Sim;
+use pf_machine::{replay, Discipline, INFINITE_P};
+use pf_rt::{cell, ready, Runtime};
+use pf_rt_algs::rtreap::{union as rt_union, RTreap};
+use pf_rt_algs::rtwosix::{insert_many as rt_insert_many, RTsTree};
+use pf_tests::entries;
+use pf_trees::treap::{union, Treap};
+use pf_trees::two_six::{insert_many, TsTree};
+use pf_trees::Mode;
+
+#[test]
+fn treap_union_replay_meets_depth_bound_and_rt_agrees() {
+    let a = entries((0..300).map(|i| 3 * i));
+    let b = entries((0..300).map(|i| 2 * i));
+
+    // Simulator, traced. `run_union` doesn't trace, so inline its body.
+    let (a2, b2) = (a.clone(), b.clone());
+    let (of, report, trace) = Sim::new().run_traced(move |ctx| {
+        let ta = Treap::preload_entries(ctx, &a2);
+        let tb = Treap::preload_entries(ctx, &b2);
+        let fa = ctx.preload(ta);
+        let fb = ctx.preload(tb);
+        let (op, of) = ctx.promise();
+        union(ctx, fa, fb, op, Mode::Pipelined);
+        of
+    });
+    let model = of.get();
+    assert!(model.check_invariants());
+    let (keys, height) = (model.to_sorted_vec(), model.height());
+
+    // Lemma 4.1 at p = ∞ on the captured DAG: exactly `depth` steps, all
+    // work executed, every suspension reactivated.
+    let stats = replay(&trace, INFINITE_P, Discipline::Stack);
+    assert_eq!(
+        stats.steps, report.depth,
+        "p = ∞ replay must take exactly depth steps"
+    );
+    assert_eq!(stats.work_executed, report.work);
+    assert_eq!(stats.suspensions, stats.reactivations);
+
+    // Real runtime on the same input: identical tree (keys AND shape —
+    // treap shape is priority-determined, so equality is exact), and
+    // stats that account for every executed closure.
+    for threads in [1, 2, 4] {
+        let (op, of) = cell();
+        let (ta, tb) = (
+            ready(RTreap::from_entries(&a)),
+            ready(RTreap::from_entries(&b)),
+        );
+        let rstats = Runtime::new(threads).run_stats(move |wk| rt_union(wk, ta, tb, op));
+        let t = of.expect();
+        assert!(t.check_invariants(), "threads={threads}");
+        assert_eq!(t.to_sorted_vec(), keys, "threads={threads}");
+        assert_eq!(t.height(), height, "threads={threads}");
+        assert_eq!(
+            rstats.tasks_executed,
+            1 + rstats.spawns + rstats.suspensions,
+            "threads={threads}"
+        );
+        // The runtime executes the simulator's fork structure verbatim
+        // (spawning is data-determined, not schedule-determined), and
+        // every runtime suspension is a touch that parked — so the
+        // trace's touch count bounds it regardless of interleaving.
+        assert_eq!(rstats.spawns, report.forks, "threads={threads}");
+        assert!(rstats.suspensions <= report.touches, "threads={threads}");
+    }
+}
+
+#[test]
+fn two_six_insert_replay_meets_depth_bound_and_rt_agrees() {
+    let initial: Vec<i64> = (0..200).map(|i| 2 * i).collect();
+    let keys: Vec<i64> = (0..150).map(|i| 2 * i + 1).collect();
+
+    let (i2, k2) = (initial.clone(), keys.clone());
+    let (ft, report, trace) = Sim::new().run_traced(move |ctx| {
+        let t = TsTree::preload_from_sorted(ctx, &i2);
+        let f = ctx.preload(t);
+        insert_many(ctx, &k2, f, Mode::Pipelined)
+    });
+    let model = ft.get();
+    model.validate().expect("sim 2-6 tree invariants");
+    let model_keys = model.to_sorted_vec();
+
+    let stats = replay(&trace, INFINITE_P, Discipline::Stack);
+    assert_eq!(
+        stats.steps, report.depth,
+        "p = ∞ replay must take exactly depth steps"
+    );
+    assert_eq!(stats.work_executed, report.work);
+    assert_eq!(stats.suspensions, stats.reactivations);
+
+    for threads in [1, 3] {
+        let (op, of) = cell();
+        let (i3, k3) = (initial.clone(), keys.clone());
+        let rstats = Runtime::new(threads).run_stats(move |wk| {
+            let t = ready(RTsTree::from_sorted(&i3));
+            let f = rt_insert_many(wk, &k3, t);
+            f.touch(wk, move |tv, wk| op.fulfill(wk, tv));
+        });
+        let t = of.expect();
+        t.validate()
+            .unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+        assert_eq!(t.to_sorted_vec(), model_keys, "threads={threads}");
+        assert_eq!(
+            rstats.tasks_executed,
+            1 + rstats.spawns + rstats.suspensions,
+            "threads={threads}"
+        );
+        // Same structural tie as the union test. The root's
+        // result-forwarding touch runs inside the root closure itself,
+        // not a spawned task, so spawn counts still match exactly.
+        assert_eq!(rstats.spawns, report.forks, "threads={threads}");
+        assert!(rstats.suspensions <= report.touches, "threads={threads}");
+    }
+}

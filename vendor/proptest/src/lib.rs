@@ -8,8 +8,12 @@
 //!
 //! Implements exactly what this workspace uses: integer-range strategies,
 //! `collection::{vec, btree_set, btree_map}`, `ProptestConfig::with_cases`,
-//! and the `prop_assert!` family. `*.proptest-regressions` files are
-//! ignored.
+//! the `prop_assert!` family, and failure persistence: when a case fails,
+//! its seed is appended to a `*.proptest-regressions` file next to the
+//! test source, and those seeds are re-run before any novel cases on
+//! subsequent runs (check the files in to source control). Files written
+//! by real proptest are accepted: their long digests are truncated to a
+//! 64-bit seed, so legacy entries still replay a deterministic case.
 
 #![warn(missing_docs)]
 
@@ -53,6 +57,19 @@ pub struct TestRng {
 }
 
 impl TestRng {
+    /// A generator starting from an explicit seed, e.g. one persisted in a
+    /// `*.proptest-regressions` file or one drawn by an enclosing
+    /// strategy. Equal seeds give equal streams.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The current state; captured *before* generating a case, it is the
+    /// seed that [`TestRng::from_seed`] needs to replay that case.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
@@ -197,8 +214,98 @@ pub mod collection {
     }
 }
 
+/// Failure persistence (mirrors proptest's `*.proptest-regressions`
+/// files): failing case seeds are appended next to the test source file
+/// and re-run before any novel cases on later runs.
+pub mod persistence {
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+    /// Resolve the regression file for a test source file. `source` is the
+    /// compile-time `file!()` path — relative to wherever cargo invoked
+    /// rustc from (the workspace root), which need not be the test
+    /// binary's working directory — so it is resolved against
+    /// `manifest_dir` (the invoking crate's `CARGO_MANIFEST_DIR`) and its
+    /// ancestors. `None` when the source file cannot be located (e.g. a
+    /// binary run on a machine without the sources).
+    pub fn path_for(manifest_dir: &str, source: &str) -> Option<PathBuf> {
+        let src = Path::new(source);
+        let resolved = if src.is_absolute() {
+            src.exists().then(|| src.to_path_buf())?
+        } else {
+            Path::new(manifest_dir)
+                .ancestors()
+                .map(|a| a.join(src))
+                .find(|p| p.exists())?
+        };
+        Some(resolved.with_extension("proptest-regressions"))
+    }
+
+    /// Parse persisted seeds: lines of the form `cc <hex> ...`. Digests
+    /// longer than 16 hex digits (written by real proptest) are truncated
+    /// to their first 16, so legacy files still replay deterministically.
+    pub fn load(path: Option<&Path>) -> Vec<u64> {
+        let Some(path) = path else { return Vec::new() };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let hex: String = rest
+                    .chars()
+                    .take_while(|c| c.is_ascii_hexdigit())
+                    .take(16)
+                    .collect();
+                u64::from_str_radix(&hex, 16).ok()
+            })
+            .collect()
+    }
+
+    /// Append a failing seed, creating the file with its header first if
+    /// needed; duplicate entries are skipped. Write errors are reported
+    /// but non-fatal (the failure itself still propagates to the harness).
+    pub fn save(path: Option<&Path>, seed: u64, test: &str, inputs: &str) {
+        let Some(path) = path else {
+            eprintln!("proptest: cannot locate test source; seed {seed:016x} not persisted");
+            return;
+        };
+        let entry = format!("cc {seed:016x}");
+        match std::fs::read_to_string(path) {
+            Ok(existing) if existing.lines().any(|l| l.trim().starts_with(&entry)) => return,
+            Ok(_) => {}
+            Err(_) => {
+                if let Err(e) = std::fs::write(path, HEADER) {
+                    eprintln!("proptest: could not create {}: {e}", path.display());
+                    return;
+                }
+            }
+        }
+        match std::fs::OpenOptions::new().append(true).open(path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{entry} # {test} failed with inputs: {inputs}");
+                eprintln!(
+                    "proptest: persisted failing seed {seed:016x} to {}",
+                    path.display()
+                );
+            }
+            Err(e) => eprintln!("proptest: could not append to {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Define property tests: each `#[test] fn name(pat in strategy, ...)`
-/// inside the block becomes a normal test running `cases` random cases.
+/// inside the block becomes a normal test running any persisted
+/// regression seeds first, then `cases` random cases.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -222,17 +329,32 @@ macro_rules! __proptest_impl {
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
             let __name = concat!(module_path!(), "::", stringify!($name));
+            let __persist =
+                $crate::persistence::path_for(env!("CARGO_MANIFEST_DIR"), file!());
+            let __run_case = |__rng: &mut $crate::TestRng| {
+                let __vals = ($($crate::Strategy::generate(&($strat), __rng),)+);
+                let __desc = format!("{:?}", __vals);
+                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                    let ($($pat,)+) = __vals;
+                    $body
+                }))
+                .map_err(|__e| (__desc, __e))
+            };
+            for __seed in $crate::persistence::load(__persist.as_deref()) {
+                let mut __rng = $crate::TestRng::from_seed(__seed);
+                if let Err((__desc, __e)) = __run_case(&mut __rng) {
+                    eprintln!(
+                        "proptest: {} failed replaying persisted seed {:016x} with inputs {}",
+                        __name, __seed, __desc
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
             for __case in 0..__cfg.effective_cases() {
                 let mut __rng = $crate::test_rng(__name, __case);
-                let __vals = ($($crate::Strategy::generate(&($strat), &mut __rng),)+);
-                let __desc = format!("{:?}", __vals);
-                let __result = ::std::panic::catch_unwind(
-                    ::std::panic::AssertUnwindSafe(move || {
-                        let ($($pat,)+) = __vals;
-                        $body
-                    }),
-                );
-                if let Err(__e) = __result {
+                let __seed = __rng.state();
+                if let Err((__desc, __e)) = __run_case(&mut __rng) {
+                    $crate::persistence::save(__persist.as_deref(), __seed, __name, &__desc);
                     eprintln!(
                         "proptest: {} failed at case {}/{} with inputs {}",
                         __name, __case, __cfg.effective_cases(), __desc
@@ -322,5 +444,72 @@ mod tests {
             prop_assert_eq!(a, a);
             prop_assert_ne!(b, 0, "b must be positive, got {}", b);
         }
+    }
+
+    #[test]
+    fn from_seed_replays_the_same_stream() {
+        let mut orig = crate::test_rng("replay", 3);
+        let seed = orig.state();
+        let a: Vec<u64> = (0..4).map(|_| orig.next_u64()).collect();
+        let mut replay = crate::TestRng::from_seed(seed);
+        let b: Vec<u64> = (0..4).map(|_| replay.next_u64()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn persistence_roundtrip_and_legacy_digests() {
+        let dir = std::env::temp_dir().join(format!("pf-proptest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.proptest-regressions");
+        let _ = std::fs::remove_file(&path);
+
+        assert!(crate::persistence::load(Some(&path)).is_empty());
+        crate::persistence::save(Some(&path), 0xDEAD_BEEF_0000_0001, "t::a", "(1, 2)");
+        crate::persistence::save(Some(&path), 0xDEAD_BEEF_0000_0001, "t::a", "(1, 2)"); // dup
+        crate::persistence::save(Some(&path), 7, "t::b", "(0,)");
+        // A legacy entry written by real proptest: long digest, truncated
+        // to its first 16 hex digits on load.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(
+                f,
+                "cc 481f3d5b08e5c7e1f2dd2c44f22804dc3c2f2e32abcac5872a24cd269f2bfbba # shrinks to x = 3"
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            crate::persistence::load(Some(&path)),
+            vec![0xDEAD_BEEF_0000_0001, 7, 0x481f_3d5b_08e5_c7e1]
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.starts_with("# Seeds for failure cases"),
+            "header missing:\n{text}"
+        );
+        std::fs::remove_file(&path).unwrap();
+
+        // Unresolvable source => no-op, never a panic.
+        assert!(crate::persistence::load(None).is_empty());
+        crate::persistence::save(None, 1, "t::c", "()");
+    }
+
+    #[test]
+    fn path_for_resolves_against_manifest_ancestors() {
+        // file!() here is relative to the workspace root; the manifest dir
+        // of this crate is <ws>/vendor/proptest, so resolution must walk
+        // up the ancestor chain.
+        let p = crate::persistence::path_for(env!("CARGO_MANIFEST_DIR"), file!())
+            .expect("source file should be locatable");
+        assert!(
+            p.ends_with("vendor/proptest/src/lib.proptest-regressions"),
+            "{p:?}"
+        );
+        assert!(
+            crate::persistence::path_for(env!("CARGO_MANIFEST_DIR"), "no/such/file.rs").is_none()
+        );
     }
 }
