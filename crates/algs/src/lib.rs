@@ -1,0 +1,58 @@
+//! # pf-algs — the §3 algorithms, written once, generic over an engine
+//!
+//! Every pipelined algorithm of *Pipelining with Futures* lives here
+//! exactly once, in continuation-passing style, generic over a
+//! [`PipeBackend`] engine:
+//!
+//! * [`merge`] — BST merge + split (§3.1, Figure 3, Theorem 3.1);
+//! * [`rebalance`] — the three-phase §3.1 rebalance and the
+//!   merge-then-rebalance composite;
+//! * [`treap`] — treap union / difference / intersection / join
+//!   (§3.2–3.3, Figures 4 and 7);
+//! * [`two_six`] — the 2-6 tree multi-insert (§3.4, Theorem 3.13);
+//! * [`list`] — the Figure 1 producer/consumer pipeline and Halstead's
+//!   Figure 2 quicksort;
+//! * [`plain`] — the sequential treap oracle (pure code, no engine).
+//!
+//! The same text compiles against the virtual-time simulator
+//! (`pf_core::Ctx`, exact work/depth accounting), the real work-stealing
+//! runtime (`pf_rt::Worker`), and the sequential oracle
+//! ([`Seq`]). Monomorphization specializes each call site:
+//! on the runtime the cost hooks vanish and a touch lowers to the
+//! single-allocation in-cell suspension; on the simulator the continuations
+//! run inline and the CPS text charges exactly the costs of its
+//! direct-style ancestor (the simulator crate asserts this equivalence in
+//! its own backend tests).
+//!
+//! ## Cost-charge discipline
+//!
+//! The simulator's cost assertions (exact work counts, depth separations,
+//! linearity) run against *this* text, so the placement of every
+//! [`tick`](PipeBackend::tick) / [`flat`](PipeBackend::flat) /
+//! [`touch`](PipeBackend::touch) / [`fulfill`](PipeBackend::fulfill) is
+//! part of the algorithm's meaning — do not reorder them casually.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod list;
+pub mod merge;
+pub mod plain;
+pub mod rebalance;
+pub mod treap;
+pub mod tree;
+pub mod two_six;
+
+pub use pf_backend::{Key, Mode, PipeBackend, Seq, SeqFut, Val};
+
+/// Fork `body` under `mode`: pipelined is a plain fork; strict wraps the
+/// fork in [`PipeBackend::strict`], so (on the simulator) none of the
+/// call's writes become visible before the whole call completes — the
+/// paper's non-pipelined comparison point, one `match` for every `?f(...)`
+/// call site.
+pub fn fork_call<B: PipeBackend>(bk: &B, mode: Mode, body: impl FnOnce(&B) + Send + 'static) {
+    match mode {
+        Mode::Pipelined => bk.fork(body),
+        Mode::Strict => bk.strict(move |bk| bk.fork(body)),
+    }
+}

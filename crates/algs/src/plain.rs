@@ -1,0 +1,379 @@
+//! Sequential reference implementations: a classic treap (Seidel–Aragon)
+//! and small helpers. These serve three purposes:
+//!
+//! 1. **correctness oracles** for the pipelined algorithms;
+//! 2. **input construction** — the parallel treap operations are run on
+//!    treaps whose shape is fully determined by the (key, priority) pairs,
+//!    so building the same pairs here and in each engine yields
+//!    structurally identical inputs across backends;
+//! 3. **work baselines** — the paper's work bounds are relative to the
+//!    sequential algorithm ("determining the work is often simple since it
+//!    is the time a computation would take sequentially", §2).
+//!
+//! This module is pure code with no engine in sight — it is what the three
+//! [`PipeBackend`](crate::PipeBackend) engines are all checked against.
+
+use crate::Key;
+
+/// A (key, priority) pair. The treap shape is a deterministic function of
+/// the multiset of pairs, which is what makes cross-backend structural
+/// comparisons possible.
+pub type Entry<K> = (K, u64);
+
+/// A sequential treap node.
+#[derive(Debug, Clone)]
+pub struct PlainTreap<K> {
+    /// The key at the root.
+    pub key: K,
+    /// The heap priority at the root (max-heap).
+    pub prio: u64,
+    /// Left subtree.
+    pub left: Option<Box<PlainTreap<K>>>,
+    /// Right subtree.
+    pub right: Option<Box<PlainTreap<K>>>,
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) used to derive treap
+/// priorities from integer keys when an explicit priority is not supplied.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Tie-safe priority comparison: compares priorities, breaking ties by key
+/// so the treap shape is a total function of the entries. Shared with the
+/// pipelined [`crate::treap`], which must agree on shapes exactly.
+pub fn wins<K: Ord>(k1: &K, p1: u64, k2: &K, p2: u64) -> bool {
+    (p1, k1) > (p2, k2)
+}
+
+impl<K: Key> PlainTreap<K> {
+    fn leaf(key: K, prio: u64) -> Box<Self> {
+        Box::new(PlainTreap {
+            key,
+            prio,
+            left: None,
+            right: None,
+        })
+    }
+
+    /// Build a treap by repeated insertion. Entries may be in any order;
+    /// duplicate keys keep the first occurrence.
+    pub fn from_entries(entries: &[Entry<K>]) -> Option<Box<Self>> {
+        let mut t = None;
+        for (k, p) in entries {
+            t = Self::insert(t, k.clone(), *p);
+        }
+        t
+    }
+
+    /// Insert `(key, prio)`; duplicate keys leave the treap unchanged.
+    pub fn insert(t: Option<Box<Self>>, key: K, prio: u64) -> Option<Box<Self>> {
+        match t {
+            None => Some(Self::leaf(key, prio)),
+            Some(mut n) => {
+                if key == n.key {
+                    return Some(n);
+                }
+                if key < n.key {
+                    n.left = Self::insert(n.left.take(), key, prio);
+                    if n.left
+                        .as_ref()
+                        .is_some_and(|l| wins(&l.key, l.prio, &n.key, n.prio))
+                    {
+                        return Some(Self::rotate_right(n));
+                    }
+                } else {
+                    n.right = Self::insert(n.right.take(), key, prio);
+                    if n.right
+                        .as_ref()
+                        .is_some_and(|r| wins(&r.key, r.prio, &n.key, n.prio))
+                    {
+                        return Some(Self::rotate_left(n));
+                    }
+                }
+                Some(n)
+            }
+        }
+    }
+
+    fn rotate_right(mut n: Box<Self>) -> Box<Self> {
+        let mut l = n.left.take().expect("rotate_right without left child");
+        n.left = l.right.take();
+        l.right = Some(n);
+        l
+    }
+
+    fn rotate_left(mut n: Box<Self>) -> Box<Self> {
+        let mut r = n.right.take().expect("rotate_left without right child");
+        n.right = r.left.take();
+        r.left = Some(n);
+        r
+    }
+
+    /// Does the treap contain `key`?
+    pub fn contains(t: &Option<Box<Self>>, key: &K) -> bool {
+        let mut cur = t;
+        while let Some(n) = cur {
+            if *key == n.key {
+                return true;
+            }
+            cur = if *key < n.key { &n.left } else { &n.right };
+        }
+        false
+    }
+
+    /// `split(s, t)`: keys `< s` on the left, keys `> s` on the right, plus
+    /// whether `s` itself was present (it is excluded from both sides) —
+    /// the sequential `splitm` of Figure 4.
+    #[allow(clippy::type_complexity)]
+    pub fn split(t: Option<Box<Self>>, s: &K) -> (Option<Box<Self>>, Option<Box<Self>>, bool) {
+        match t {
+            None => (None, None, false),
+            Some(mut n) => {
+                if *s == n.key {
+                    (n.left.take(), n.right.take(), true)
+                } else if *s < n.key {
+                    let (l, m, found) = Self::split(n.left.take(), s);
+                    n.left = m;
+                    (l, Some(n), found)
+                } else {
+                    let (m, r, found) = Self::split(n.right.take(), s);
+                    n.right = m;
+                    (Some(n), r, found)
+                }
+            }
+        }
+    }
+
+    /// `join(l, r)` where every key of `l` is smaller than every key of `r`
+    /// (Figure 7).
+    pub fn join(l: Option<Box<Self>>, r: Option<Box<Self>>) -> Option<Box<Self>> {
+        match (l, r) {
+            (None, r) => r,
+            (l, None) => l,
+            (Some(mut a), Some(mut b)) => {
+                if wins(&a.key, a.prio, &b.key, b.prio) {
+                    a.right = Self::join(a.right.take(), Some(b));
+                    Some(a)
+                } else {
+                    b.left = Self::join(Some(a), b.left.take());
+                    Some(b)
+                }
+            }
+        }
+    }
+
+    /// Set union; on duplicate keys the entry of the higher-priority root
+    /// wins (both carry the same key, so the result key set is the union).
+    pub fn union(a: Option<Box<Self>>, b: Option<Box<Self>>) -> Option<Box<Self>> {
+        match (a, b) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some(a), Some(b)) => {
+                let (mut w, l) = if wins(&a.key, a.prio, &b.key, b.prio) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                let (ll, lr, _found) = Self::split(Some(l), &w.key);
+                w.left = Self::union(w.left.take(), ll);
+                w.right = Self::union(w.right.take(), lr);
+                Some(w)
+            }
+        }
+    }
+
+    /// Set difference: `a` with every key of `b` removed.
+    pub fn diff(a: Option<Box<Self>>, b: Option<Box<Self>>) -> Option<Box<Self>> {
+        match (a, b) {
+            (None, _) => None,
+            (a, None) => a,
+            (Some(mut a), Some(b)) => {
+                let (bl, br, found) = Self::split(Some(b), &a.key);
+                let l = Self::diff(a.left.take(), bl);
+                let r = Self::diff(a.right.take(), br);
+                if found {
+                    Self::join(l, r)
+                } else {
+                    a.left = l;
+                    a.right = r;
+                    Some(a)
+                }
+            }
+        }
+    }
+
+    /// Remove `key` if present.
+    pub fn delete(t: Option<Box<Self>>, key: &K) -> Option<Box<Self>> {
+        let (l, r, _) = Self::split(t, key);
+        Self::join(l, r)
+    }
+
+    /// Keys in symmetric (sorted) order.
+    pub fn to_sorted_vec(t: &Option<Box<Self>>) -> Vec<K> {
+        let mut v = Vec::new();
+        fn rec<K: Key>(t: &Option<Box<PlainTreap<K>>>, v: &mut Vec<K>) {
+            if let Some(n) = t {
+                rec(&n.left, v);
+                v.push(n.key.clone());
+                rec(&n.right, v);
+            }
+        }
+        rec(t, &mut v);
+        v
+    }
+
+    /// Number of keys.
+    pub fn size(t: &Option<Box<Self>>) -> usize {
+        match t {
+            None => 0,
+            Some(n) => 1 + Self::size(&n.left) + Self::size(&n.right),
+        }
+    }
+
+    /// Height (empty = 0).
+    pub fn height(t: &Option<Box<Self>>) -> usize {
+        match t {
+            None => 0,
+            Some(n) => 1 + Self::height(&n.left).max(Self::height(&n.right)),
+        }
+    }
+
+    /// Check the BST order *and* the max-heap priority order.
+    pub fn check_invariants(t: &Option<Box<Self>>) -> bool {
+        fn rec<K: Key>(t: &Option<Box<PlainTreap<K>>>) -> bool {
+            match t {
+                None => true,
+                Some(n) => {
+                    let lo = n.left.as_ref().is_none_or(|l| {
+                        l.key < n.key && !wins(&l.key, l.prio, &n.key, n.prio) && rec(&n.left)
+                    });
+                    let hi = n.right.as_ref().is_none_or(|r| {
+                        r.key > n.key && !wins(&r.key, r.prio, &n.key, n.prio) && rec(&n.right)
+                    });
+                    lo && hi
+                }
+            }
+        }
+        rec(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(keys: &[i64]) -> Vec<Entry<i64>> {
+        keys.iter().map(|&k| (k, splitmix64(k as u64))).collect()
+    }
+
+    #[test]
+    fn insert_and_order() {
+        let t = PlainTreap::from_entries(&entries(&[5, 1, 9, 3, 7, 2, 8]));
+        assert_eq!(PlainTreap::to_sorted_vec(&t), vec![1, 2, 3, 5, 7, 8, 9]);
+        assert!(PlainTreap::check_invariants(&t));
+        assert_eq!(PlainTreap::size(&t), 7);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let t = PlainTreap::from_entries(&entries(&[4, 4, 4]));
+        assert_eq!(PlainTreap::size(&t), 1);
+    }
+
+    #[test]
+    fn contains_works() {
+        let t = PlainTreap::from_entries(&entries(&[10, 20, 30]));
+        assert!(PlainTreap::contains(&t, &20));
+        assert!(!PlainTreap::contains(&t, &25));
+        assert!(!PlainTreap::contains(&None::<Box<PlainTreap<i64>>>, &1));
+    }
+
+    #[test]
+    fn split_partitions_and_finds() {
+        let t = PlainTreap::from_entries(&entries(&(0..50).collect::<Vec<_>>()));
+        let (l, r, found) = PlainTreap::split(t, &25);
+        assert!(found);
+        assert_eq!(PlainTreap::to_sorted_vec(&l), (0..25).collect::<Vec<_>>());
+        assert_eq!(PlainTreap::to_sorted_vec(&r), (26..50).collect::<Vec<_>>());
+        assert!(PlainTreap::check_invariants(&l));
+        assert!(PlainTreap::check_invariants(&r));
+    }
+
+    #[test]
+    fn split_on_absent_key() {
+        let t = PlainTreap::from_entries(&entries(&[0, 2, 4, 6]));
+        let (l, r, found) = PlainTreap::split(t, &3);
+        assert!(!found);
+        assert_eq!(PlainTreap::to_sorted_vec(&l), vec![0, 2]);
+        assert_eq!(PlainTreap::to_sorted_vec(&r), vec![4, 6]);
+    }
+
+    #[test]
+    fn join_inverse_of_split() {
+        let t = PlainTreap::from_entries(&entries(&(0..100).map(|i| i * 3).collect::<Vec<_>>()));
+        let before = PlainTreap::to_sorted_vec(&t);
+        let (l, r, found) = PlainTreap::split(t, &50); // 50 not a multiple of 3
+        assert!(!found);
+        let j = PlainTreap::join(l, r);
+        assert_eq!(PlainTreap::to_sorted_vec(&j), before);
+        assert!(PlainTreap::check_invariants(&j));
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let a = PlainTreap::from_entries(&entries(&[1, 3, 5, 7]));
+        let b = PlainTreap::from_entries(&entries(&[2, 3, 6, 7, 8]));
+        let u = PlainTreap::union(a, b);
+        assert_eq!(PlainTreap::to_sorted_vec(&u), vec![1, 2, 3, 5, 6, 7, 8]);
+        assert!(PlainTreap::check_invariants(&u));
+    }
+
+    #[test]
+    fn diff_is_set_difference() {
+        let a = PlainTreap::from_entries(&entries(&(0..20).collect::<Vec<_>>()));
+        let b = PlainTreap::from_entries(&entries(
+            &(0..20).filter(|k| k % 3 == 0).collect::<Vec<_>>(),
+        ));
+        let d = PlainTreap::diff(a, b);
+        assert_eq!(
+            PlainTreap::to_sorted_vec(&d),
+            (0..20).filter(|k| k % 3 != 0).collect::<Vec<_>>()
+        );
+        assert!(PlainTreap::check_invariants(&d));
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut t = PlainTreap::from_entries(&entries(&[1, 2, 3]));
+        t = PlainTreap::delete(t, &2);
+        assert_eq!(PlainTreap::to_sorted_vec(&t), vec![1, 3]);
+        t = PlainTreap::delete(t, &99); // absent: no-op
+        assert_eq!(PlainTreap::size(&t), 2);
+    }
+
+    #[test]
+    fn expected_height_is_logarithmic() {
+        let n = 1 << 12;
+        let t = PlainTreap::from_entries(&entries(&(0..n).collect::<Vec<_>>()));
+        let h = PlainTreap::height(&t);
+        // E[h] ≈ 3 lg n for treaps; 12 * 6 is a generous in-practice cap.
+        assert!(h < 6 * 12, "height {h} too large for n = {n}");
+        assert!(h >= 12);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // No tiny cycle in low bits for consecutive inputs.
+        let vals: Vec<u64> = (0..64).map(splitmix64).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+    }
+}

@@ -1,0 +1,658 @@
+//! §3.2–3.3 — pipelined treap **union** and **difference** (Figures 4
+//! and 7; Theorems 3.5, 3.7, 3.11; Corollaries 3.6, 3.12), written once in
+//! continuation-passing style against the [`PipeBackend`] surface.
+//!
+//! Treaps (Seidel–Aragon randomized search trees) keep keys in symmetric
+//! order and independently random priorities in max-heap order, giving
+//! expected Θ(lg n) height. The paper shows that the *obvious sequential
+//! code* for union and difference, annotated with futures, pipelines to
+//! expected O(lg n + lg m) depth — and that the pipeline here is
+//! **dynamic**: how soon `splitm` delivers each side of a split depends on
+//! the data, which is what makes these algorithms essentially impossible to
+//! pipeline by hand on a synchronous PRAM.
+//!
+//! The priority comparison breaks ties by key, so the result shape is a
+//! total function of the (key, priority) entries; the sequential treap in
+//! [`crate::plain`] uses the same rule, which the cross-backend tests rely
+//! on.
+//!
+//! Beyond the paper's two headline operations the module rounds out the
+//! set-algebra API: [`intersect`] (the dual of [`diff`], from the
+//! companion set-operations paper the text cites), bulk
+//! [`insert_keys`] / [`delete_keys`], and the single-key dictionary
+//! operations [`contains`] / [`insert_one`] / [`delete_one`] expressed as
+//! singleton unions/differences — exactly how §3.2–3.3 say the bulk
+//! primitives are meant to be used.
+
+use std::sync::Arc;
+
+use crate::plain::{wins, Entry, PlainTreap};
+use crate::{fork_call, Key, Mode, PipeBackend, Val};
+
+/// Shorthand for the future of a subtreap on engine `B`.
+pub type TreapFut<B, K> = <B as PipeBackend>::Fut<Treap<B, K>>;
+/// Shorthand for the write pointer of a subtreap cell on engine `B`.
+pub type TreapWr<B, K> = <B as PipeBackend>::Wr<Treap<B, K>>;
+
+/// A treap whose children are future cells of engine `B`.
+pub enum Treap<B: PipeBackend, K: 'static> {
+    /// The empty treap.
+    Leaf,
+    /// An interior node (shared, immutable).
+    Node(Arc<TreapNode<B, K>>),
+}
+
+/// An interior node of a [`Treap`].
+pub struct TreapNode<B: PipeBackend, K: 'static> {
+    /// Key (symmetric order).
+    pub key: K,
+    /// Priority (max-heap order, ties broken by key).
+    pub prio: u64,
+    /// Future of the left subtreap.
+    pub left: TreapFut<B, K>,
+    /// Future of the right subtreap.
+    pub right: TreapFut<B, K>,
+}
+
+impl<B: PipeBackend, K> Clone for Treap<B, K> {
+    fn clone(&self) -> Self {
+        match self {
+            Treap::Leaf => Treap::Leaf,
+            Treap::Node(n) => Treap::Node(Arc::clone(n)),
+        }
+    }
+}
+
+impl<B: PipeBackend, K> Treap<B, K> {
+    /// Construct an interior node.
+    pub fn node(key: K, prio: u64, left: TreapFut<B, K>, right: TreapFut<B, K>) -> Self {
+        Treap::Node(Arc::new(TreapNode {
+            key,
+            prio,
+            left,
+            right,
+        }))
+    }
+
+    /// Is this the empty treap?
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Treap::Leaf)
+    }
+}
+
+impl<B: PipeBackend, K: Key> Treap<B, K>
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+{
+    /// Read a finished cell (post-run inspection).
+    ///
+    /// # Panics
+    /// If the cell is still unwritten.
+    pub fn expect(f: &TreapFut<B, K>) -> Treap<B, K> {
+        B::peek(f).expect("treap cell not written: the run has not quiesced")
+    }
+
+    /// Convert a sequential treap into an engine treap using free
+    /// pre-written cells (input construction, zero cost).
+    pub fn from_plain(bk: &B, t: &Option<Box<PlainTreap<K>>>) -> Treap<B, K>
+    where
+        TreapWr<B, K>: Send,
+    {
+        match t {
+            None => Treap::Leaf,
+            Some(n) => {
+                let l = Self::from_plain(bk, &n.left);
+                let r = Self::from_plain(bk, &n.right);
+                let lf = bk.input(l);
+                let rf = bk.input(r);
+                Treap::node(n.key.clone(), n.prio, lf, rf)
+            }
+        }
+    }
+
+    /// Build directly from entries (builds a [`PlainTreap`] first, so the
+    /// shape is the oracle's shape by construction).
+    pub fn from_entries(bk: &B, entries: &[Entry<K>]) -> Treap<B, K>
+    where
+        TreapWr<B, K>: Send,
+    {
+        let plain = PlainTreap::from_entries(entries);
+        Self::from_plain(bk, &plain)
+    }
+
+    /// Post-run inspection: sorted key vector.
+    pub fn to_sorted_vec(&self) -> Vec<K> {
+        let mut v = Vec::new();
+        self.inorder_into(&mut v);
+        v
+    }
+
+    fn inorder_into(&self, out: &mut Vec<K>) {
+        if let Treap::Node(n) = self {
+            Self::expect(&n.left).inorder_into(out);
+            out.push(n.key.clone());
+            Self::expect(&n.right).inorder_into(out);
+        }
+    }
+
+    /// Post-run inspection: number of keys.
+    pub fn size(&self) -> usize {
+        match self {
+            Treap::Leaf => 0,
+            Treap::Node(n) => 1 + Self::expect(&n.left).size() + Self::expect(&n.right).size(),
+        }
+    }
+
+    /// Post-run inspection: height (empty = 0).
+    pub fn height(&self) -> usize {
+        match self {
+            Treap::Leaf => 0,
+            Treap::Node(n) => {
+                1 + Self::expect(&n.left)
+                    .height()
+                    .max(Self::expect(&n.right).height())
+            }
+        }
+    }
+
+    /// Post-run inspection: BST order and heap order both hold.
+    pub fn check_invariants(&self) -> bool {
+        fn rec<B: PipeBackend, K: Key>(t: &Treap<B, K>, max_prio: Option<(u64, K)>) -> bool
+        where
+            Treap<B, K>: Val,
+            TreapFut<B, K>: Val,
+        {
+            match t {
+                Treap::Leaf => true,
+                Treap::Node(n) => {
+                    if let Some((p, k)) = &max_prio {
+                        if wins(&n.key, n.prio, k, *p) {
+                            return false;
+                        }
+                    }
+                    let here = Some((n.prio, n.key.clone()));
+                    rec(&Treap::expect(&n.left), here.clone())
+                        && rec(&Treap::expect(&n.right), here)
+                }
+            }
+        }
+        let heap_ok = rec(self, None);
+        let keys = self.to_sorted_vec();
+        let bst_ok = keys.windows(2).all(|w| w[0] < w[1]);
+        heap_ok && bst_ok
+    }
+}
+
+/// `splitm(s, t)` (Figure 4): partition `t` by the splitter `s` into keys
+/// `< s` (`lout`) and keys `> s` (`rout`), **excluding** `s` itself;
+/// `fout` reports whether `s` was present. Completes early if the splitter
+/// is found — one of the data-dependent delays that make the pipeline
+/// dynamic.
+pub fn splitm<B: PipeBackend, K: Key>(
+    bk: &B,
+    s: K,
+    t: Treap<B, K>,
+    lout: TreapWr<B, K>,
+    rout: TreapWr<B, K>,
+    fout: B::Wr<bool>,
+) where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    bk.tick(1); // match + compare
+    match t {
+        Treap::Leaf => {
+            bk.fulfill(lout, Treap::Leaf);
+            bk.fulfill(rout, Treap::Leaf);
+            bk.fulfill(fout, false);
+        }
+        Treap::Node(n) => {
+            if s == n.key {
+                // Found: both sides are the children, written strictly
+                // (a write is strict on the value, so touch first).
+                bk.touch(&n.left.clone(), move |bk, lv| {
+                    bk.fulfill(lout, lv);
+                    bk.touch(&n.right, move |bk, rv| {
+                        bk.fulfill(rout, rv);
+                        bk.fulfill(fout, true);
+                    });
+                });
+            } else if s < n.key {
+                let (rp1, rf1) = bk.cell();
+                bk.fulfill(
+                    rout,
+                    Treap::node(n.key.clone(), n.prio, rf1, n.right.clone()),
+                );
+                bk.touch(&n.left, move |bk, lt| splitm(bk, s, lt, lout, rp1, fout));
+            } else {
+                let (lp1, lf1) = bk.cell();
+                bk.fulfill(
+                    lout,
+                    Treap::node(n.key.clone(), n.prio, n.left.clone(), lf1),
+                );
+                bk.touch(&n.right, move |bk, rt| splitm(bk, s, rt, lp1, rout, fout));
+            }
+        }
+    }
+}
+
+/// `join(l, r)` (Figure 7): concatenate two treaps where every key of `l`
+/// is smaller than every key of `r`. Takes already-touched root values;
+/// the recursion forks so the result spine pipelines upward — the
+/// ρ-value analysis of Lemma 3.10.
+pub fn join<B: PipeBackend, K: Key>(bk: &B, l: Treap<B, K>, r: Treap<B, K>, out: TreapWr<B, K>)
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+{
+    bk.tick(1);
+    match (l, r) {
+        (Treap::Leaf, r) => bk.fulfill(out, r),
+        (l, Treap::Leaf) => bk.fulfill(out, l),
+        (Treap::Node(a), Treap::Node(b)) => {
+            if wins(&a.key, a.prio, &b.key, b.prio) {
+                let (jp, jf) = bk.cell();
+                bk.fulfill(out, Treap::node(a.key.clone(), a.prio, a.left.clone(), jf));
+                let ar = a.right.clone();
+                bk.fork(move |bk| {
+                    bk.touch(&ar, move |bk, rv| join(bk, rv, Treap::Node(b), jp));
+                });
+            } else {
+                let (jp, jf) = bk.cell();
+                bk.fulfill(out, Treap::node(b.key.clone(), b.prio, jf, b.right.clone()));
+                let bl = b.left.clone();
+                bk.fork(move |bk| {
+                    bk.touch(&bl, move |bk, lv| join(bk, Treap::Node(a), lv, jp));
+                });
+            }
+        }
+    }
+}
+
+/// `union(a, b)` (Figure 4): the keys of both treaps, duplicates removed.
+/// The higher-priority root becomes the result root; the other treap is
+/// split by that root's key with `splitm`, whose two output futures feed
+/// the parallel recursive unions.
+pub fn union<B: PipeBackend, K: Key>(
+    bk: &B,
+    a: TreapFut<B, K>,
+    b: TreapFut<B, K>,
+    out: TreapWr<B, K>,
+    mode: Mode,
+) where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    bk.touch(&a, move |bk, av| {
+        bk.tick(1);
+        if av.is_leaf() {
+            bk.touch(&b, move |bk, bv| bk.fulfill(out, bv));
+            return;
+        }
+        bk.touch(&b, move |bk, bv| {
+            bk.tick(1);
+            let (w, loser) = match (av, bv) {
+                (av, Treap::Leaf) => {
+                    bk.fulfill(out, av);
+                    return;
+                }
+                (Treap::Node(na), Treap::Node(nb)) => {
+                    if wins(&na.key, na.prio, &nb.key, nb.prio) {
+                        (na, Treap::Node(nb))
+                    } else {
+                        (nb, Treap::Node(na))
+                    }
+                }
+                (Treap::Leaf, _) => unreachable!("handled above"),
+            };
+            // let (l2, r2) = ?splitm(w.key, loser)
+            let (lp, lf) = bk.cell();
+            let (rp, rf) = bk.cell();
+            let (fp, _ff) = bk.cell::<bool>(); // found-flag: duplicates drop silently
+            let key = w.key.clone();
+            fork_call(bk, mode, move |bk| splitm(bk, key, loser, lp, rp, fp));
+            // Node(k, p, ?union(w.left, l2), ?union(w.right, r2))
+            let (ulp, ulf) = bk.cell();
+            let (urp, urf) = bk.cell();
+            bk.tick(1);
+            bk.fulfill(out, Treap::node(w.key.clone(), w.prio, ulf, urf));
+            let wl = w.left.clone();
+            let wr = w.right.clone();
+            bk.fork2(
+                move |bk| union(bk, wl, lf, ulp, mode),
+                move |bk| union(bk, wr, rf, urp, mode),
+            );
+        });
+    });
+}
+
+/// `diff(a, b)` (Figure 7): the keys of `a` that are not in `b`. Splits
+/// `b` by `a`'s root key, recurses on both sides in parallel, and — if the
+/// root key was found in `b` — deletes it by joining the two recursive
+/// results. The descending phase pipelines like `union`; the ascending
+/// (join) phase pipelines by the ρ-value argument of Theorem 3.11.
+pub fn diff<B: PipeBackend, K: Key>(
+    bk: &B,
+    a: TreapFut<B, K>,
+    b: TreapFut<B, K>,
+    out: TreapWr<B, K>,
+    mode: Mode,
+) where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    bk.touch(&a, move |bk, av| {
+        bk.tick(1);
+        let n1 = match av {
+            Treap::Leaf => {
+                bk.fulfill(out, Treap::Leaf);
+                return;
+            }
+            Treap::Node(n) => n,
+        };
+        bk.touch(&b, move |bk, bv| {
+            bk.tick(1);
+            if bv.is_leaf() {
+                bk.fulfill(out, Treap::Node(n1));
+                return;
+            }
+            // let (l2, r2, found) = ?splitm(a.key, b)
+            let (lp, lf) = bk.cell();
+            let (rp, rf) = bk.cell();
+            let (fp, ff) = bk.cell();
+            let key = n1.key.clone();
+            fork_call(bk, mode, move |bk| splitm(bk, key, bv, lp, rp, fp));
+            // l = ?diff(a.left, l2); r = ?diff(a.right, r2)
+            let (dlp, dlf) = bk.cell();
+            let (drp, drf) = bk.cell();
+            let al = n1.left.clone();
+            let ar = n1.right.clone();
+            bk.fork2(
+                move |bk| diff(bk, al, lf, dlp, mode),
+                move |bk| diff(bk, ar, rf, drp, mode),
+            );
+            // if found then join(l, r) else Node(k, p, l, r)
+            bk.touch(&ff, move |bk, found| {
+                bk.tick(1);
+                if found {
+                    bk.touch(&dlf, move |bk, lv| {
+                        bk.touch(&drf, move |bk, rv| match mode {
+                            Mode::Pipelined => join(bk, lv, rv, out),
+                            Mode::Strict => bk.strict(move |bk| join(bk, lv, rv, out)),
+                        });
+                    });
+                } else {
+                    bk.fulfill(out, Treap::node(n1.key.clone(), n1.prio, dlf, drf));
+                }
+            });
+        });
+    });
+}
+
+/// `intersect(a, b)`: the keys present in both treaps, with `a`'s
+/// priorities. Structurally the dual of [`diff`] (same split, same
+/// pipelined descent, same data-dependent join phase — only the
+/// keep/delete decision is inverted), completing the set-operation family
+/// of the companion paper the text cites for Theorem 3.7 (reference 11).
+pub fn intersect<B: PipeBackend, K: Key>(
+    bk: &B,
+    a: TreapFut<B, K>,
+    b: TreapFut<B, K>,
+    out: TreapWr<B, K>,
+    mode: Mode,
+) where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    bk.touch(&a, move |bk, av| {
+        bk.tick(1);
+        let n1 = match av {
+            Treap::Leaf => {
+                bk.fulfill(out, Treap::Leaf);
+                return;
+            }
+            Treap::Node(n) => n,
+        };
+        bk.touch(&b, move |bk, bv| {
+            bk.tick(1);
+            if bv.is_leaf() {
+                bk.fulfill(out, Treap::Leaf);
+                return;
+            }
+            let (lp, lf) = bk.cell();
+            let (rp, rf) = bk.cell();
+            let (fp, ff) = bk.cell();
+            let key = n1.key.clone();
+            fork_call(bk, mode, move |bk| splitm(bk, key, bv, lp, rp, fp));
+            let (ilp, ilf) = bk.cell();
+            let (irp, irf) = bk.cell();
+            let al = n1.left.clone();
+            let ar = n1.right.clone();
+            bk.fork2(
+                move |bk| intersect(bk, al, lf, ilp, mode),
+                move |bk| intersect(bk, ar, rf, irp, mode),
+            );
+            // Inverted decision vs diff: keep the root only if it IS in b.
+            bk.touch(&ff, move |bk, found| {
+                bk.tick(1);
+                if found {
+                    bk.fulfill(out, Treap::node(n1.key.clone(), n1.prio, ilf, irf));
+                } else {
+                    bk.touch(&ilf, move |bk, lv| {
+                        bk.touch(&irf, move |bk, rv| match mode {
+                            Mode::Pipelined => join(bk, lv, rv, out),
+                            Mode::Strict => bk.strict(move |bk| join(bk, lv, rv, out)),
+                        });
+                    });
+                }
+            });
+        });
+    });
+}
+
+/// Single-key search (§3.2: treaps "provide for search, insertion, and
+/// deletion of keys"). A plain root-to-leaf walk touching each child on
+/// the way down: O(h) depth and work; the verdict is written to `out`.
+pub fn contains<B: PipeBackend, K: Key>(bk: &B, t: TreapFut<B, K>, key: K, out: B::Wr<bool>)
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    bk.touch(&t, move |bk, tv| contains_val(bk, key, tv, out));
+}
+
+fn contains_val<B: PipeBackend, K: Key>(bk: &B, key: K, cur: Treap<B, K>, out: B::Wr<bool>)
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    bk.tick(1);
+    match cur {
+        Treap::Leaf => bk.fulfill(out, false),
+        Treap::Node(n) => {
+            if key == n.key {
+                bk.fulfill(out, true);
+            } else if key < n.key {
+                bk.touch(&n.left, move |bk, c| contains_val(bk, key, c, out));
+            } else {
+                bk.touch(&n.right, move |bk, c| contains_val(bk, key, c, out));
+            }
+        }
+    }
+}
+
+/// Single-key insertion, expressed as a singleton union — exactly the
+/// paper's reduction of dictionary operations to the bulk primitives.
+pub fn insert_one<B: PipeBackend, K: Key>(
+    bk: &B,
+    t: TreapFut<B, K>,
+    key: K,
+    prio: u64,
+    mode: Mode,
+) -> TreapFut<B, K>
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    insert_keys(bk, t, &[(key, prio)], mode)
+}
+
+/// Single-key deletion via a singleton difference.
+pub fn delete_one<B: PipeBackend, K: Key>(
+    bk: &B,
+    t: TreapFut<B, K>,
+    key: K,
+    mode: Mode,
+) -> TreapFut<B, K>
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    delete_keys(bk, t, &[(key, 0)], mode)
+}
+
+/// Bulk insert (§3.2: union "can be used to insert a set of keys into a
+/// treap"): build a treap of the new entries — via [`PipeBackend::input`],
+/// since treap construction from a batch is the client's input
+/// marshalling — and union it in. Returns the future of the updated treap.
+pub fn insert_keys<B: PipeBackend, K: Key>(
+    bk: &B,
+    t: TreapFut<B, K>,
+    batch: &[Entry<K>],
+    mode: Mode,
+) -> TreapFut<B, K>
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    let b = Treap::from_entries(bk, batch);
+    let fb = bk.input(b);
+    let (p, f) = bk.cell();
+    bk.fork(move |bk| union(bk, t, fb, p, mode));
+    f
+}
+
+/// Bulk delete (§3.3: difference "can be used to delete a set of keys").
+/// The priorities in `batch` are irrelevant (only keys are matched).
+pub fn delete_keys<B: PipeBackend, K: Key>(
+    bk: &B,
+    t: TreapFut<B, K>,
+    batch: &[Entry<K>],
+    mode: Mode,
+) -> TreapFut<B, K>
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    let b = Treap::from_entries(bk, batch);
+    let fb = bk.input(b);
+    let (p, f) = bk.cell();
+    bk.fork(move |bk| diff(bk, t, fb, p, mode));
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain::splitmix64;
+    use crate::Seq;
+
+    fn entries(keys: impl IntoIterator<Item = i64>) -> Vec<Entry<i64>> {
+        keys.into_iter()
+            .map(|k| (k, splitmix64(k as u64 ^ 0xABCD_EF01)))
+            .collect()
+    }
+
+    #[test]
+    fn union_on_the_oracle_matches_plain() {
+        let a = entries(0..80);
+        let b = entries(40..120);
+        let got = Seq::run(|bk| {
+            let fa = bk.input(Treap::from_entries(bk, &a));
+            let fb = bk.input(Treap::from_entries(bk, &b));
+            let (op, of) = bk.cell();
+            union(bk, fa, fb, op, Mode::Pipelined);
+            Treap::<Seq, i64>::expect(&of)
+        });
+        assert!(got.check_invariants());
+        let pu = PlainTreap::union(PlainTreap::from_entries(&a), PlainTreap::from_entries(&b));
+        assert_eq!(got.to_sorted_vec(), PlainTreap::to_sorted_vec(&pu));
+        assert_eq!(got.height(), PlainTreap::height(&pu));
+    }
+
+    #[test]
+    fn diff_and_intersect_on_the_oracle() {
+        let a = entries(0..100);
+        let b = entries((0..100).filter(|k| k % 3 == 0));
+        let (d, i) = Seq::run(|bk| {
+            let fa = bk.input(Treap::from_entries(bk, &a));
+            let fb = bk.input(Treap::from_entries(bk, &b));
+            let (dp, df) = bk.cell();
+            diff(bk, fa.clone(), fb.clone(), dp, Mode::Pipelined);
+            let (ip, if_) = bk.cell();
+            intersect(bk, fa, fb, ip, Mode::Pipelined);
+            (
+                Treap::<Seq, i64>::expect(&df),
+                Treap::<Seq, i64>::expect(&if_),
+            )
+        });
+        assert!(d.check_invariants() && i.check_invariants());
+        assert_eq!(
+            d.to_sorted_vec(),
+            (0..100).filter(|k| k % 3 != 0).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            i.to_sorted_vec(),
+            (0..100).filter(|k| k % 3 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dictionary_ops_on_the_oracle() {
+        let (missing, present, t3) = Seq::run(|bk| {
+            let ft = bk.input(Treap::from_entries(bk, &entries((0..50).map(|i| 2 * i))));
+            let t1 = insert_one(bk, ft, 7, 12345, Mode::Pipelined);
+            let t2 = insert_one(bk, t1, 9, 999, Mode::Pipelined);
+            let t3 = delete_one(bk, t2, 48, Mode::Pipelined);
+            let (mp, mf) = bk.cell();
+            contains(bk, t3.clone(), 48, mp);
+            let (pp, pf) = bk.cell();
+            contains(bk, t3.clone(), 9, pp);
+            (!mf.expect(), pf.expect(), Treap::<Seq, i64>::expect(&t3))
+        });
+        assert!(missing && present);
+        let keys = t3.to_sorted_vec();
+        assert!(keys.contains(&7) && keys.contains(&9) && !keys.contains(&48));
+        assert_eq!(keys.len(), 51);
+    }
+}

@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pf_rt::{cell, ready, Runtime};
-use pf_rt_algs::rtreap::{union as rt_union, RTreap};
-use pf_rt_algs::rtree::{merge as rt_merge, RTree};
+use pf_rt_algs::rtreap::{union as rt_union, RTreap, RtTreap};
+use pf_rt_algs::rtree::{merge as rt_merge, RTree, RtTree};
 use pf_trees::merge::run_merge;
 use pf_trees::seq::PlainTreap;
 use pf_trees::treap::run_union;
@@ -51,8 +51,8 @@ fn bench_rt(c: &mut Criterion) {
     let (a, b) = interleaved_pair(n, n);
     g.bench_function("merge_4k_rt1", |bch| {
         bch.iter(|| {
-            let ta = ready(RTree::from_sorted(&a));
-            let tb = ready(RTree::from_sorted(&b));
+            let ta = ready(RTree::from_sorted_ready(&a));
+            let tb = ready(RTree::from_sorted_ready(&b));
             let (op, of) = cell();
             Runtime::new(1).run(move |wk| rt_merge(wk, ta, tb, op));
             assert!(of.is_written());
@@ -62,8 +62,8 @@ fn bench_rt(c: &mut Criterion) {
     let (ea, eb) = union_entries(n, n, 7);
     g.bench_function("union_4k_rt1", |bch| {
         bch.iter(|| {
-            let ta = ready(RTreap::from_entries(&ea));
-            let tb = ready(RTreap::from_entries(&eb));
+            let ta = ready(RTreap::from_entries_ready(&ea));
+            let tb = ready(RTreap::from_entries_ready(&eb));
             let (op, of) = cell();
             Runtime::new(1).run(move |wk| rt_union(wk, ta, tb, op));
             assert!(of.is_written());

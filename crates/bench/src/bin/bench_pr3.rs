@@ -1,0 +1,441 @@
+//! PR 3 evidence harness: the generic (`pf_algs` over `PipeBackend`)
+//! algorithms vs the hand-written CPS versions they replaced.
+//!
+//! Host wall-clock drifts far more than 5% between runs on shared
+//! machines, so comparing a fresh run against the committed pre-refactor
+//! JSON would measure the host, not the refactor. Instead this binary
+//! resurrects the pre-refactor hand-CPS union and merge verbatim (from
+//! the last commit before the refactor) in a private module and races
+//! the two implementations **interleaved in one process**, reporting the
+//! generic/hand ratio per thread count. Parity means ratios within ±5%.
+//!
+//! Usage: `bench_pr3` — writes `results/BENCH_PR3.json` and prints the
+//! table.
+
+use std::time::{Duration, Instant};
+
+use pf_rt::{cell, ready, Runtime};
+use pf_rt_algs::drivers::{best_of, time_merge_rt, time_union_rt};
+use pf_trees::workloads::union_entries;
+
+/// The pre-refactor hand-CPS implementations, copied verbatim from the
+/// commit that preceded the `PipeBackend` refactor so the baseline stays
+/// measurable. Not public API — exists only for this A/B harness.
+mod hand {
+    use std::sync::Arc;
+
+    use pf_rt::{cell, ready, FutRead, FutWrite, Worker};
+    use pf_trees::seq::{Entry, PlainTreap};
+
+    pub enum RTree<K> {
+        Leaf,
+        Node(Arc<RNode<K>>),
+    }
+
+    pub struct RNode<K> {
+        pub key: K,
+        pub left: FutRead<RTree<K>>,
+        pub right: FutRead<RTree<K>>,
+    }
+
+    impl<K> Clone for RTree<K> {
+        fn clone(&self) -> Self {
+            match self {
+                RTree::Leaf => RTree::Leaf,
+                RTree::Node(n) => RTree::Node(Arc::clone(n)),
+            }
+        }
+    }
+
+    pub trait RKey: Clone + Ord + Send + Sync + 'static {}
+    impl<K: Clone + Ord + Send + Sync + 'static> RKey for K {}
+
+    impl<K: RKey> RTree<K> {
+        pub fn node(key: K, left: FutRead<RTree<K>>, right: FutRead<RTree<K>>) -> Self {
+            RTree::Node(Arc::new(RNode { key, left, right }))
+        }
+
+        pub fn is_leaf(&self) -> bool {
+            matches!(self, RTree::Leaf)
+        }
+
+        pub fn from_sorted(sorted: &[K]) -> RTree<K> {
+            if sorted.is_empty() {
+                return RTree::Leaf;
+            }
+            let mid = sorted.len() / 2;
+            let left = Self::from_sorted(&sorted[..mid]);
+            let right = Self::from_sorted(&sorted[mid + 1..]);
+            RTree::node(sorted[mid].clone(), ready(left), ready(right))
+        }
+
+        pub fn size(&self) -> usize {
+            let mut n = 0;
+            let mut stack = vec![self.clone()];
+            while let Some(t) = stack.pop() {
+                if let RTree::Node(node) = t {
+                    n += 1;
+                    stack.push(node.left.expect());
+                    stack.push(node.right.expect());
+                }
+            }
+            n
+        }
+    }
+
+    pub fn split<K: RKey>(
+        wk: &Worker,
+        s: K,
+        t: RTree<K>,
+        lout: FutWrite<RTree<K>>,
+        rout: FutWrite<RTree<K>>,
+    ) {
+        match t {
+            RTree::Leaf => {
+                lout.fulfill(wk, RTree::Leaf);
+                rout.fulfill(wk, RTree::Leaf);
+            }
+            RTree::Node(n) => {
+                if n.key >= s {
+                    let (rp1, rf1) = cell();
+                    rout.fulfill(wk, RTree::node(n.key.clone(), rf1, n.right.clone()));
+                    n.left.touch(wk, move |lv, wk| split(wk, s, lv, lout, rp1));
+                } else {
+                    let (lp1, lf1) = cell();
+                    lout.fulfill(wk, RTree::node(n.key.clone(), n.left.clone(), lf1));
+                    n.right.touch(wk, move |rv, wk| split(wk, s, rv, lp1, rout));
+                }
+            }
+        }
+    }
+
+    pub fn merge<K: RKey>(
+        wk: &Worker,
+        a: FutRead<RTree<K>>,
+        b: FutRead<RTree<K>>,
+        out: FutWrite<RTree<K>>,
+    ) {
+        a.touch(wk, move |av, wk| {
+            match av {
+                RTree::Leaf => b.touch(wk, move |bv, wk| out.fulfill(wk, bv)),
+                RTree::Node(n) => b.touch(wk, move |bv, wk| {
+                    if bv.is_leaf() {
+                        out.fulfill(wk, RTree::Node(n));
+                        return;
+                    }
+                    // let (L2, R2) = ?split(v, B)
+                    let (lp2, lf2) = cell();
+                    let (rp2, rf2) = cell();
+                    let key = n.key.clone();
+                    wk.spawn(move |wk| split(wk, key, bv, lp2, rp2));
+                    // Node(v, ?merge(L, L2), ?merge(R, R2))
+                    let (mlp, mlf) = cell();
+                    let (mrp, mrf) = cell();
+                    out.fulfill(wk, RTree::node(n.key.clone(), mlf, mrf));
+                    let l = n.left.clone();
+                    let r = n.right.clone();
+                    wk.spawn2(
+                        move |wk| merge(wk, l, lf2, mlp),
+                        move |wk| merge(wk, r, rf2, mrp),
+                    );
+                }),
+            }
+        });
+    }
+
+    pub enum RTreap<K> {
+        Leaf,
+        Node(Arc<RTreapNode<K>>),
+    }
+
+    pub struct RTreapNode<K> {
+        pub key: K,
+        pub prio: u64,
+        pub left: FutRead<RTreap<K>>,
+        pub right: FutRead<RTreap<K>>,
+    }
+
+    impl<K> Clone for RTreap<K> {
+        fn clone(&self) -> Self {
+            match self {
+                RTreap::Leaf => RTreap::Leaf,
+                RTreap::Node(n) => RTreap::Node(Arc::clone(n)),
+            }
+        }
+    }
+
+    fn wins<K: Ord>(k1: &K, p1: u64, k2: &K, p2: u64) -> bool {
+        (p1, k1) > (p2, k2)
+    }
+
+    impl<K: RKey> RTreap<K> {
+        pub fn node(
+            key: K,
+            prio: u64,
+            left: FutRead<RTreap<K>>,
+            right: FutRead<RTreap<K>>,
+        ) -> Self {
+            RTreap::Node(Arc::new(RTreapNode {
+                key,
+                prio,
+                left,
+                right,
+            }))
+        }
+
+        pub fn from_plain(t: &Option<Box<PlainTreap<K>>>) -> RTreap<K> {
+            match t {
+                None => RTreap::Leaf,
+                Some(n) => RTreap::node(
+                    n.key.clone(),
+                    n.prio,
+                    ready(Self::from_plain(&n.left)),
+                    ready(Self::from_plain(&n.right)),
+                ),
+            }
+        }
+
+        pub fn from_entries(entries: &[Entry<K>]) -> RTreap<K> {
+            Self::from_plain(&PlainTreap::from_entries(entries))
+        }
+
+        pub fn size(&self) -> usize {
+            let mut n = 0;
+            let mut stack = vec![self.clone()];
+            while let Some(t) = stack.pop() {
+                if let RTreap::Node(node) = t {
+                    n += 1;
+                    stack.push(node.left.expect());
+                    stack.push(node.right.expect());
+                }
+            }
+            n
+        }
+    }
+
+    pub fn splitm<K: RKey>(
+        wk: &Worker,
+        s: K,
+        t: RTreap<K>,
+        lout: FutWrite<RTreap<K>>,
+        rout: FutWrite<RTreap<K>>,
+        fout: FutWrite<bool>,
+    ) {
+        match t {
+            RTreap::Leaf => {
+                lout.fulfill(wk, RTreap::Leaf);
+                rout.fulfill(wk, RTreap::Leaf);
+                fout.fulfill(wk, false);
+            }
+            RTreap::Node(n) => {
+                if s == n.key {
+                    let left = n.left.clone();
+                    let right = n.right.clone();
+                    left.touch(wk, move |lv, wk| {
+                        lout.fulfill(wk, lv);
+                        right.touch(wk, move |rv, wk| {
+                            rout.fulfill(wk, rv);
+                            fout.fulfill(wk, true);
+                        });
+                    });
+                } else if s < n.key {
+                    let (rp1, rf1) = cell();
+                    rout.fulfill(
+                        wk,
+                        RTreap::node(n.key.clone(), n.prio, rf1, n.right.clone()),
+                    );
+                    n.left
+                        .touch(wk, move |lv, wk| splitm(wk, s, lv, lout, rp1, fout));
+                } else {
+                    let (lp1, lf1) = cell();
+                    lout.fulfill(wk, RTreap::node(n.key.clone(), n.prio, n.left.clone(), lf1));
+                    n.right
+                        .touch(wk, move |rv, wk| splitm(wk, s, rv, lp1, rout, fout));
+                }
+            }
+        }
+    }
+
+    pub fn union<K: RKey>(
+        wk: &Worker,
+        a: FutRead<RTreap<K>>,
+        b: FutRead<RTreap<K>>,
+        out: FutWrite<RTreap<K>>,
+    ) {
+        a.touch(wk, move |av, wk| {
+            b.touch(wk, move |bv, wk| {
+                let (w, loser) = match (av, bv) {
+                    (RTreap::Leaf, bv) => {
+                        out.fulfill(wk, bv);
+                        return;
+                    }
+                    (av, RTreap::Leaf) => {
+                        out.fulfill(wk, av);
+                        return;
+                    }
+                    (RTreap::Node(na), RTreap::Node(nb)) => {
+                        if wins(&na.key, na.prio, &nb.key, nb.prio) {
+                            (na, RTreap::Node(nb))
+                        } else {
+                            (nb, RTreap::Node(na))
+                        }
+                    }
+                };
+                let (lp, lf) = cell();
+                let (rp, rf) = cell();
+                let (fp, _ff) = cell::<bool>();
+                let key = w.key.clone();
+                wk.spawn(move |wk| splitm(wk, key, loser, lp, rp, fp));
+                let (ulp, ulf) = cell();
+                let (urp, urf) = cell();
+                out.fulfill(wk, RTreap::node(w.key.clone(), w.prio, ulf, urf));
+                let wl = w.left.clone();
+                let wr = w.right.clone();
+                wk.spawn2(
+                    move |wk| union(wk, wl, lf, ulp),
+                    move |wk| union(wk, wr, rf, urp),
+                );
+            });
+        });
+    }
+}
+
+/// Hand-CPS twin of `drivers::time_union_rt` (same shared pool, same
+/// clock placement, input construction excluded).
+fn time_union_hand(
+    a: &[pf_trees::seq::Entry<i64>],
+    b: &[pf_trees::seq::Entry<i64>],
+    threads: usize,
+) -> Duration {
+    let ta = hand::RTreap::from_entries(a);
+    let tb = hand::RTreap::from_entries(b);
+    let rt = Runtime::shared(threads);
+    let (op, of) = cell();
+    let (fa, fb) = (ready(ta), ready(tb));
+    let start = Instant::now();
+    rt.run(move |wk| hand::union(wk, fa, fb, op));
+    let dt = start.elapsed();
+    assert!(of.expect().size() >= a.len().max(b.len()));
+    dt
+}
+
+/// Hand-CPS twin of `drivers::time_merge_rt`.
+fn time_merge_hand(a: &[i64], b: &[i64], threads: usize) -> Duration {
+    let ta = hand::RTree::from_sorted(a);
+    let tb = hand::RTree::from_sorted(b);
+    let rt = Runtime::shared(threads);
+    let (op, of) = cell();
+    let (fa, fb) = (ready(ta), ready(tb));
+    let start = Instant::now();
+    rt.run(move |wk| hand::merge(wk, fa, fb, op));
+    let dt = start.elapsed();
+    assert_eq!(of.expect().size(), a.len() + b.len());
+    dt
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+const THREADS: [usize; 3] = [1, 4, 8];
+const ROUNDS: usize = 17;
+
+fn main() {
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let (ea, eb) = union_entries(50_000, 50_000, 5);
+    let a: Vec<i64> = (0..50_000).map(|i| 2 * i).collect();
+    let b: Vec<i64> = (0..50_000).map(|i| 2 * i + 1).collect();
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, v: f64| {
+        println!("{name:<44} {v:>12.3}");
+        entries.push((name, v));
+    };
+
+    // Paired A/B: each round measures hand and generic back-to-back
+    // (alternating order to cancel order effects) and contributes one
+    // generic/hand ratio; the reported ratio is the median over rounds.
+    // Host drift on the scale of seconds cancels inside each pair.
+    let paired = |name: &str,
+                  mut hand: Box<dyn FnMut() -> Duration + '_>,
+                  mut generic: Box<dyn FnMut() -> Duration + '_>| {
+        let mut hand_best = Duration::MAX;
+        let mut gen_best = Duration::MAX;
+        let mut ratios = Vec::with_capacity(ROUNDS);
+        for round in 0..ROUNDS {
+            let (dh, dg) = if round % 2 == 0 {
+                let dh = best_of(3, &mut hand);
+                let dg = best_of(3, &mut generic);
+                (dh, dg)
+            } else {
+                let dg = best_of(3, &mut generic);
+                let dh = best_of(3, &mut hand);
+                (dh, dg)
+            };
+            hand_best = hand_best.min(dh);
+            gen_best = gen_best.min(dg);
+            ratios.push(dg.as_secs_f64() / dh.as_secs_f64());
+        }
+        ratios.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        (
+            name.to_string(),
+            hand_best,
+            gen_best,
+            ratios[ratios.len() / 2],
+        )
+    };
+
+    let mut rows = Vec::new();
+    let (ea, eb, a, b) = (&ea, &eb, &a, &b);
+    for t in THREADS {
+        rows.push(paired(
+            &format!("union_50k_t{t}"),
+            Box::new(move || time_union_hand(ea, eb, t)),
+            Box::new(move || time_union_rt(ea, eb, t)),
+        ));
+    }
+    for t in THREADS {
+        rows.push(paired(
+            &format!("merge_50k_t{t}"),
+            Box::new(move || time_merge_hand(a, b, t)),
+            Box::new(move || time_merge_rt(a, b, t)),
+        ));
+    }
+    for (name, hand_best, gen_best, median_ratio) in rows {
+        push(format!("{name}_hand_ms"), hand_best.as_secs_f64() * 1e3);
+        push(format!("{name}_generic_ms"), gen_best.as_secs_f64() * 1e3);
+        push(format!("{name}_median_ratio"), median_ratio);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"label\": \"pr3_generic_vs_hand_cps\",\n");
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str(
+        "  \"note\": \"interleaved in-process A/B: hand-CPS baseline resurrected from the pre-refactor commit; ratio = generic/hand, parity is 0.95..1.05\",\n",
+    );
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{k}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_PR3.json", &json).expect("write json");
+    println!("\nwrote results/BENCH_PR3.json");
+}

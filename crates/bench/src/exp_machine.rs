@@ -4,9 +4,9 @@
 use pf_core::{Sim, Trace};
 use pf_machine::{predicted_time, pvw_time, replay, Discipline, Machine, INFINITE_P};
 use pf_trees::merge::merge;
-use pf_trees::treap::{diff, union, Treap};
-use pf_trees::tree::Tree;
-use pf_trees::two_six::{insert_many, TsTree};
+use pf_trees::treap::{diff, union, SimTreap, Treap};
+use pf_trees::tree::{SimTree, Tree};
+use pf_trees::two_six::{insert_many, SimTsTree, TsTree};
 use pf_trees::workloads::{diff_entries, interleaved_pair, sorted_keys, union_entries};
 use pf_trees::Mode;
 

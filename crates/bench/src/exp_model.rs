@@ -10,8 +10,9 @@ use pf_trees::mergesort::{run_msort, run_msort_balanced};
 use pf_trees::pipeline::run_pipeline;
 use pf_trees::quicksort::run_quicksort;
 use pf_trees::rebalance::run_rebalance;
-use pf_trees::treap::{run_diff, run_union, Treap};
-use pf_trees::two_six::{insert_many_with_waves, TsTree};
+use pf_trees::treap::{run_diff, run_union, SimTreap, Treap};
+use pf_trees::tree::SimTree;
+use pf_trees::two_six::{insert_many_with_waves, SimTsTree, TsTree};
 use pf_trees::workloads::{
     diff_entries, interleaved_pair, shuffled_keys, sorted_keys, spread_pair, union_entries,
 };
@@ -504,14 +505,24 @@ pub fn e19_profiles(lg_n: u32) -> Table {
     let (_, r, prof) = Sim::new().run_profiled(|ctx| {
         let l = pf_trees::quicksort::preload_list(ctx, &keys);
         let (op, of) = ctx.promise();
-        pf_trees::quicksort::qs(ctx, l, pf_core::FList::nil(), op, Mode::Pipelined);
+        pf_trees::quicksort::qs(
+            ctx,
+            l,
+            pf_trees::quicksort::List::nil(),
+            op,
+            Mode::Pipelined,
+        );
         of
     });
     push("quicksort", r, prof);
 
     let (_, r, prof) = Sim::new().run_profiled(|ctx| {
-        let list = pf_trees::pipeline::produce(ctx, (n as u64).min(4000));
-        pf_trees::pipeline::consume(ctx, list, 0)
+        let (lp, lf) = ctx.promise();
+        pf_trees::pipeline::produce(ctx, (n as u64).min(4000), lp);
+        let list = ctx.touch(&lf);
+        let (sp, sf) = ctx.promise();
+        pf_trees::pipeline::consume(ctx, list, 0, sp);
+        ctx.touch(&sf)
     });
     push("pipeline", r, prof);
     t

@@ -19,7 +19,9 @@ use pf_rt_algs::drivers::{
     best_of, time_insert_rt, time_insert_seq, time_merge_rt, time_merge_seq, time_rebalance_rt,
     time_union_rt, time_union_seq,
 };
+use pf_rt_algs::rtree::RtTree;
 use pf_trees::merge::run_merge;
+use pf_trees::tree::SimTree;
 use pf_trees::workloads::{interleaved_pair, union_entries};
 use pf_trees::Mode;
 
@@ -179,8 +181,8 @@ pub fn rt_matches_model(lg_n: u32) -> bool {
     let (root, _) = run_merge(&a, &b, Mode::Pipelined);
     let model_keys = root.get().to_sorted_vec();
 
-    let ta = pf_rt_algs::rtree::RTree::from_sorted(&a);
-    let tb = pf_rt_algs::rtree::RTree::from_sorted(&b);
+    let ta = pf_rt_algs::rtree::RTree::from_sorted_ready(&a);
+    let tb = pf_rt_algs::rtree::RTree::from_sorted_ready(&b);
     let (op, of) = cell();
     Runtime::new(2)
         .run(move |wk| pf_rt_algs::rtree::merge(wk, pf_rt::ready(ta), pf_rt::ready(tb), op));

@@ -5,10 +5,17 @@
 //! virtual clock, every future cell records the clock at which it was
 //! written, and touches advance the clock across data edges. The maximum
 //! clock reached is the DAG depth; the sum of charged actions is the work.
+//!
+//! All [`Ctx`] methods take `&self`: a context is a per-simulated-thread
+//! clock (interior-mutable) over shared simulation state, which is what lets
+//! `Ctx` implement the engine-agnostic `pf_backend::PipeBackend` trait —
+//! continuations receive a fresh `&Ctx` exactly like the real runtime hands
+//! out `&Worker`.
 
 use std::cell::{Cell as StdCell, RefCell};
 use std::cmp::max;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::cost::{CostModel, CostReport};
 use crate::fut::{new_cell, Fut, Promise, RestampCell};
@@ -39,7 +46,7 @@ pub fn run_with_big_stack<T: Send>(stack: usize, f: impl FnOnce() -> T + Send) -
 #[derive(Default)]
 struct StrictFrame {
     /// Cells written inside the frame; re-stamped to the frame's end time.
-    cells: Vec<Rc<dyn RestampCell>>,
+    cells: Vec<Arc<dyn RestampCell>>,
     /// Latest end time of any simulated thread that terminated inside the
     /// frame — the completion time of the whole strict sub-computation.
     max_end: u64,
@@ -149,14 +156,18 @@ impl Sim {
         }
     }
 
-    /// Run a program and return its result and measured cost.
-    pub fn run<T>(self, f: impl FnOnce(&mut Ctx) -> T) -> (T, CostReport) {
-        let mut ctx = Ctx {
-            time: 0,
+    fn root_ctx(&self) -> Ctx {
+        Ctx {
+            time: StdCell::new(0),
             thread: 0,
             st: Rc::clone(&self.st),
-        };
-        let r = f(&mut ctx);
+        }
+    }
+
+    /// Run a program and return its result and measured cost.
+    pub fn run<T>(self, f: impl FnOnce(&Ctx) -> T) -> (T, CostReport) {
+        let ctx = self.root_ctx();
+        let r = f(&ctx);
         (r, self.st.report())
     }
 
@@ -165,14 +176,10 @@ impl Sim {
     /// actions executable at time t+1 with unlimited processors). The
     /// profile integrates to the work, its length is the depth, and its
     /// running maximum bounds the useful processor count at each moment.
-    pub fn run_profiled<T>(self, f: impl FnOnce(&mut Ctx) -> T) -> (T, CostReport, Vec<u64>) {
+    pub fn run_profiled<T>(self, f: impl FnOnce(&Ctx) -> T) -> (T, CostReport, Vec<u64>) {
         *self.st.profile.borrow_mut() = Some(Vec::new());
-        let mut ctx = Ctx {
-            time: 0,
-            thread: 0,
-            st: Rc::clone(&self.st),
-        };
-        let r = f(&mut ctx);
+        let ctx = self.root_ctx();
+        let r = f(&ctx);
         let report = self.st.report();
         let profile = self
             .st
@@ -191,19 +198,15 @@ impl Sim {
     /// cells after the fact, which has no faithful encoding in the replayable
     /// event stream. Trace the pipelined variant instead — that is the one
     /// Lemma 4.1 is about.
-    pub fn run_traced<T>(self, f: impl FnOnce(&mut Ctx) -> T) -> (T, CostReport, Trace) {
+    pub fn run_traced<T>(self, f: impl FnOnce(&Ctx) -> T) -> (T, CostReport, Trace) {
         {
             let mut tb = TraceBuilder::default();
             let root = tb.new_thread();
             debug_assert_eq!(root, 0);
             *self.st.trace.borrow_mut() = Some(tb);
         }
-        let mut ctx = Ctx {
-            time: 0,
-            thread: 0,
-            st: Rc::clone(&self.st),
-        };
-        let r = f(&mut ctx);
+        let ctx = self.root_ctx();
+        let r = f(&ctx);
         let report = self.st.report();
         let tb = self
             .st
@@ -226,9 +229,10 @@ impl Sim {
 /// The per-thread execution context: a virtual clock plus a handle on the
 /// shared simulation state. One `Ctx` exists per simulated thread; forking
 /// creates a child `Ctx` whose clock starts at the fork action's completion
-/// time.
+/// time. The clock is interior-mutable so that every method takes `&self`
+/// (the shape the `PipeBackend` trait requires).
 pub struct Ctx {
-    time: u64,
+    time: StdCell<u64>,
     thread: ThreadId,
     st: Rc<SimState>,
 }
@@ -236,7 +240,7 @@ pub struct Ctx {
 impl Ctx {
     /// The thread's current virtual time (its clock).
     pub fn now(&self) -> u64 {
-        self.time
+        self.time.get()
     }
 
     /// The id of the simulated thread this context belongs to.
@@ -249,16 +253,16 @@ impl Ctx {
         self.st.costs
     }
 
-    fn advance(&mut self, k: u64) {
+    fn advance(&self, k: u64) {
         self.st.work.set(self.st.work.get() + k);
-        self.st.record_profile(self.time, k);
-        self.time += k;
-        self.st.observe_time(self.time);
+        self.st.record_profile(self.time.get(), k);
+        self.time.set(self.time.get() + k);
+        self.st.observe_time(self.time.get());
     }
 
     /// Execute `k` plain unit actions (local computation: pattern matches,
     /// comparisons, allocation of a tree node, ...). `tick(0)` is a no-op.
-    pub fn tick(&mut self, k: u64) {
+    pub fn tick(&self, k: u64) {
         if k == 0 {
             return;
         }
@@ -269,7 +273,7 @@ impl Ctx {
     /// Create an unfilled future cell: the write pointer and the read
     /// pointer. Creation is charged to the enclosing fork (constant per §4),
     /// so the call itself is free.
-    pub fn promise<T>(&mut self) -> (Promise<T>, Fut<T>) {
+    pub fn promise<T>(&self) -> (Promise<T>, Fut<T>) {
         let id = self.st.next_cell.get();
         self.st.next_cell.set(id + 1);
         new_cell(id)
@@ -281,10 +285,10 @@ impl Ctx {
     /// that input construction does not pollute the measured work and depth.
     /// In traces the cell is recorded as pre-written. Never use it inside a
     /// measured algorithm — use [`Ctx::filled`] there instead.
-    pub fn preload<T>(&mut self, value: T) -> Fut<T> {
+    pub fn preload<T>(&self, value: T) -> Fut<T> {
         let (p, f) = self.promise();
         self.st.pre_written.borrow_mut().push(p.id());
-        p.write(self.time, value);
+        p.write(self.time.get(), value);
         f
     }
 
@@ -292,7 +296,7 @@ impl Ctx {
     /// charging the normal write cost. Use when an algorithm produces a
     /// value *now* but must hand it to a consumer expecting a future (e.g.
     /// the ready halves of a freshly split 2-6 tree node).
-    pub fn filled<T: 'static>(&mut self, value: T) -> Fut<T> {
+    pub fn filled<T: 'static>(&self, value: T) -> Fut<T> {
         let (p, f) = self.promise();
         p.fulfill(self, value);
         f
@@ -302,7 +306,7 @@ impl Ctx {
     /// cost and continues immediately; the child's clock starts at the fork
     /// action's completion time (the fork edge). `body` typically fulfills
     /// one or more [`Promise`]s created by the parent.
-    pub fn fork_unit(&mut self, body: impl FnOnce(&mut Ctx)) {
+    pub fn fork_unit(&self, body: impl FnOnce(&Ctx)) {
         self.advance(self.st.costs.fork);
         self.st.forks.set(self.st.forks.get() + 1);
         let child_thread = {
@@ -316,24 +320,24 @@ impl Ctx {
                 None => 0,
             }
         };
-        let mut child = Ctx {
-            time: self.time,
+        let child = Ctx {
+            time: StdCell::new(self.time.get()),
             thread: child_thread,
             st: Rc::clone(&self.st),
         };
-        body(&mut child);
+        body(&child);
         // The child thread terminates here (eager evaluation). Record its
         // end time in the innermost strict frame, if any, so that
         // `call_strict` can wait for the entire sub-computation.
         if let Some(frame) = self.st.frames.borrow_mut().last_mut() {
-            frame.max_end = max(frame.max_end, child.time);
+            frame.max_end = max(frame.max_end, child.time.get());
         }
     }
 
     /// Single-result sugar over [`Ctx::fork_unit`]: fork a thread computing
     /// `body` and return the future for its result, written when the body
     /// completes.
-    pub fn fork<T: 'static>(&mut self, body: impl FnOnce(&mut Ctx) -> T) -> Fut<T> {
+    pub fn fork<T: 'static>(&self, body: impl FnOnce(&Ctx) -> T) -> Fut<T> {
         let (p, f) = self.promise();
         self.fork_unit(move |ctx| {
             let v = body(ctx);
@@ -348,8 +352,8 @@ impl Ctx {
     /// pointers and may fulfill them at different times — the essence of
     /// `split` returning each half as soon as its root is known.
     pub fn fork2<A: 'static, B: 'static>(
-        &mut self,
-        body: impl FnOnce(&mut Ctx, Promise<A>, Promise<B>),
+        &self,
+        body: impl FnOnce(&Ctx, Promise<A>, Promise<B>),
     ) -> (Fut<A>, Fut<B>) {
         let (pa, fa) = self.promise();
         let (pb, fb) = self.promise();
@@ -361,8 +365,8 @@ impl Ctx {
     /// `splitm`, which returns both halves plus the found flag.
     #[allow(clippy::type_complexity)]
     pub fn fork3<A: 'static, B: 'static, C: 'static>(
-        &mut self,
-        body: impl FnOnce(&mut Ctx, Promise<A>, Promise<B>, Promise<C>),
+        &self,
+        body: impl FnOnce(&Ctx, Promise<A>, Promise<B>, Promise<C>),
     ) -> (Fut<A>, Fut<B>, Fut<C>) {
         let (pa, fa) = self.promise();
         let (pb, fb) = self.promise();
@@ -381,7 +385,7 @@ impl Ctx {
     /// at their creation point, so this means the program touched a cell
     /// created *after* the toucher — outside the class of programs in the
     /// paper (all of which only touch previously created cells).
-    pub fn touch<T: Clone>(&mut self, fut: &Fut<T>) -> T {
+    pub fn touch<T: Clone>(&self, fut: &Fut<T>) -> T {
         let w = fut.write_time().unwrap_or_else(|| {
             panic!(
                 "future cell {} touched before it was written: the program is \
@@ -389,7 +393,7 @@ impl Ctx {
                 fut.id()
             )
         });
-        self.time = max(self.time, w);
+        self.time.set(max(self.time.get(), w));
         self.advance(self.st.costs.touch);
         self.st.touches.set(self.st.touches.get() + 1);
         let reads = fut.record_touch();
@@ -404,19 +408,20 @@ impl Ctx {
     /// actions followed by a unit sink (collect) action — the paper's DAG
     /// of depth 2 and breadth `n`. Used for `array_split` / `array_scan`
     /// in the 2-6 tree algorithm. Work `n + 1`, depth 2.
-    pub fn flat(&mut self, n: u64) {
+    pub fn flat(&self, n: u64) {
         let n = max(n, 1);
         self.st.work.set(self.st.work.get() + n + 1);
+        let now = self.time.get();
         if let Some(prof) = self.st.profile.borrow_mut().as_mut() {
-            let end = (self.time + 2) as usize;
+            let end = (now + 2) as usize;
             if prof.len() < end {
                 prof.resize(end, 0);
             }
-            prof[self.time as usize] += n; // the n parallel units
-            prof[self.time as usize + 1] += 1; // the sink
+            prof[now as usize] += n; // the n parallel units
+            prof[now as usize + 1] += 1; // the sink
         }
-        self.time += 2;
-        self.st.observe_time(self.time);
+        self.time.set(now + 2);
+        self.st.observe_time(self.time.get());
         self.st.flats.set(self.st.flats.get() + 1);
         self.st.push_trace(self.thread, Ev::Flat(n));
     }
@@ -433,7 +438,7 @@ impl Ctx {
     ///
     /// # Panics
     /// If the simulation is being traced (see [`Sim::run_traced`]).
-    pub fn call_strict<T>(&mut self, body: impl FnOnce(&mut Ctx) -> T) -> T {
+    pub fn call_strict<T>(&self, body: impl FnOnce(&Ctx) -> T) -> T {
         assert!(
             self.st.trace.borrow().is_none(),
             "call_strict cannot be used under tracing; trace the pipelined variant"
@@ -446,11 +451,11 @@ impl Ctx {
             .borrow_mut()
             .pop()
             .expect("strict frame stack underflow");
-        let end = max(self.time, frame.max_end);
+        let end = max(self.time.get(), frame.max_end);
         for cell in &frame.cells {
             cell.bump_time(end);
         }
-        self.time = end;
+        self.time.set(end);
         self.st.observe_time(end);
         if let Some(parent) = self.st.frames.borrow_mut().last_mut() {
             parent.max_end = max(parent.max_end, end);
@@ -464,11 +469,11 @@ impl<T: 'static> Promise<T> {
     /// Write the value into the cell, stamping it with the writing thread's
     /// clock after charging the write cost. Consumes the promise: a future
     /// cell is written exactly once.
-    pub fn fulfill(self, ctx: &mut Ctx, value: T) {
+    pub fn fulfill(self, ctx: &Ctx, value: T) {
         ctx.advance(ctx.st.costs.write);
         ctx.st.writes.set(ctx.st.writes.get() + 1);
         ctx.st.push_trace(ctx.thread, Ev::Write(self.id()));
-        let inner = self.write(ctx.time, value);
+        let inner = self.write(ctx.time.get(), value);
         if let Some(frame) = ctx.st.frames.borrow_mut().last_mut() {
             frame.cells.push(inner);
         }
@@ -609,10 +614,10 @@ mod tests {
 
     #[test]
     fn strict_vs_pipelined_depth() {
-        fn pipeline(ctx: &mut Ctx, strict: bool) {
+        fn pipeline(ctx: &Ctx, strict: bool) {
             let (p1, f1) = ctx.promise();
             let (p2, f2) = ctx.promise();
-            let body = move |c: &mut Ctx| {
+            let body = move |c: &Ctx| {
                 c.tick(1);
                 p1.fulfill(c, ());
                 c.tick(50);

@@ -9,10 +9,18 @@
 //! a treap and fills each side's root as soon as it is known). This module
 //! therefore exposes the cell pair directly via [`crate::Ctx::promise`]
 //! rather than only the single-result sugar [`crate::Ctx::fork`].
+//!
+//! Cells are `Send + Sync` (for `Send` payloads): the simulation itself is
+//! single-threaded, but the *values* it builds — trees whose children are
+//! futures — are the same generic structures the real runtime executes on
+//! OS threads, and the shared algorithm code (`pf-algs`) moves them into
+//! `Send` continuations. The interior state is therefore a `Mutex` and two
+//! atomics rather than `RefCell`/`Cell`; on the simulator's single thread
+//! the mutex is never contended.
 
-use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::trace::CellId;
 
@@ -21,11 +29,20 @@ const UNWRITTEN: u64 = u64::MAX;
 
 pub(crate) struct FutInner<T> {
     id: CellId,
-    value: RefCell<Option<T>>,
+    value: Mutex<Option<T>>,
     /// Virtual time of the write action, or [`UNWRITTEN`].
-    time: Cell<u64>,
+    time: AtomicU64,
     /// Number of touches (cost-bearing reads) — the linearity counter.
-    reads: Cell<u32>,
+    reads: AtomicU32,
+}
+
+impl<T> FutInner<T> {
+    fn value(&self) -> std::sync::MutexGuard<'_, Option<T>> {
+        // The simulator is single-threaded; a poisoned lock can only mean a
+        // previous panic mid-inspection, and the tests that provoke panics
+        // still want readable cells afterwards.
+        self.value.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Type-erased view of a cell used by strict (non-pipelined) call frames to
@@ -37,10 +54,10 @@ pub(crate) trait RestampCell {
 
 impl<T> RestampCell for FutInner<T> {
     fn bump_time(&self, t: u64) {
-        let cur = self.time.get();
+        let cur = self.time.load(Ordering::Relaxed);
         debug_assert_ne!(cur, UNWRITTEN, "restamping an unwritten cell");
         if t > cur {
-            self.time.set(t);
+            self.time.store(t, Ordering::Relaxed);
         }
     }
 }
@@ -53,13 +70,13 @@ impl<T> RestampCell for FutInner<T> {
 /// itself are free-of-charge inspection for use *after* a simulation run
 /// (validating results, walking finished trees, checking τ-values).
 pub struct Fut<T> {
-    pub(crate) inner: Rc<FutInner<T>>,
+    pub(crate) inner: Arc<FutInner<T>>,
 }
 
 impl<T> Clone for Fut<T> {
     fn clone(&self) -> Self {
         Fut {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
@@ -71,7 +88,7 @@ impl<T> fmt::Debug for Fut<T> {
                 f,
                 "Fut(cell {}, t={})",
                 self.inner.id,
-                self.inner.time.get()
+                self.inner.time.load(Ordering::Relaxed)
             )
         } else {
             write!(f, "Fut(cell {}, unwritten)", self.inner.id)
@@ -87,7 +104,7 @@ impl<T> Fut<T> {
 
     /// Has the cell been written?
     pub fn is_written(&self) -> bool {
-        self.inner.time.get() != UNWRITTEN
+        self.inner.time.load(Ordering::Relaxed) != UNWRITTEN
     }
 
     /// Virtual time of the write action — the paper's `t(v)` for the value
@@ -96,7 +113,7 @@ impl<T> Fut<T> {
     /// # Panics
     /// If the cell has not been written.
     pub fn time(&self) -> u64 {
-        let t = self.inner.time.get();
+        let t = self.inner.time.load(Ordering::Relaxed);
         assert_ne!(
             t, UNWRITTEN,
             "future cell {} inspected (time) before write",
@@ -108,7 +125,7 @@ impl<T> Fut<T> {
     /// Number of touches this cell has received. Linear code touches each
     /// cell at most once.
     pub fn read_count(&self) -> u32 {
-        self.inner.reads.get()
+        self.inner.reads.load(Ordering::Relaxed)
     }
 
     /// Zero-cost clone of the value for post-run inspection.
@@ -128,7 +145,7 @@ impl<T> Fut<T> {
     where
         T: Clone,
     {
-        self.inner.value.borrow().clone()
+        self.inner.value().clone()
     }
 
     /// Borrow the value for the duration of `f` without cloning.
@@ -136,7 +153,7 @@ impl<T> Fut<T> {
     /// # Panics
     /// If the cell has not been written.
     pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
-        let b = self.inner.value.borrow();
+        let b = self.inner.value();
         let v = b.as_ref().unwrap_or_else(|| {
             panic!(
                 "future cell {} inspected (with) before write",
@@ -147,13 +164,11 @@ impl<T> Fut<T> {
     }
 
     pub(crate) fn record_touch(&self) -> u32 {
-        let n = self.inner.reads.get() + 1;
-        self.inner.reads.set(n);
-        n
+        self.inner.reads.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     pub(crate) fn write_time(&self) -> Option<u64> {
-        let t = self.inner.time.get();
+        let t = self.inner.time.load(Ordering::Relaxed);
         (t != UNWRITTEN).then_some(t)
     }
 }
@@ -163,7 +178,7 @@ impl<T> Fut<T> {
 /// pointer "can also be passed around to other threads, but each can only be
 /// written to once" (§2) — in Rust that is simply a move.
 pub struct Promise<T> {
-    pub(crate) inner: Rc<FutInner<T>>,
+    pub(crate) inner: Arc<FutInner<T>>,
 }
 
 impl<T> fmt::Debug for Promise<T> {
@@ -180,9 +195,9 @@ impl<T> Promise<T> {
 
     /// Store `value` with write-time `t`. Internal: the costed public entry
     /// point is [`Promise::fulfill`](crate::Ctx::promise) via the context.
-    pub(crate) fn write(self, t: u64, value: T) -> Rc<FutInner<T>> {
+    pub(crate) fn write(self, t: u64, value: T) -> Arc<FutInner<T>> {
         {
-            let mut slot = self.inner.value.borrow_mut();
+            let mut slot = self.inner.value();
             assert!(
                 slot.is_none(),
                 "future cell {} written twice",
@@ -190,22 +205,22 @@ impl<T> Promise<T> {
             );
             *slot = Some(value);
         }
-        debug_assert_eq!(self.inner.time.get(), UNWRITTEN);
-        self.inner.time.set(t);
+        debug_assert_eq!(self.inner.time.load(Ordering::Relaxed), UNWRITTEN);
+        self.inner.time.store(t, Ordering::Relaxed);
         self.inner
     }
 }
 
 pub(crate) fn new_cell<T>(id: CellId) -> (Promise<T>, Fut<T>) {
-    let inner = Rc::new(FutInner {
+    let inner = Arc::new(FutInner {
         id,
-        value: RefCell::new(None),
-        time: Cell::new(UNWRITTEN),
-        reads: Cell::new(0),
+        value: Mutex::new(None),
+        time: AtomicU64::new(UNWRITTEN),
+        reads: AtomicU32::new(0),
     });
     (
         Promise {
-            inner: Rc::clone(&inner),
+            inner: Arc::clone(&inner),
         },
         Fut { inner },
     )
@@ -269,5 +284,13 @@ mod tests {
         p.write(3, "hi".to_string());
         assert_eq!(g.get(), "hi");
         assert_eq!(f.get(), "hi");
+    }
+
+    #[test]
+    fn cells_of_send_payloads_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Fut<u64>>();
+        assert_send_sync::<Promise<u64>>();
+        assert_send_sync::<Fut<Vec<String>>>();
     }
 }

@@ -65,7 +65,7 @@
 //! ```
 //! use pf_core::{Sim, Ctx, Fut, FList};
 //!
-//! fn produce(ctx: &mut Ctx, n: u64) -> FList<u64> {
+//! fn produce(ctx: &Ctx, n: u64) -> FList<u64> {
 //!     ctx.tick(1);
 //!     if n == 0 {
 //!         FList::nil()
@@ -75,7 +75,7 @@
 //!     }
 //! }
 //!
-//! fn consume(ctx: &mut Ctx, l: &FList<u64>, acc: u64) -> u64 {
+//! fn consume(ctx: &Ctx, l: &FList<u64>, acc: u64) -> u64 {
 //!     ctx.tick(1);
 //!     match l.as_cons() {
 //!         None => acc,
@@ -100,6 +100,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cost;
 mod ctx;
 mod fut;
@@ -111,3 +112,7 @@ pub use ctx::{run_with_big_stack, Ctx, Sim, DEFAULT_SIM_STACK};
 pub use fut::{Fut, Promise};
 pub use list::FList;
 pub use trace::{CellId, Ev, ThreadId, ThreadLog, Trace};
+
+// The engine-agnostic surface `Ctx` implements (see `backend`): re-exported
+// so simulator-side code can name the trait without a separate dependency.
+pub use pf_backend::{Mode, PipeBackend};

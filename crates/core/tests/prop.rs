@@ -10,7 +10,7 @@ use proptest::prelude::*;
 /// (the pipelining pattern), and touches its children's early cells
 /// before their late cells.
 fn run_program(seed: u64, fanout: usize, depth: usize, costs: CostModel) -> pf_core::CostReport {
-    fn node(ctx: &mut Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
+    fn node(ctx: &Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
         ctx.tick(1 + seed % 4);
         if depth == 0 {
             return seed;
@@ -85,10 +85,10 @@ proptest! {
 
     #[test]
     fn strict_wrapper_preserves_work_increases_depth(seed in 0u64..10_000, depth in 1usize..4) {
-        fn body(ctx: &mut Ctx, seed: u64, depth: usize, strict: bool) {
+        fn body(ctx: &Ctx, seed: u64, depth: usize, strict: bool) {
             let (p1, f1) = ctx.promise();
             let (p2, f2) = ctx.promise();
-            let go = move |ctx: &mut Ctx| {
+            let go = move |ctx: &Ctx| {
                 ctx.fork_unit(move |ctx| {
                     ctx.tick(1 + seed % 5);
                     p1.fulfill(ctx, ());
@@ -116,7 +116,7 @@ proptest! {
         let plain = run_program(seed, fanout, depth, CostModel::default());
         let (_, traced, trace) = Sim::new().run_traced(|ctx| {
             // Same program, traced.
-            fn node(ctx: &mut Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
+            fn node(ctx: &Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
                 ctx.tick(1 + seed % 4);
                 if depth == 0 {
                     return seed;

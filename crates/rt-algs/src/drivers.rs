@@ -9,14 +9,14 @@ use std::time::{Duration, Instant};
 use pf_rt::{cell, ready, Runtime};
 use pf_trees::seq::{Entry, PlainTreap};
 
-use crate::rtreap::{union, RTreap};
-use crate::rtree::{merge, RTree};
+use crate::rtreap::{union, RTreap, RtTreap};
+use crate::rtree::{merge, RTree, RtTree};
 
 /// Time one pipelined treap union of the given entry sets on `threads`
 /// workers. Input treaps are built before the clock starts.
 pub fn time_union_rt(a: &[Entry<i64>], b: &[Entry<i64>], threads: usize) -> Duration {
-    let ta = RTreap::from_entries(a);
-    let tb = RTreap::from_entries(b);
+    let ta = RTreap::from_entries_ready(a);
+    let tb = RTreap::from_entries_ready(b);
     let rt = Runtime::shared(threads);
     let (op, of) = cell();
     let (fa, fb) = (ready(ta), ready(tb));
@@ -40,8 +40,8 @@ pub fn time_union_seq(a: &[Entry<i64>], b: &[Entry<i64>]) -> Duration {
 
 /// Time one pipelined BST merge on `threads` workers.
 pub fn time_merge_rt(a: &[i64], b: &[i64], threads: usize) -> Duration {
-    let ta = RTree::from_sorted(a);
-    let tb = RTree::from_sorted(b);
+    let ta = RTree::from_sorted_ready(a);
+    let tb = RTree::from_sorted_ready(b);
     let rt = Runtime::shared(threads);
     let (op, of) = cell();
     let (fa, fb) = (ready(ta), ready(tb));
@@ -74,8 +74,8 @@ pub fn time_merge_seq(a: &[i64], b: &[i64]) -> Duration {
 
 /// Time one pipelined 2-6 bulk insert on `threads` workers.
 pub fn time_insert_rt(initial: &[i64], newk: &[i64], threads: usize) -> Duration {
-    use crate::rtwosix::{insert_many, RTsTree};
-    let t = RTsTree::from_sorted(initial);
+    use crate::rtwosix::{insert_many, RTsTree, RtTsTree};
+    let t = RTsTree::from_sorted_ready(initial);
     let rt = Runtime::shared(threads);
     let ft = ready(t);
     let (op, of) = cell();

@@ -1,76 +1,41 @@
 //! The producer/consumer pipeline (Figure 1) and Halstead's quicksort
 //! (Figure 2) on the real runtime.
+//!
+//! The algorithm text lives once, engine-generically, in
+//! [`pf_algs::list`]; this module instantiates it at `B = `[`Worker`].
 
-use std::sync::Arc;
-
-use pf_rt::{cell, ready, FutRead, FutWrite, Worker};
+use pf_algs::Mode;
+use pf_rt::{ready, FutWrite, Worker};
 
 use crate::RKey;
 
 /// A list whose tail is a runtime future.
-pub enum RList<K> {
-    /// Empty list.
-    Nil,
-    /// Cons cell: head value, future tail.
-    Cons(Arc<(K, FutRead<RList<K>>)>),
-}
+pub type RList<K> = pf_algs::list::List<Worker, K>;
 
-impl<K> Clone for RList<K> {
-    fn clone(&self) -> Self {
-        match self {
-            RList::Nil => RList::Nil,
-            RList::Cons(rc) => RList::Cons(Arc::clone(rc)),
-        }
-    }
-}
-
-impl<K: RKey> RList<K> {
-    /// Cons constructor.
-    pub fn cons(head: K, tail: FutRead<RList<K>>) -> Self {
-        RList::Cons(Arc::new((head, tail)))
-    }
-
+/// Offline (no worker, pre-written cells) constructors for [`RList`].
+pub trait RtList<K: RKey>: Sized {
     /// Build from a slice with pre-written tails.
-    pub fn from_slice(keys: &[K]) -> RList<K> {
+    fn from_slice_ready(keys: &[K]) -> Self;
+}
+
+impl<K: RKey> RtList<K> for RList<K> {
+    fn from_slice_ready(keys: &[K]) -> Self {
         let mut cur = RList::Nil;
         for k in keys.iter().rev() {
             cur = RList::cons(k.clone(), ready(cur));
         }
         cur
     }
-
-    /// Post-run inspection: collect to a `Vec`.
-    pub fn collect_vec(&self) -> Vec<K> {
-        let mut out = Vec::new();
-        let mut cur = self.clone();
-        while let RList::Cons(rc) = cur {
-            out.push(rc.0.clone());
-            cur = rc.1.expect();
-        }
-        out
-    }
 }
 
 /// `produce(n)`: build the list `n, n−1, …, 1`, one future per tail.
 pub fn produce(wk: &Worker, n: u64, out: FutWrite<RList<u64>>) {
-    if n == 0 {
-        out.fulfill(wk, RList::Nil);
-    } else {
-        let (tp, tf) = cell();
-        out.fulfill(wk, RList::cons(n, tf));
-        wk.spawn(move |wk| produce(wk, n - 1, tp));
-    }
+    pf_algs::list::produce(wk, n, out);
 }
 
 /// `consume`: fold the list with `+`, chasing the producer tail by tail.
 pub fn consume(wk: &Worker, l: RList<u64>, acc: u64, out: FutWrite<u64>) {
-    match l {
-        RList::Nil => out.fulfill(wk, acc),
-        RList::Cons(rc) => {
-            let h = rc.0;
-            rc.1.touch(wk, move |t, wk| consume(wk, t, acc + h, out));
-        }
-    }
+    pf_algs::list::consume(wk, l, acc, out);
 }
 
 /// `partition(pivot, l)` in CPS: stream `l` into `< pivot` and `>= pivot`
@@ -82,54 +47,18 @@ pub fn partition<K: RKey>(
     lout: FutWrite<RList<K>>,
     gout: FutWrite<RList<K>>,
 ) {
-    match l {
-        RList::Nil => {
-            lout.fulfill(wk, RList::Nil);
-            gout.fulfill(wk, RList::Nil);
-        }
-        RList::Cons(rc) => {
-            let h = rc.0.clone();
-            let tail = rc.1.clone();
-            if h < pivot {
-                let (np, nf) = cell();
-                lout.fulfill(wk, RList::cons(h, nf));
-                tail.touch(wk, move |t, wk| partition(wk, pivot, t, np, gout));
-            } else {
-                let (np, nf) = cell();
-                gout.fulfill(wk, RList::cons(h, nf));
-                tail.touch(wk, move |t, wk| partition(wk, pivot, t, lout, np));
-            }
-        }
-    }
+    pf_algs::list::partition(wk, pivot, l, lout, gout);
 }
 
 /// `qs(l, rest)` in CPS (Figure 2): sort `l`, append `rest`.
 pub fn qs<K: RKey>(wk: &Worker, l: RList<K>, rest: RList<K>, out: FutWrite<RList<K>>) {
-    match l {
-        RList::Nil => out.fulfill(wk, rest),
-        RList::Cons(rc) => {
-            let h = rc.0.clone();
-            let tail = rc.1.clone();
-            tail.touch(wk, move |t, wk| {
-                let (lp, lf) = cell();
-                let (gp, gf) = cell();
-                let pivot = h.clone();
-                wk.spawn(move |wk| partition(wk, pivot, t, lp, gp));
-                let (gout_p, gout_f) = cell();
-                wk.spawn(move |wk| {
-                    gf.touch(wk, move |g, wk| qs(wk, g, rest, gout_p));
-                });
-                let mid = RList::cons(h, gout_f);
-                lf.touch(wk, move |lv, wk| qs(wk, lv, mid, out));
-            });
-        }
-    }
+    pf_algs::list::qs(wk, l, rest, out, Mode::Pipelined);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_rt::Runtime;
+    use pf_rt::{cell, Runtime};
     use rand::prelude::*;
     use rand::rngs::SmallRng;
 
@@ -159,7 +88,7 @@ mod tests {
     }
 
     fn run_qs(keys: &[i64], threads: usize) -> Vec<i64> {
-        let l = RList::from_slice(keys);
+        let l = RList::from_slice_ready(keys);
         let (op, of) = cell();
         Runtime::new(threads).run(move |wk| qs(wk, l, RList::Nil, op));
         of.expect().collect_vec()

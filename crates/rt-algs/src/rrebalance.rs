@@ -1,138 +1,36 @@
-//! The §3.1 three-phase rebalance on the real runtime, in CPS:
-//! bottom-up sizes, top-down ranks, pipelined rank-split rebuild.
+//! The §3.1 three-phase rebalance on the real runtime: bottom-up sizes,
+//! top-down ranks, pipelined rank-split rebuild.
+//!
+//! The algorithm text lives once, engine-generically, in
+//! [`pf_algs::rebalance`]; this module instantiates it at
+//! `B = `[`Worker`].
 
-use std::sync::Arc;
-
-use pf_rt::{cell, FutRead, FutWrite, Worker};
+use pf_algs::Mode;
+use pf_rt::{FutRead, FutWrite, Worker};
 
 use crate::rtree::RTree;
 use crate::RKey;
 
 /// Size-annotated tree (phase 1 output; built strictly, plain values).
-pub enum RSized<K> {
-    /// Empty.
-    Leaf,
-    /// Node with cached sizes.
-    Node(Arc<RSizedNode<K>>),
-}
+pub type RSized<K> = pf_algs::rebalance::SizedTree<K>;
 
 /// Node of an [`RSized`].
-pub struct RSizedNode<K> {
-    /// Key.
-    pub key: K,
-    /// Subtree size.
-    pub size: usize,
-    /// Left-subtree size (rank offset cache).
-    pub left_size: usize,
-    /// Left subtree.
-    pub left: RSized<K>,
-    /// Right subtree.
-    pub right: RSized<K>,
-}
-
-impl<K> Clone for RSized<K> {
-    fn clone(&self) -> Self {
-        match self {
-            RSized::Leaf => RSized::Leaf,
-            RSized::Node(n) => RSized::Node(Arc::clone(n)),
-        }
-    }
-}
-
-impl<K> RSized<K> {
-    fn size(&self) -> usize {
-        match self {
-            RSized::Leaf => 0,
-            RSized::Node(n) => n.size,
-        }
-    }
-}
+pub type RSizedNode<K> = pf_algs::rebalance::SizedNode<K>;
 
 /// Rank-annotated tree with future children (phase 2 output).
-pub enum RRanked<K> {
-    /// Empty.
-    Leaf,
-    /// Node with its global in-order rank.
-    Node(Arc<RRankedNode<K>>),
-}
+pub type RRanked<K> = pf_algs::rebalance::RankedTree<Worker, K>;
 
 /// Node of an [`RRanked`].
-pub struct RRankedNode<K> {
-    /// Key.
-    pub key: K,
-    /// Global in-order rank.
-    pub rank: usize,
-    /// Left subtree future.
-    pub left: FutRead<RRanked<K>>,
-    /// Right subtree future.
-    pub right: FutRead<RRanked<K>>,
-}
-
-impl<K> Clone for RRanked<K> {
-    fn clone(&self) -> Self {
-        match self {
-            RRanked::Leaf => RRanked::Leaf,
-            RRanked::Node(n) => RRanked::Node(Arc::clone(n)),
-        }
-    }
-}
+pub type RRankedNode<K> = pf_algs::rebalance::RankedNode<Worker, K>;
 
 /// Phase 1 (CPS): bottom-up size annotation.
 pub fn annotate_sizes<K: RKey>(wk: &Worker, t: FutRead<RTree<K>>, out: FutWrite<RSized<K>>) {
-    t.touch(wk, move |tv, wk| match tv {
-        RTree::Leaf => out.fulfill(wk, RSized::Leaf),
-        RTree::Node(n) => {
-            let (lp, lf) = cell();
-            let (rp, rf) = cell();
-            let (l, r) = (n.left.clone(), n.right.clone());
-            wk.spawn2(
-                move |wk| annotate_sizes(wk, l, lp),
-                move |wk| annotate_sizes(wk, r, rp),
-            );
-            lf.touch(wk, move |lv, wk| {
-                rf.touch(wk, move |rv, wk| {
-                    let left_size = lv.size();
-                    let size = 1 + left_size + rv.size();
-                    out.fulfill(
-                        wk,
-                        RSized::Node(Arc::new(RSizedNode {
-                            key: n.key.clone(),
-                            size,
-                            left_size,
-                            left: lv,
-                            right: rv,
-                        })),
-                    );
-                });
-            });
-        }
-    });
+    pf_algs::rebalance::annotate_sizes(wk, t, out);
 }
 
 /// Phase 2 (CPS): top-down rank assignment.
 pub fn assign_ranks<K: RKey>(wk: &Worker, t: RSized<K>, offset: usize, out: FutWrite<RRanked<K>>) {
-    match t {
-        RSized::Leaf => out.fulfill(wk, RRanked::Leaf),
-        RSized::Node(n) => {
-            let rank = offset + n.left_size;
-            let (lp, lf) = cell();
-            let (rp, rf) = cell();
-            out.fulfill(
-                wk,
-                RRanked::Node(Arc::new(RRankedNode {
-                    key: n.key.clone(),
-                    rank,
-                    left: lf,
-                    right: rf,
-                })),
-            );
-            let (l, r) = (n.left.clone(), n.right.clone());
-            wk.spawn2(
-                move |wk| assign_ranks(wk, l, offset, lp),
-                move |wk| assign_ranks(wk, r, rank + 1, rp),
-            );
-        }
-    }
+    pf_algs::rebalance::assign_ranks(wk, t, offset, out);
 }
 
 /// Phase 3a (CPS): split by global rank (streams both sides like `splitm`).
@@ -144,45 +42,7 @@ pub fn split_rank<K: RKey>(
     rout: FutWrite<RRanked<K>>,
     kout: FutWrite<K>,
 ) {
-    match t {
-        RRanked::Leaf => unreachable!("split_rank: rank {r} absent"),
-        RRanked::Node(n) => {
-            if r == n.rank {
-                kout.fulfill(wk, n.key.clone());
-                let (left, right) = (n.left.clone(), n.right.clone());
-                left.touch(wk, move |lv, wk| {
-                    lout.fulfill(wk, lv);
-                    right.touch(wk, move |rv, wk| rout.fulfill(wk, rv));
-                });
-            } else if r < n.rank {
-                let (rp1, rf1) = cell();
-                rout.fulfill(
-                    wk,
-                    RRanked::Node(Arc::new(RRankedNode {
-                        key: n.key.clone(),
-                        rank: n.rank,
-                        left: rf1,
-                        right: n.right.clone(),
-                    })),
-                );
-                let l = n.left.clone();
-                l.touch(wk, move |lv, wk| split_rank(wk, r, lv, lout, rp1, kout));
-            } else {
-                let (lp1, lf1) = cell();
-                lout.fulfill(
-                    wk,
-                    RRanked::Node(Arc::new(RRankedNode {
-                        key: n.key.clone(),
-                        rank: n.rank,
-                        left: n.left.clone(),
-                        right: lf1,
-                    })),
-                );
-                let rgt = n.right.clone();
-                rgt.touch(wk, move |rv, wk| split_rank(wk, r, rv, lp1, rout, kout));
-            }
-        }
-    }
+    pf_algs::rebalance::split_rank(wk, r, t, lout, rout, kout);
 }
 
 /// Phase 3b (CPS): pipelined rebuild of ranks `lo..hi` into a perfectly
@@ -194,44 +54,18 @@ pub fn rebuild<K: RKey>(
     hi: usize,
     out: FutWrite<RTree<K>>,
 ) {
-    if lo >= hi {
-        out.fulfill(wk, RTree::Leaf);
-        return;
-    }
-    t.touch(wk, move |tv, wk| {
-        let mid = lo + (hi - lo) / 2;
-        let (lp, lf) = cell();
-        let (rp, rf) = cell();
-        let (kp, kf) = cell();
-        wk.spawn(move |wk| split_rank(wk, mid, tv, lp, rp, kp));
-        let (blp, blf) = cell();
-        let (brp, brf) = cell();
-        wk.spawn2(
-            move |wk| rebuild(wk, lf, lo, mid, blp),
-            move |wk| rebuild(wk, rf, mid + 1, hi, brp),
-        );
-        kf.touch(wk, move |key, wk| {
-            out.fulfill(wk, RTree::node(key, blf, brf));
-        });
-    });
+    pf_algs::rebalance::rebuild(wk, t, lo, hi, out, Mode::Pipelined);
 }
 
 /// The full three-phase rebalance.
 pub fn rebalance<K: RKey>(wk: &Worker, t: FutRead<RTree<K>>, out: FutWrite<RTree<K>>) {
-    let (sp, sf) = cell();
-    wk.spawn(move |wk| annotate_sizes(wk, t, sp));
-    sf.touch(wk, move |sv, wk| {
-        let n = sv.size();
-        let (rp, rf) = cell();
-        wk.spawn(move |wk| assign_ranks(wk, sv, 0, rp));
-        rebuild(wk, rf, 0, n, out);
-    });
+    pf_algs::rebalance::rebalance(wk, t, out, Mode::Pipelined);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_rt::{ready, Runtime};
+    use pf_rt::{cell, ready, Runtime};
     use rand::prelude::*;
     use rand::rngs::SmallRng;
 

@@ -1,132 +1,46 @@
-//! Treap union and difference (§3.2–3.3) on the real runtime, in CPS.
+//! Treap union and difference (§3.2–3.3) on the real runtime.
 //!
-//! Identical structure to the cost-model version in `pf_trees::treap`
-//! (same tie-break rule, so the result shapes agree across backends —
-//! checked by the integration tests), but every touch is a continuation
-//! hop on the work-stealing scheduler.
+//! The algorithm text lives once, engine-generically, in
+//! [`pf_algs::treap`]; this module instantiates it at `B = `[`Worker`].
+//! Same tie-break rule as the cost-model instantiation, so the result
+//! shapes agree across backends — checked by the integration tests.
 
-use std::sync::Arc;
-
-use pf_rt::{cell, ready, FutRead, FutWrite, Worker};
+use pf_algs::Mode;
+use pf_rt::{ready, FutRead, FutWrite, Worker};
 use pf_trees::seq::{Entry, PlainTreap};
 
 use crate::RKey;
 
 /// A treap whose children are runtime future cells.
-pub enum RTreap<K> {
-    /// Empty treap.
-    Leaf,
-    /// Interior node.
-    Node(Arc<RTreapNode<K>>),
-}
+pub type RTreap<K> = pf_algs::treap::Treap<Worker, K>;
 
 /// Interior node of an [`RTreap`].
-pub struct RTreapNode<K> {
-    /// Key (BST order).
-    pub key: K,
-    /// Priority (max-heap order, ties by key).
-    pub prio: u64,
-    /// Future of the left subtreap.
-    pub left: FutRead<RTreap<K>>,
-    /// Future of the right subtreap.
-    pub right: FutRead<RTreap<K>>,
-}
+pub type RTreapNode<K> = pf_algs::treap::TreapNode<Worker, K>;
 
-impl<K> Clone for RTreap<K> {
-    fn clone(&self) -> Self {
-        match self {
-            RTreap::Leaf => RTreap::Leaf,
-            RTreap::Node(n) => RTreap::Node(Arc::clone(n)),
-        }
-    }
-}
-
-fn wins<K: Ord>(k1: &K, p1: u64, k2: &K, p2: u64) -> bool {
-    (p1, k1) > (p2, k2)
-}
-
-impl<K: RKey> RTreap<K> {
-    /// Construct an interior node.
-    pub fn node(key: K, prio: u64, left: FutRead<RTreap<K>>, right: FutRead<RTreap<K>>) -> Self {
-        RTreap::Node(Arc::new(RTreapNode {
-            key,
-            prio,
-            left,
-            right,
-        }))
-    }
-
-    /// Is this the empty treap?
-    pub fn is_leaf(&self) -> bool {
-        matches!(self, RTreap::Leaf)
-    }
-
+/// Offline (no worker, pre-written cells) constructors for [`RTreap`].
+pub trait RtTreap<K: RKey>: Sized {
     /// Convert a sequential treap (pre-written cells).
-    pub fn from_plain(t: &Option<Box<PlainTreap<K>>>) -> RTreap<K> {
+    fn from_plain_ready(t: &Option<Box<PlainTreap<K>>>) -> Self;
+
+    /// Build from entries via the sequential treap.
+    fn from_entries_ready(entries: &[Entry<K>]) -> Self;
+}
+
+impl<K: RKey> RtTreap<K> for RTreap<K> {
+    fn from_plain_ready(t: &Option<Box<PlainTreap<K>>>) -> Self {
         match t {
             None => RTreap::Leaf,
             Some(n) => RTreap::node(
                 n.key.clone(),
                 n.prio,
-                ready(Self::from_plain(&n.left)),
-                ready(Self::from_plain(&n.right)),
+                ready(Self::from_plain_ready(&n.left)),
+                ready(Self::from_plain_ready(&n.right)),
             ),
         }
     }
 
-    /// Build from entries via the sequential treap.
-    pub fn from_entries(entries: &[Entry<K>]) -> RTreap<K> {
-        Self::from_plain(&PlainTreap::from_entries(entries))
-    }
-
-    /// Post-run inspection: sorted keys.
-    pub fn to_sorted_vec(&self) -> Vec<K> {
-        enum Frame<K> {
-            Tree(RTreap<K>),
-            Key(K),
-        }
-        let mut out = Vec::new();
-        let mut stack = vec![Frame::Tree(self.clone())];
-        while let Some(f) = stack.pop() {
-            match f {
-                Frame::Key(k) => out.push(k),
-                Frame::Tree(RTreap::Leaf) => {}
-                Frame::Tree(RTreap::Node(n)) => {
-                    stack.push(Frame::Tree(n.right.expect()));
-                    stack.push(Frame::Key(n.key.clone()));
-                    stack.push(Frame::Tree(n.left.expect()));
-                }
-            }
-        }
-        out
-    }
-
-    /// Post-run inspection: height.
-    pub fn height(&self) -> usize {
-        match self {
-            RTreap::Leaf => 0,
-            RTreap::Node(n) => 1 + n.left.expect().height().max(n.right.expect().height()),
-        }
-    }
-
-    /// Post-run inspection: BST + heap invariants.
-    pub fn check_invariants(&self) -> bool {
-        fn rec<K: RKey>(t: &RTreap<K>, parent: Option<(u64, &K)>) -> bool {
-            match t {
-                RTreap::Leaf => true,
-                RTreap::Node(n) => {
-                    if let Some((p, k)) = parent {
-                        if wins(&n.key, n.prio, k, p) {
-                            return false;
-                        }
-                    }
-                    rec(&n.left.expect(), Some((n.prio, &n.key)))
-                        && rec(&n.right.expect(), Some((n.prio, &n.key)))
-                }
-            }
-        }
-        let keys = self.to_sorted_vec();
-        keys.windows(2).all(|w| w[0] < w[1]) && rec(self, None)
+    fn from_entries_ready(entries: &[Entry<K>]) -> Self {
+        Self::from_plain_ready(&PlainTreap::from_entries(entries))
     }
 }
 
@@ -140,61 +54,13 @@ pub fn splitm<K: RKey>(
     rout: FutWrite<RTreap<K>>,
     fout: FutWrite<bool>,
 ) {
-    match t {
-        RTreap::Leaf => {
-            lout.fulfill(wk, RTreap::Leaf);
-            rout.fulfill(wk, RTreap::Leaf);
-            fout.fulfill(wk, false);
-        }
-        RTreap::Node(n) => {
-            if s == n.key {
-                let left = n.left.clone();
-                let right = n.right.clone();
-                left.touch(wk, move |lv, wk| {
-                    lout.fulfill(wk, lv);
-                    right.touch(wk, move |rv, wk| {
-                        rout.fulfill(wk, rv);
-                        fout.fulfill(wk, true);
-                    });
-                });
-            } else if s < n.key {
-                let (rp1, rf1) = cell();
-                rout.fulfill(
-                    wk,
-                    RTreap::node(n.key.clone(), n.prio, rf1, n.right.clone()),
-                );
-                n.left
-                    .touch(wk, move |lv, wk| splitm(wk, s, lv, lout, rp1, fout));
-            } else {
-                let (lp1, lf1) = cell();
-                lout.fulfill(wk, RTreap::node(n.key.clone(), n.prio, n.left.clone(), lf1));
-                n.right
-                    .touch(wk, move |rv, wk| splitm(wk, s, rv, lp1, rout, fout));
-            }
-        }
-    }
+    pf_algs::treap::splitm(wk, s, t, lout, rout, fout);
 }
 
 /// `join(l, r)` in CPS (Figure 7): concatenate two touched treap values
 /// with all of `l`'s keys below all of `r`'s.
 pub fn join<K: RKey>(wk: &Worker, l: RTreap<K>, r: RTreap<K>, out: FutWrite<RTreap<K>>) {
-    match (l, r) {
-        (RTreap::Leaf, r) => out.fulfill(wk, r),
-        (l, RTreap::Leaf) => out.fulfill(wk, l),
-        (RTreap::Node(a), RTreap::Node(b)) => {
-            if wins(&a.key, a.prio, &b.key, b.prio) {
-                let (jp, jf) = cell();
-                out.fulfill(wk, RTreap::node(a.key.clone(), a.prio, a.left.clone(), jf));
-                let ar = a.right.clone();
-                ar.touch(wk, move |rv, wk| join(wk, rv, RTreap::Node(b), jp));
-            } else {
-                let (jp, jf) = cell();
-                out.fulfill(wk, RTreap::node(b.key.clone(), b.prio, jf, b.right.clone()));
-                let bl = b.left.clone();
-                bl.touch(wk, move |lv, wk| join(wk, RTreap::Node(a), lv, jp));
-            }
-        }
-    }
+    pf_algs::treap::join(wk, l, r, out);
 }
 
 /// `union(a, b)` in CPS (Figure 4).
@@ -204,41 +70,7 @@ pub fn union<K: RKey>(
     b: FutRead<RTreap<K>>,
     out: FutWrite<RTreap<K>>,
 ) {
-    a.touch(wk, move |av, wk| {
-        b.touch(wk, move |bv, wk| {
-            let (w, loser) = match (av, bv) {
-                (RTreap::Leaf, bv) => {
-                    out.fulfill(wk, bv);
-                    return;
-                }
-                (av, RTreap::Leaf) => {
-                    out.fulfill(wk, av);
-                    return;
-                }
-                (RTreap::Node(na), RTreap::Node(nb)) => {
-                    if wins(&na.key, na.prio, &nb.key, nb.prio) {
-                        (na, RTreap::Node(nb))
-                    } else {
-                        (nb, RTreap::Node(na))
-                    }
-                }
-            };
-            let (lp, lf) = cell();
-            let (rp, rf) = cell();
-            let (fp, _ff) = cell::<bool>();
-            let key = w.key.clone();
-            wk.spawn(move |wk| splitm(wk, key, loser, lp, rp, fp));
-            let (ulp, ulf) = cell();
-            let (urp, urf) = cell();
-            out.fulfill(wk, RTreap::node(w.key.clone(), w.prio, ulf, urf));
-            let wl = w.left.clone();
-            let wr = w.right.clone();
-            wk.spawn2(
-                move |wk| union(wk, wl, lf, ulp),
-                move |wk| union(wk, wr, rf, urp),
-            );
-        });
-    });
+    pf_algs::treap::union(wk, a, b, out, Mode::Pipelined);
 }
 
 /// `diff(a, b)` in CPS (Figure 7): keys of `a` not in `b`.
@@ -248,43 +80,7 @@ pub fn diff<K: RKey>(
     b: FutRead<RTreap<K>>,
     out: FutWrite<RTreap<K>>,
 ) {
-    a.touch(wk, move |av, wk| {
-        let n1 = match av {
-            RTreap::Leaf => {
-                out.fulfill(wk, RTreap::Leaf);
-                return;
-            }
-            RTreap::Node(n) => n,
-        };
-        b.touch(wk, move |bv, wk| {
-            if bv.is_leaf() {
-                out.fulfill(wk, RTreap::Node(n1));
-                return;
-            }
-            let (lp, lf) = cell();
-            let (rp, rf) = cell();
-            let (fp, ff) = cell();
-            let key = n1.key.clone();
-            wk.spawn(move |wk| splitm(wk, key, bv, lp, rp, fp));
-            let (dlp, dlf) = cell();
-            let (drp, drf) = cell();
-            let al = n1.left.clone();
-            let ar = n1.right.clone();
-            wk.spawn2(
-                move |wk| diff(wk, al, lf, dlp),
-                move |wk| diff(wk, ar, rf, drp),
-            );
-            ff.touch(wk, move |found, wk| {
-                if found {
-                    dlf.touch(wk, move |lv, wk| {
-                        drf.touch(wk, move |rv, wk| join(wk, lv, rv, out));
-                    });
-                } else {
-                    out.fulfill(wk, RTreap::node(n1.key.clone(), n1.prio, dlf, drf));
-                }
-            });
-        });
-    });
+    pf_algs::treap::diff(wk, a, b, out, Mode::Pipelined);
 }
 
 /// `intersect(a, b)` in CPS: keys in both treaps (dual of [`diff`]).
@@ -294,49 +90,13 @@ pub fn intersect<K: RKey>(
     b: FutRead<RTreap<K>>,
     out: FutWrite<RTreap<K>>,
 ) {
-    a.touch(wk, move |av, wk| {
-        let n1 = match av {
-            RTreap::Leaf => {
-                out.fulfill(wk, RTreap::Leaf);
-                return;
-            }
-            RTreap::Node(n) => n,
-        };
-        b.touch(wk, move |bv, wk| {
-            if bv.is_leaf() {
-                out.fulfill(wk, RTreap::Leaf);
-                return;
-            }
-            let (lp, lf) = cell();
-            let (rp, rf) = cell();
-            let (fp, ff) = cell();
-            let key = n1.key.clone();
-            wk.spawn(move |wk| splitm(wk, key, bv, lp, rp, fp));
-            let (ilp, ilf) = cell();
-            let (irp, irf) = cell();
-            let al = n1.left.clone();
-            let ar = n1.right.clone();
-            wk.spawn2(
-                move |wk| intersect(wk, al, lf, ilp),
-                move |wk| intersect(wk, ar, rf, irp),
-            );
-            ff.touch(wk, move |found, wk| {
-                if found {
-                    out.fulfill(wk, RTreap::node(n1.key.clone(), n1.prio, ilf, irf));
-                } else {
-                    ilf.touch(wk, move |lv, wk| {
-                        irf.touch(wk, move |rv, wk| join(wk, lv, rv, out));
-                    });
-                }
-            });
-        });
-    });
+    pf_algs::treap::intersect(wk, a, b, out, Mode::Pipelined);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_rt::Runtime;
+    use pf_rt::{cell, Runtime};
     use pf_trees::seq::splitmix64;
 
     fn entries(keys: impl IntoIterator<Item = i64>) -> Vec<Entry<i64>> {
@@ -346,16 +106,16 @@ mod tests {
     }
 
     fn run_union(a: &[Entry<i64>], b: &[Entry<i64>], threads: usize) -> RTreap<i64> {
-        let ta = ready(RTreap::from_entries(a));
-        let tb = ready(RTreap::from_entries(b));
+        let ta = ready(RTreap::from_entries_ready(a));
+        let tb = ready(RTreap::from_entries_ready(b));
         let (op, of) = cell();
         Runtime::new(threads).run(move |wk| union(wk, ta, tb, op));
         of.expect()
     }
 
     fn run_diff(a: &[Entry<i64>], b: &[Entry<i64>], threads: usize) -> RTreap<i64> {
-        let ta = ready(RTreap::from_entries(a));
-        let tb = ready(RTreap::from_entries(b));
+        let ta = ready(RTreap::from_entries_ready(a));
+        let tb = ready(RTreap::from_entries_ready(b));
         let (op, of) = cell();
         Runtime::new(threads).run(move |wk| diff(wk, ta, tb, op));
         of.expect()
@@ -421,8 +181,8 @@ mod tests {
         let a = entries((0..300).map(|i| 2 * i));
         let b = entries((0..300).map(|i| 3 * i));
         let (model_root, _) = pf_trees::treap::run_intersect(&a, &b, pf_trees::Mode::Pipelined);
-        let ta = ready(RTreap::from_entries(&a));
-        let tb = ready(RTreap::from_entries(&b));
+        let ta = ready(RTreap::from_entries_ready(&a));
+        let tb = ready(RTreap::from_entries_ready(&b));
         let (op, of) = cell();
         Runtime::new(4).run(move |wk| intersect(wk, ta, tb, op));
         let t = of.expect();

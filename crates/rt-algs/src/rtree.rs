@@ -1,94 +1,40 @@
-//! BST merge and split (§3.1) on the real runtime, in CPS.
+//! BST merge and split (§3.1) on the real runtime.
+//!
+//! The algorithm text lives once, engine-generically, in
+//! [`pf_algs::merge`]; this module instantiates it at `B = `[`Worker`].
+//! Monomorphization turns the generic CPS code into exactly the
+//! hand-written runtime code (the `tick`/`flat` cost hooks compile to
+//! nothing, `touch` lowers to the single-allocation in-cell suspension),
+//! so the thin wrappers below carry no runtime cost.
 
-use std::sync::Arc;
-
-use pf_rt::{cell, ready, FutRead, FutWrite, Worker};
+use pf_algs::Mode;
+use pf_rt::{ready, FutRead, FutWrite, Worker};
 
 use crate::RKey;
 
 /// A BST whose children are runtime future cells.
-pub enum RTree<K> {
-    /// Empty tree.
-    Leaf,
-    /// Interior node.
-    Node(Arc<RNode<K>>),
-}
+pub type RTree<K> = pf_algs::tree::Tree<Worker, K>;
 
 /// Interior node of an [`RTree`].
-pub struct RNode<K> {
-    /// Key at this node.
-    pub key: K,
-    /// Future of the left subtree.
-    pub left: FutRead<RTree<K>>,
-    /// Future of the right subtree.
-    pub right: FutRead<RTree<K>>,
-}
+pub type RNode<K> = pf_algs::tree::Node<Worker, K>;
 
-impl<K> Clone for RTree<K> {
-    fn clone(&self) -> Self {
-        match self {
-            RTree::Leaf => RTree::Leaf,
-            RTree::Node(n) => RTree::Node(Arc::clone(n)),
-        }
-    }
-}
-
-impl<K: RKey> RTree<K> {
-    /// Construct an interior node.
-    pub fn node(key: K, left: FutRead<RTree<K>>, right: FutRead<RTree<K>>) -> Self {
-        RTree::Node(Arc::new(RNode { key, left, right }))
-    }
-
-    /// Is this the empty tree?
-    pub fn is_leaf(&self) -> bool {
-        matches!(self, RTree::Leaf)
-    }
-
+/// Offline (no worker, pre-written cells) constructors for [`RTree`] —
+/// inputs are marshalled before `Runtime::run` starts the measured
+/// computation.
+pub trait RtTree<K: RKey>: Sized {
     /// Build a balanced tree from sorted keys with pre-written cells.
-    pub fn from_sorted(sorted: &[K]) -> RTree<K> {
+    fn from_sorted_ready(sorted: &[K]) -> Self;
+}
+
+impl<K: RKey> RtTree<K> for RTree<K> {
+    fn from_sorted_ready(sorted: &[K]) -> Self {
         if sorted.is_empty() {
             return RTree::Leaf;
         }
         let mid = sorted.len() / 2;
-        let left = Self::from_sorted(&sorted[..mid]);
-        let right = Self::from_sorted(&sorted[mid + 1..]);
+        let left = Self::from_sorted_ready(&sorted[..mid]);
+        let right = Self::from_sorted_ready(&sorted[mid + 1..]);
         RTree::node(sorted[mid].clone(), ready(left), ready(right))
-    }
-
-    /// Post-run inspection: keys in symmetric order.
-    ///
-    /// # Panics
-    /// If any cell in the tree is unwritten (the run has not quiesced).
-    pub fn to_sorted_vec(&self) -> Vec<K> {
-        let mut out = Vec::new();
-        let mut stack = vec![];
-        // Iterative in-order to keep the native stack shallow even for the
-        // lg n + lg m tall merge results.
-        enum Frame<K> {
-            Tree(RTree<K>),
-            Key(K),
-        }
-        stack.push(Frame::Tree(self.clone()));
-        while let Some(f) = stack.pop() {
-            match f {
-                Frame::Key(k) => out.push(k),
-                Frame::Tree(RTree::Leaf) => {}
-                Frame::Tree(RTree::Node(n)) => {
-                    stack.push(Frame::Tree(n.right.expect()));
-                    stack.push(Frame::Key(n.key.clone()));
-                    stack.push(Frame::Tree(n.left.expect()));
-                }
-            }
-        }
-        out
-    }
-
-    /// Post-run inspection: height.
-    pub fn height(&self) -> usize {
-        match self {
-            RTree::Leaf => 0,
-            RTree::Node(n) => 1 + n.left.expect().height().max(n.right.expect().height()),
-        }
     }
 }
 
@@ -101,64 +47,25 @@ pub fn split<K: RKey>(
     lout: FutWrite<RTree<K>>,
     rout: FutWrite<RTree<K>>,
 ) {
-    match t {
-        RTree::Leaf => {
-            lout.fulfill(wk, RTree::Leaf);
-            rout.fulfill(wk, RTree::Leaf);
-        }
-        RTree::Node(n) => {
-            if n.key >= s {
-                let (rp1, rf1) = cell();
-                rout.fulfill(wk, RTree::node(n.key.clone(), rf1, n.right.clone()));
-                n.left.touch(wk, move |lv, wk| split(wk, s, lv, lout, rp1));
-            } else {
-                let (lp1, lf1) = cell();
-                lout.fulfill(wk, RTree::node(n.key.clone(), n.left.clone(), lf1));
-                n.right.touch(wk, move |rv, wk| split(wk, s, rv, lp1, rout));
-            }
-        }
-    }
+    pf_algs::merge::split(wk, s, t, lout, rout);
 }
 
 /// `merge(a, b)` in CPS (Figure 3): write the merged tree into `out`.
+/// (The runtime has no clocks, so the pipelined and strict modes coincide;
+/// the real engine always pipelines.)
 pub fn merge<K: RKey>(
     wk: &Worker,
     a: FutRead<RTree<K>>,
     b: FutRead<RTree<K>>,
     out: FutWrite<RTree<K>>,
 ) {
-    a.touch(wk, move |av, wk| {
-        match av {
-            RTree::Leaf => b.touch(wk, move |bv, wk| out.fulfill(wk, bv)),
-            RTree::Node(n) => b.touch(wk, move |bv, wk| {
-                if bv.is_leaf() {
-                    out.fulfill(wk, RTree::Node(n));
-                    return;
-                }
-                // let (L2, R2) = ?split(v, B)
-                let (lp2, lf2) = cell();
-                let (rp2, rf2) = cell();
-                let key = n.key.clone();
-                wk.spawn(move |wk| split(wk, key, bv, lp2, rp2));
-                // Node(v, ?merge(L, L2), ?merge(R, R2))
-                let (mlp, mlf) = cell();
-                let (mrp, mrf) = cell();
-                out.fulfill(wk, RTree::node(n.key.clone(), mlf, mrf));
-                let l = n.left.clone();
-                let r = n.right.clone();
-                wk.spawn2(
-                    move |wk| merge(wk, l, lf2, mlp),
-                    move |wk| merge(wk, r, rf2, mrp),
-                );
-            }),
-        }
-    });
+    pf_algs::merge::merge(wk, a, b, out, Mode::Pipelined);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_rt::Runtime;
+    use pf_rt::{cell, Runtime};
 
     fn evens(n: usize) -> Vec<i64> {
         (0..n as i64).map(|i| 2 * i).collect()
@@ -168,8 +75,8 @@ mod tests {
     }
 
     fn run_merge(a: &[i64], b: &[i64], threads: usize) -> Vec<i64> {
-        let ta = ready(RTree::from_sorted(a));
-        let tb = ready(RTree::from_sorted(b));
+        let ta = ready(RTree::from_sorted_ready(a));
+        let tb = ready(RTree::from_sorted_ready(b));
         let (op, of) = cell();
         Runtime::new(threads).run(move |wk| merge(wk, ta, tb, op));
         of.expect().to_sorted_vec()
@@ -207,7 +114,7 @@ mod tests {
 
     #[test]
     fn split_partitions() {
-        let t = RTree::from_sorted(&evens(100));
+        let t = RTree::from_sorted_ready(&evens(100));
         let (lp, lf) = cell();
         let (rp, rf) = cell();
         Runtime::new(3).run(move |wk| split(wk, 41i64, t, lp, rp));

@@ -1,67 +1,70 @@
-//! The §3.4 2-6 tree bulk insert on the real runtime, in CPS.
+//! The §3.4 2-6 tree bulk insert on the real runtime.
 //!
-//! The interesting transcription problem: pass 1 of the node rebuild
-//! touches *several* children (those that receive keys) before the new
-//! node can be published. In CPS that becomes a chain of continuations
-//! threading an accumulator (`Builder`) through the touches — one hop
-//! per child with keys, constant per level, exactly the γ-value costing
-//! of Theorem 3.13.
-//!
-//! The well-separated wave arrays are plain `Vec<K>`s (the paper's flat
-//! arrays): array work happens inside the task that owns the array, and
-//! the waves chase each other through the shared tree structure via the
-//! future children.
+//! The algorithm text lives once, engine-generically, in
+//! [`pf_algs::two_six`]; this module instantiates it at `B = `[`Worker`].
+//! The interesting transcription problem — pass 1 of the node rebuild
+//! touches *several* children before the new node can be published, which
+//! in CPS becomes a chain of continuations threading a `Builder`
+//! accumulator through the touches — is solved once in the generic code
+//! and monomorphizes here to exactly the hand-written runtime version.
 
-use std::sync::Arc;
-
-use pf_rt::{cell, ready, FutRead, FutWrite, Worker};
-use pf_trees::two_six::level_arrays;
+use pf_algs::Mode;
+use pf_rt::{ready, FutRead, FutWrite, Worker};
 
 use crate::RKey;
 
 /// A 2-6 tree with runtime future children.
-pub enum RTsTree<K> {
-    /// Leaf: 1–5 keys (0 only for the empty tree).
-    Leaf(Arc<Vec<K>>),
-    /// Internal node: 1–5 splitters, `keys + 1` children.
-    Node(Arc<RTsNode<K>>),
-}
+pub type RTsTree<K> = pf_algs::two_six::TsTree<Worker, K>;
 
 /// Internal node of an [`RTsTree`].
-pub struct RTsNode<K> {
-    /// Splitter keys.
-    pub keys: Vec<K>,
-    /// Children as runtime futures.
-    pub children: Vec<FutRead<RTsTree<K>>>,
-}
+pub type RTsNode<K> = pf_algs::two_six::TsNode<Worker, K>;
 
-impl<K> Clone for RTsTree<K> {
-    fn clone(&self) -> Self {
-        match self {
-            RTsTree::Leaf(ks) => RTsTree::Leaf(Arc::clone(ks)),
-            RTsTree::Node(n) => RTsTree::Node(Arc::clone(n)),
-        }
-    }
-}
-
-impl<K: RKey> RTsTree<K> {
-    /// The empty tree.
-    pub fn empty() -> Self {
-        RTsTree::Leaf(Arc::new(Vec::new()))
-    }
-
-    fn key_count(&self) -> usize {
-        match self {
-            RTsTree::Leaf(ks) => ks.len(),
-            RTsTree::Node(n) => n.keys.len(),
-        }
-    }
-
+/// Offline (no worker, pre-written cells) constructors for [`RTsTree`].
+pub trait RtTsTree<K: RKey>: Sized {
     /// Build from sorted keys with pre-written cells (same shape as the
     /// cost-model builder: ≤ 2 keys per leaf, 2–3 children per node).
-    pub fn from_sorted(keys: &[K]) -> Self {
+    fn from_sorted_ready(keys: &[K]) -> Self;
+}
+
+impl<K: RKey> RtTsTree<K> for RTsTree<K> {
+    fn from_sorted_ready(keys: &[K]) -> Self {
+        fn build_h<K: RKey>(keys: &[K], h: usize) -> RTsTree<K> {
+            if h == 0 {
+                return RTsTree::Leaf(std::sync::Arc::new(keys.to_vec()));
+            }
+            let min_keys = (1usize << h) - 1;
+            let max_keys = 3usize.pow(h as u32) - 1;
+            let n = keys.len();
+            let c = if n > 2 * min_keys && n <= 2 * max_keys + 1 {
+                2
+            } else {
+                3
+            };
+            let mut sizes = vec![min_keys; c];
+            let mut rem = n - (c - 1) - c * min_keys;
+            for s in sizes.iter_mut() {
+                let add = rem.min(max_keys - min_keys);
+                *s += add;
+                rem -= add;
+            }
+            let mut node_keys = Vec::with_capacity(c - 1);
+            let mut children = Vec::with_capacity(c);
+            let mut at = 0usize;
+            for (i, s) in sizes.iter().enumerate() {
+                children.push(ready(build_h(&keys[at..at + s], h - 1)));
+                at += s;
+                if i < c - 1 {
+                    node_keys.push(keys[at].clone());
+                    at += 1;
+                }
+            }
+            RTsTree::Node(std::sync::Arc::new(RTsNode {
+                keys: node_keys,
+                children,
+            }))
+        }
         if keys.is_empty() {
-            return Self::empty();
+            return RTsTree::empty();
         }
         let mut h = 0usize;
         let mut cap = 2usize;
@@ -69,272 +72,13 @@ impl<K: RKey> RTsTree<K> {
             h += 1;
             cap = cap * 3 + 2;
         }
-        Self::build_h(keys, h)
-    }
-
-    fn build_h(keys: &[K], h: usize) -> Self {
-        if h == 0 {
-            return RTsTree::Leaf(Arc::new(keys.to_vec()));
-        }
-        let min_keys = (1usize << h) - 1;
-        let max_keys = 3usize.pow(h as u32) - 1;
-        let n = keys.len();
-        let c = if n > 2 * min_keys && n <= 2 * max_keys + 1 {
-            2
-        } else {
-            3
-        };
-        let mut sizes = vec![min_keys; c];
-        let mut rem = n - (c - 1) - c * min_keys;
-        for s in sizes.iter_mut() {
-            let add = rem.min(max_keys - min_keys);
-            *s += add;
-            rem -= add;
-        }
-        let mut node_keys = Vec::with_capacity(c - 1);
-        let mut children = Vec::with_capacity(c);
-        let mut at = 0usize;
-        for (i, s) in sizes.iter().enumerate() {
-            children.push(ready(Self::build_h(&keys[at..at + s], h - 1)));
-            at += s;
-            if i < c - 1 {
-                node_keys.push(keys[at].clone());
-                at += 1;
-            }
-        }
-        RTsTree::Node(Arc::new(RTsNode {
-            keys: node_keys,
-            children,
-        }))
-    }
-
-    /// Post-run inspection: all keys in symmetric order.
-    pub fn to_sorted_vec(&self) -> Vec<K> {
-        let mut out = Vec::new();
-        self.inorder(&mut out);
-        out
-    }
-
-    fn inorder(&self, out: &mut Vec<K>) {
-        match self {
-            RTsTree::Leaf(ks) => out.extend(ks.iter().cloned()),
-            RTsTree::Node(n) => {
-                for i in 0..n.children.len() {
-                    n.children[i].expect().inorder(out);
-                    if i < n.keys.len() {
-                        out.push(n.keys[i].clone());
-                    }
-                }
-            }
-        }
-    }
-
-    /// Post-run inspection: validate all 2-6 invariants.
-    pub fn validate(&self) -> Result<(), String> {
-        let keys = self.to_sorted_vec();
-        if keys.windows(2).any(|w| w[0] >= w[1]) {
-            return Err("keys not strictly increasing".into());
-        }
-        fn rec<K: RKey>(t: &RTsTree<K>, is_root: bool) -> Result<usize, String> {
-            match t {
-                RTsTree::Leaf(ks) => {
-                    if ks.is_empty() && !is_root {
-                        return Err("empty non-root leaf".into());
-                    }
-                    if ks.len() > 5 {
-                        return Err(format!("leaf with {} keys", ks.len()));
-                    }
-                    Ok(0)
-                }
-                RTsTree::Node(n) => {
-                    if n.keys.is_empty() || n.keys.len() > 5 {
-                        return Err(format!("node with {} keys", n.keys.len()));
-                    }
-                    if n.children.len() != n.keys.len() + 1 {
-                        return Err("child count mismatch".into());
-                    }
-                    let mut d = None;
-                    for c in &n.children {
-                        let dc = rec(&c.expect(), false)?;
-                        match d {
-                            None => d = Some(dc),
-                            Some(p) if p != dc => return Err("ragged leaves".into()),
-                            _ => {}
-                        }
-                    }
-                    Ok(d.expect("children") + 1)
-                }
-            }
-        }
-        rec(self, true).map(|_| ())
-    }
-}
-
-fn sorted_merge_dedup<K: RKey>(a: &[K], b: &[K]) -> Vec<K> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() || j < b.len() {
-        let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
-            let k = a[i].clone();
-            i += 1;
-            k
-        } else {
-            let k = b[j].clone();
-            j += 1;
-            k
-        };
-        if out.last() != Some(&next) {
-            out.push(next);
-        }
-    }
-    out
-}
-
-fn split_node<K: RKey>(t: &RTsTree<K>) -> (RTsTree<K>, K, RTsTree<K>) {
-    match t {
-        RTsTree::Leaf(ks) => {
-            let mid = ks.len() / 2;
-            (
-                RTsTree::Leaf(Arc::new(ks[..mid].to_vec())),
-                ks[mid].clone(),
-                RTsTree::Leaf(Arc::new(ks[mid + 1..].to_vec())),
-            )
-        }
-        RTsTree::Node(n) => {
-            let mid = n.keys.len() / 2;
-            (
-                RTsTree::Node(Arc::new(RTsNode {
-                    keys: n.keys[..mid].to_vec(),
-                    children: n.children[..=mid].to_vec(),
-                })),
-                n.keys[mid].clone(),
-                RTsTree::Node(Arc::new(RTsNode {
-                    keys: n.keys[mid + 1..].to_vec(),
-                    children: n.children[mid + 1..].to_vec(),
-                })),
-            )
-        }
-    }
-}
-
-/// A deferred recursive insert: (keys, subtree, output cell).
-type Pending<K> = Vec<(Vec<K>, RTsTree<K>, FutWrite<RTsTree<K>>)>;
-
-/// Accumulator threaded through the CPS chain that rebuilds one node.
-struct Builder<K: RKey> {
-    node: Arc<RTsNode<K>>,
-    parts: Vec<Vec<K>>, // one bucket per original child
-    i: usize,
-    new_keys: Vec<K>,
-    new_children: Vec<FutRead<RTsTree<K>>>,
-    pending: Pending<K>,
-    out: FutWrite<RTsTree<K>>,
-}
-
-fn queue_insert<K: RKey>(
-    part: Vec<K>,
-    subtree: RTsTree<K>,
-    pending: &mut Pending<K>,
-) -> FutRead<RTsTree<K>> {
-    if part.is_empty() {
-        ready(subtree)
-    } else {
-        let (p, f) = cell();
-        pending.push((part, subtree, p));
-        f
-    }
-}
-
-fn build_step<K: RKey>(wk: &Worker, mut b: Builder<K>) {
-    while b.i < b.node.children.len() {
-        let i = b.i;
-        let part = std::mem::take(&mut b.parts[i]);
-        if part.is_empty() {
-            b.new_children.push(b.node.children[i].clone());
-            if i < b.node.keys.len() {
-                b.new_keys.push(b.node.keys[i].clone());
-            }
-            b.i += 1;
-            continue;
-        }
-        // Touch the child, then continue the chain in the continuation.
-        let child = b.node.children[i].clone();
-        child.touch(wk, move |cv, wk| {
-            if cv.key_count() >= 3 {
-                let (l, sep, r) = split_node(&cv);
-                let (pl, pr): (Vec<K>, Vec<K>) = part
-                    .into_iter()
-                    .filter(|k| *k != sep)
-                    .partition(|k| *k < sep);
-                let lf = queue_insert(pl, l, &mut b.pending);
-                b.new_children.push(lf);
-                b.new_keys.push(sep);
-                let rf = queue_insert(pr, r, &mut b.pending);
-                b.new_children.push(rf);
-            } else {
-                let f = queue_insert(part, cv, &mut b.pending);
-                b.new_children.push(f);
-            }
-            if i < b.node.keys.len() {
-                b.new_keys.push(b.node.keys[i].clone());
-            }
-            b.i += 1;
-            build_step(wk, b);
-        });
-        return;
-    }
-    // All children processed: publish the node, then fork the recursions.
-    debug_assert!(b.new_keys.len() <= 5);
-    b.out.fulfill(
-        wk,
-        RTsTree::Node(Arc::new(RTsNode {
-            keys: b.new_keys,
-            children: b.new_children,
-        })),
-    );
-    for (part, subtree, p) in b.pending {
-        wk.spawn(move |wk| insert_val(wk, part, subtree, p));
+        build_h(keys, h)
     }
 }
 
 /// Insert a well-separated key array into the (touched) node value `t`.
 pub fn insert_val<K: RKey>(wk: &Worker, keys: Vec<K>, t: RTsTree<K>, out: FutWrite<RTsTree<K>>) {
-    if keys.is_empty() {
-        out.fulfill(wk, t);
-        return;
-    }
-    match t {
-        RTsTree::Leaf(existing) => {
-            let merged = sorted_merge_dedup(&existing, &keys);
-            assert!(merged.len() <= 5, "leaf overflow: separation violated");
-            out.fulfill(wk, RTsTree::Leaf(Arc::new(merged)));
-        }
-        RTsTree::Node(n) => {
-            debug_assert!(n.keys.len() <= 2, "must insert into a 2-3 node");
-            // Partition by splitters (the array_split work of §3.4).
-            let mut parts: Vec<Vec<K>> = Vec::with_capacity(n.children.len());
-            let mut rest = keys;
-            for s in &n.keys {
-                let (l, g): (Vec<K>, Vec<K>) =
-                    rest.into_iter().filter(|k| k != s).partition(|k| k < s);
-                parts.push(l);
-                rest = g;
-            }
-            parts.push(rest);
-            build_step(
-                wk,
-                Builder {
-                    node: n,
-                    parts,
-                    i: 0,
-                    new_keys: Vec::with_capacity(5),
-                    new_children: Vec::with_capacity(6),
-                    pending: Vec::new(),
-                    out,
-                },
-            );
-        }
-    }
+    pf_algs::two_six::insert_val(wk, keys, t, out);
 }
 
 /// Insert one wave, splitting the root first if necessary.
@@ -344,22 +88,7 @@ pub fn insert_wave<K: RKey>(
     t: FutRead<RTsTree<K>>,
     out: FutWrite<RTsTree<K>>,
 ) {
-    t.touch(wk, move |tv, wk| {
-        if keys.is_empty() {
-            out.fulfill(wk, tv);
-            return;
-        }
-        let tv = if tv.key_count() >= 3 {
-            let (l, sep, r) = split_node(&tv);
-            RTsTree::Node(Arc::new(RTsNode {
-                keys: vec![sep],
-                children: vec![ready(l), ready(r)],
-            }))
-        } else {
-            tv
-        };
-        insert_val(wk, keys, tv, out);
-    });
+    pf_algs::two_six::insert_wave(wk, keys, t, out);
 }
 
 /// Insert `m` sorted distinct keys, one pipelined wave per conceptual
@@ -369,27 +98,20 @@ pub fn insert_many<K: RKey>(
     keys: &[K],
     t: FutRead<RTsTree<K>>,
 ) -> FutRead<RTsTree<K>> {
-    let mut cur = t;
-    for wave in level_arrays(keys) {
-        let (p, f) = cell();
-        let prev = cur;
-        wk.spawn(move |wk| insert_wave(wk, wave, prev, p));
-        cur = f;
-    }
-    cur
+    pf_algs::two_six::insert_many(wk, keys, t, Mode::Pipelined)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_rt::Runtime;
+    use pf_rt::{cell, Runtime};
 
     fn evens(n: usize) -> Vec<i64> {
         (0..n as i64).map(|i| 2 * i).collect()
     }
 
     fn run_insert(initial: &[i64], newk: &[i64], threads: usize) -> RTsTree<i64> {
-        let t = ready(RTsTree::from_sorted(initial));
+        let t = ready(RTsTree::from_sorted_ready(initial));
         let (op, of) = cell();
         let keys = newk.to_vec();
         Runtime::new(threads).run(move |wk| {
@@ -402,7 +124,7 @@ mod tests {
     #[test]
     fn builder_valid() {
         for n in [0usize, 1, 5, 27, 300] {
-            let t = RTsTree::from_sorted(&evens(n));
+            let t = RTsTree::from_sorted_ready(&evens(n));
             t.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
             assert_eq!(t.to_sorted_vec(), evens(n));
         }

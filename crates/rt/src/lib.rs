@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cell;
 pub mod deque;
 pub mod mutex_cell;
@@ -56,3 +57,8 @@ pub mod task;
 
 pub use cell::{cell, ready, FutRead, FutWrite};
 pub use scheduler::{RunStats, Runtime, Worker};
+
+// The engine-agnostic surface `Worker` implements (see `backend`):
+// re-exported so runtime-side code can name the trait without a separate
+// dependency.
+pub use pf_backend::{Mode, PipeBackend};

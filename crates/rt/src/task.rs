@@ -4,18 +4,22 @@
 //! The paper charges a future fork constant time — "one allocation plus
 //! one deque push" — but on real hardware the allocation dominates for
 //! the tiny continuations fine-grained tree algorithms spawn. A [`Task`]
-//! is therefore a fixed five-word value:
+//! is therefore a fixed six-word value:
 //!
 //! ```text
 //! ┌──────────────────────────────┬───────────┬───────────┐
-//! │ payload: [usize; 3]          │ call fn   │ drop fn   │
+//! │ payload: [usize; 4]          │ call fn   │ drop fn   │
 //! └──────────────────────────────┴───────────┴───────────┘
 //! ```
 //!
-//! * A closure of at most three words (and word alignment) is stored
+//! * A closure of at most four words (and word alignment) is stored
 //!   **inline** in the payload — spawning it never touches the allocator.
-//!   Tree-algorithm child closures (a couple of `Arc`s / node pointers)
-//!   fit this budget.
+//!   Tree-algorithm child closures fit this budget: a couple of `Arc`s /
+//!   node pointers, plus the one-byte evaluation `Mode` the generic
+//!   `pf_algs` recursions thread through their spawned continuations
+//!   (three pointers + mode pads to four words; a three-word payload
+//!   would push every generic fork through the boxed fallback and break
+//!   allocation parity with hand-written CPS).
 //! * A larger closure falls back to one `Box`; only the two-word fat
 //!   pointer is stored inline.
 //! * An **already-boxed** continuation (a reactivated future-cell waiter)
@@ -30,7 +34,7 @@ use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 use crate::scheduler::Worker;
 
 /// Payload capacity, in machine words.
-const INLINE_WORDS: usize = 3;
+const INLINE_WORDS: usize = 4;
 
 type Payload = MaybeUninit<[usize; INLINE_WORDS]>;
 type BoxedFn = Box<dyn FnOnce(&Worker) + Send>;
@@ -145,15 +149,15 @@ mod tests {
     #[test]
     fn small_closures_are_inline() {
         assert!(fits_inline::<fn(&Worker)>());
-        struct Three(#[allow(dead_code)] [usize; 3]);
-        assert!(fits_inline::<Three>());
         struct Four(#[allow(dead_code)] [usize; 4]);
-        assert!(!fits_inline::<Four>());
+        assert!(fits_inline::<Four>());
+        struct Five(#[allow(dead_code)] [usize; 5]);
+        assert!(!fits_inline::<Five>());
     }
 
     #[test]
-    fn task_is_five_words() {
-        assert_eq!(size_of::<Task>(), 5 * size_of::<usize>());
+    fn task_is_six_words() {
+        assert_eq!(size_of::<Task>(), 6 * size_of::<usize>());
     }
 
     #[test]

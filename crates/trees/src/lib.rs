@@ -21,6 +21,15 @@
 //! **sequential** reference used as a correctness oracle and a work
 //! baseline ([`seq`]).
 //!
+//! Since the backend refactor the §3 algorithms are written **once**, in
+//! [`pf_algs`], generic over the [`pf_backend::PipeBackend`] engine trait.
+//! This crate instantiates them at `B = `[`pf_core::Ctx`] (the virtual-time
+//! simulator) and layers the sim-only machinery on top: preloaded input
+//! builders, cost-report runners (`run_*`), completion-time and cell-walk
+//! inspection, and the measurement suites in [`analysis`]. The same generic
+//! code runs on the real scheduler via `pf-rt-algs` and on the sequential
+//! oracle via `pf_backend::Seq`.
+//!
 //! The tree types ([`tree::Tree`], [`treap::Treap`], [`two_six::TsTree`])
 //! have *futures as child pointers*: a node can be handed to a consumer
 //! while its subtrees are still being computed — this is the entire
@@ -59,25 +68,4 @@ pub mod tree;
 pub mod two_six;
 pub mod workloads;
 
-/// Trait alias for the key types the tree algorithms accept.
-pub trait Key: Clone + Ord + 'static {}
-impl<T: Clone + Ord + 'static> Key for T {}
-
-/// Whether an algorithm runs with implicit pipelining (futures visible as
-/// soon as they are written) or strictly (each helper sub-computation's
-/// outputs become visible only when the whole helper has finished) — the
-/// paper's non-pipelined comparison point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Mode {
-    /// Futures pipeline: partial results flow as soon as they are written.
-    Pipelined,
-    /// Strict helper calls: the non-pipelined variant.
-    Strict,
-}
-
-impl Mode {
-    /// True for [`Mode::Pipelined`].
-    pub fn is_pipelined(self) -> bool {
-        matches!(self, Mode::Pipelined)
-    }
-}
+pub use pf_algs::{Key, Mode};

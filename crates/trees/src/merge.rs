@@ -1,13 +1,9 @@
 //! §3.1 — merging two binary search trees (Theorem 3.1).
 //!
-//! The code is the paper's Figure 3, transcribed with explicit promise
-//! passing: where the ML version writes `let (L2, R2) = ?split(v, B)`,
-//! the Rust version creates the two result cells and hands their write
-//! pointers into the forked `split` — the same multi-cell future. Passing
-//! the *write pointer* down the recursion (instead of returning a read
-//! pointer) is exactly how the model avoids chains of future cells, which
-//! the paper forbids ("a read pointer cannot be written into a future
-//! cell", §2).
+//! The algorithm itself is written once, engine-generically, in
+//! [`pf_algs::merge`]; this module instantiates it on the simulator and
+//! provides the preloaded-input entry point [`run_merge`] plus the cost
+//! tests that check Theorem 3.1 against the virtual clock.
 //!
 //! With pipelining the merge of balanced trees of sizes n and m runs in
 //! Θ(lg n + lg m) depth; with a strict split (the [`crate::Mode::Strict`]
@@ -15,105 +11,25 @@
 
 use pf_core::{CostReport, Ctx, Fut, Promise, Sim};
 
-use crate::tree::Tree;
+use crate::tree::{SimTree, Tree};
 use crate::{Key, Mode};
 
 /// `split(s, t)`: partition `t` into keys `< s` (written to `lout`) and
-/// keys `>= s` (written to `rout`).
-///
-/// The function walks one root-to-leaf path of `t`; each step peels one
-/// node off into whichever output tree it belongs to, writing that output's
-/// root **immediately** with a future for the still-unknown part — the
-/// source of the pipeline. `t` is the already-touched root value; the
-/// recursion touches each child on the way down.
-pub fn split<K: Key>(
-    ctx: &mut Ctx,
-    s: &K,
-    t: Tree<K>,
-    lout: Promise<Tree<K>>,
-    rout: Promise<Tree<K>>,
-) {
-    ctx.tick(1); // pattern match + comparison dispatch
-    match t {
-        Tree::Leaf => {
-            lout.fulfill(ctx, Tree::Leaf);
-            rout.fulfill(ctx, Tree::Leaf);
-        }
-        Tree::Node(n) => {
-            if n.key >= *s {
-                // Node belongs to the >= side; its left part is still
-                // unknown, so it becomes a fresh future filled by the
-                // recursion on the left child.
-                let (rp1, rf1) = ctx.promise();
-                rout.fulfill(ctx, Tree::node(n.key.clone(), rf1, n.right.clone()));
-                let lt = ctx.touch(&n.left);
-                split(ctx, s, lt, lout, rp1);
-            } else {
-                let (lp1, lf1) = ctx.promise();
-                lout.fulfill(ctx, Tree::node(n.key.clone(), n.left.clone(), lf1));
-                let rt = ctx.touch(&n.right);
-                split(ctx, s, rt, lp1, rout);
-            }
-        }
-    }
+/// keys `>= s` (written to `rout`). See [`pf_algs::merge::split`].
+pub fn split<K: Key>(ctx: &Ctx, s: &K, t: Tree<K>, lout: Promise<Tree<K>>, rout: Promise<Tree<K>>) {
+    pf_algs::merge::split(ctx, s.clone(), t, lout, rout);
 }
 
 /// `merge(a, b)`: merge two BSTs with disjoint key sets into one BST,
-/// writing the result to `out` (Figure 3). The root of `a` becomes the
-/// root of the result; `b` is split by that root's key and the halves are
-/// merged into the subtrees by parallel recursive calls.
+/// writing the result to `out` (Figure 3). See [`pf_algs::merge::merge`].
 pub fn merge<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     a: Fut<Tree<K>>,
     b: Fut<Tree<K>>,
     out: Promise<Tree<K>>,
     mode: Mode,
 ) {
-    let av = ctx.touch(&a);
-    ctx.tick(1); // pattern dispatch on the first argument
-    match av {
-        Tree::Leaf => {
-            // merge(Leaf, B) = B: writing is strict on the value, so the
-            // write waits for (touches) B's root and stores the value —
-            // never a pointer to the cell.
-            let bv = ctx.touch(&b);
-            out.fulfill(ctx, bv);
-        }
-        Tree::Node(n) => {
-            let bv = ctx.touch(&b);
-            ctx.tick(1);
-            if bv.is_leaf() {
-                out.fulfill(ctx, Tree::Node(n));
-                return;
-            }
-            // let (L2, R2) = ?split(v, B)
-            let (lp2, lf2) = ctx.promise();
-            let (rp2, rf2) = ctx.promise();
-            let key = n.key.clone();
-            match mode {
-                Mode::Pipelined => {
-                    ctx.fork_unit(move |ctx| split(ctx, &key, bv, lp2, rp2));
-                }
-                Mode::Strict => {
-                    // Non-pipelined: the same forked split, but its outputs
-                    // become visible only when the whole split completes.
-                    ctx.call_strict(move |ctx| {
-                        ctx.fork_unit(move |ctx| split(ctx, &key, bv, lp2, rp2));
-                    });
-                }
-            }
-            // Node(v, ?merge(L, L2), ?merge(R, R2)) — the result root is
-            // available in constant time; its children are futures.
-            let (mlp, mlf) = ctx.promise();
-            let (mrp, mrf) = ctx.promise();
-            ctx.tick(1); // allocate the node
-            out.fulfill(ctx, Tree::node(n.key.clone(), mlf, mrf));
-            let l = n.left.clone();
-            let r = n.right.clone();
-            ctx.fork_unit(move |ctx| merge(ctx, l, lf2, mlp, mode));
-            ctx.fork_unit(move |ctx| merge(ctx, r, rf2, mrp, mode));
-        }
-    }
+    pf_algs::merge::merge(ctx, a, b, out, mode);
 }
 
 /// Convenience entry point: build both input trees (free), run `merge`

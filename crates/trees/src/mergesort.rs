@@ -18,7 +18,7 @@ use crate::{Key, Mode};
 
 /// Sort `keys` (distinct, in any order) into a BST by recursive halving
 /// and pipelined merging.
-pub fn msort<K: Key>(ctx: &mut Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
+pub fn msort<K: Key>(ctx: &Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
     ctx.tick(1);
     match keys.len() {
         0 => out.fulfill(ctx, Tree::Leaf),
@@ -54,7 +54,7 @@ pub fn run_msort<K: Key>(keys: &[K], mode: Mode) -> (Fut<Tree<K>>, CostReport) {
 /// reach height lg a + lg b, and those heights feed the next merge's
 /// depth; rebalancing between levels keeps every merge input at the
 /// optimal height — an ablation for the E13 conjecture measurement.
-pub fn msort_balanced<K: Key>(ctx: &mut Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
+pub fn msort_balanced<K: Key>(ctx: &Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
     ctx.tick(1);
     match keys.len() {
         0 => out.fulfill(ctx, Tree::Leaf),

@@ -6,36 +6,27 @@
 //! processes element *i* while the producer builds element *i + 1*, so the
 //! whole computation has depth ≈ c·n instead of the strict 2·c·n — the
 //! consumer finishes O(1) after the producer.
+//!
+//! The producer and consumer are written once, engine-generically, in
+//! [`pf_algs::list`]; this module instantiates them on the simulator and
+//! holds the Figure-1 cost tests.
 
-use pf_core::{CostReport, Ctx, FList, Sim};
+use pf_core::{CostReport, Ctx, Promise, Sim};
 
+use crate::quicksort::List;
 use crate::Mode;
 
 /// `produce(n)`: the list `n, n−1, …, 1` where each tail is computed by
-/// its own future thread.
-pub fn produce(ctx: &mut Ctx, n: u64) -> FList<u64> {
-    ctx.tick(1);
-    if n == 0 {
-        FList::nil()
-    } else {
-        let tail = ctx.fork(move |ctx| produce(ctx, n - 1));
-        FList::cons(n, tail)
-    }
+/// its own future thread; the head cons is written to `out` as soon as the
+/// first element is known.
+pub fn produce(ctx: &Ctx, n: u64, out: Promise<List<u64>>) {
+    pf_algs::list::produce(ctx, n, out);
 }
 
-/// `consume`: sum the list, touching each tail future as it goes.
-pub fn consume(ctx: &mut Ctx, list: FList<u64>, mut acc: u64) -> u64 {
-    let mut cur = list;
-    loop {
-        ctx.tick(1);
-        match cur.as_cons() {
-            None => return acc,
-            Some((h, t)) => {
-                acc += *h;
-                cur = ctx.touch(t);
-            }
-        }
-    }
+/// `consume`: sum the list, touching each tail future as it goes; the
+/// total is written to `out` once the nil is reached.
+pub fn consume(ctx: &Ctx, list: List<u64>, acc: u64, out: Promise<u64>) {
+    pf_algs::list::consume(ctx, list, acc, out);
 }
 
 /// Run the Figure-1 pipeline for `n` elements under `mode`; returns the
@@ -43,23 +34,15 @@ pub fn consume(ctx: &mut Ctx, list: FList<u64>, mut acc: u64) -> u64 {
 /// once the producer has built the entire list.
 pub fn run_pipeline(n: u64, mode: Mode) -> (u64, CostReport) {
     Sim::new().run(|ctx| {
-        let list = match mode {
-            Mode::Pipelined => {
-                let f = ctx.fork(move |ctx| produce(ctx, n));
-                ctx.touch(&f)
-            }
-            Mode::Strict => {
-                let (p, f) = ctx.promise();
-                ctx.call_strict(move |ctx| {
-                    ctx.fork_unit(move |ctx| {
-                        let l = produce(ctx, n);
-                        p.fulfill(ctx, l);
-                    });
-                });
-                ctx.touch(&f)
-            }
-        };
-        consume(ctx, list, 0)
+        let (lp, lf) = ctx.promise();
+        match mode {
+            Mode::Pipelined => produce(ctx, n, lp),
+            Mode::Strict => ctx.call_strict(move |ctx| produce(ctx, n, lp)),
+        }
+        let list = ctx.touch(&lf);
+        let (sp, sf) = ctx.promise();
+        consume(ctx, list, 0, sp);
+        ctx.touch(&sf)
     })
 }
 
@@ -82,10 +65,9 @@ mod tests {
         let (_, cs) = run_pipeline(n, Mode::Strict);
         assert_eq!(cp.work, cs.work);
         // Pipelined: consumer trails the producer by O(1) ⇒ depth ≈ c·n.
-        // Strict: depth ≈ producer + consumer ≈ 2·c·n — but the strict
-        // variant re-stamps the *head* cell only, and the head of the list
-        // holds the whole chain, so the strict consumer starts after the
-        // full production.
+        // Strict: the whole production is re-stamped to its completion
+        // time, so the consumer starts after the full production and the
+        // depth ≈ producer + consumer ≈ 2·c·n.
         assert!(
             cs.depth as f64 > 1.3 * cp.depth as f64,
             "strict {} vs pipelined {}",

@@ -67,7 +67,7 @@ pub struct PvwStats {
 
 impl<K: Key> PvwTree<K> {
     /// Build from sorted keys (same shape discipline as
-    /// [`crate::two_six::TsTree::preload_from_sorted`]: ≤ 2 keys per leaf,
+    /// [`crate::two_six::SimTsTree::preload_from_sorted`]: ≤ 2 keys per leaf,
     /// 2–3 children per internal node).
     pub fn from_sorted(keys: &[K]) -> Self {
         let mut t = PvwTree {

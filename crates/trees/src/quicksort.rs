@@ -4,114 +4,56 @@
 //! asymptotically than the non-pipelined version — only a constant factor
 //! more parallelism.
 //!
-//! The implementation follows the Multilisp original: `qs(l, rest)`
-//! computes `sort(l) ++ rest` with an accumulator, and `partition` streams
-//! its two output lists element by element through future-tailed cons
-//! cells.
+//! The algorithm is written once, engine-generically, in
+//! [`pf_algs::list`]; this module instantiates it on the simulator and
+//! holds the Θ(n)-depth cost tests. The implementation follows the
+//! Multilisp original: `qs(l, rest)` computes `sort(l) ++ rest` with an
+//! accumulator, and `partition` streams its two output lists element by
+//! element through future-tailed cons cells.
 
-use pf_core::{CostReport, Ctx, FList, Promise, Sim};
+use pf_core::{CostReport, Ctx, Promise, Sim};
 
 use crate::{Key, Mode};
 
-/// Build an [`FList`] from a slice using free pre-written cells (input
+pub use pf_algs::list::{ListFut, ListWr};
+
+/// A list with future tails on the simulator engine.
+pub type List<K> = pf_algs::list::List<Ctx, K>;
+
+/// Build a [`List`] from a slice using free pre-written cells (input
 /// construction).
-pub fn preload_list<K: Key>(ctx: &mut Ctx, keys: &[K]) -> FList<K> {
-    let mut cur = FList::nil();
-    for k in keys.iter().rev() {
-        let f = ctx.preload(cur);
-        cur = FList::cons(k.clone(), f);
-    }
-    cur
+pub fn preload_list<K: Key>(ctx: &Ctx, keys: &[K]) -> List<K> {
+    List::from_slice(ctx, keys)
 }
 
 /// `partition(pivot, l)`: stream `l` into elements `< pivot` (`lout`) and
 /// elements `>= pivot` (`gout`). Each output element is written as soon as
 /// it is classified — the pipelined producer for the recursive sorts.
 pub fn partition<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     pivot: &K,
-    mut l: FList<K>,
-    mut lout: Promise<FList<K>>,
-    mut gout: Promise<FList<K>>,
+    l: List<K>,
+    lout: Promise<List<K>>,
+    gout: Promise<List<K>>,
 ) {
-    loop {
-        ctx.tick(1);
-        let (h, t) = match l.as_cons() {
-            None => {
-                lout.fulfill(ctx, FList::nil());
-                gout.fulfill(ctx, FList::nil());
-                return;
-            }
-            Some((h, t)) => (h.clone(), t.clone()),
-        };
-        let tail = ctx.touch(&t);
-        if h < *pivot {
-            let (np, nf) = ctx.promise();
-            lout.fulfill(ctx, FList::cons(h, nf));
-            lout = np;
-        } else {
-            let (np, nf) = ctx.promise();
-            gout.fulfill(ctx, FList::cons(h, nf));
-            gout = np;
-        }
-        l = tail;
-    }
+    pf_algs::list::partition(ctx, pivot.clone(), l, lout, gout);
 }
 
 /// `qs(l, rest)`: sort `l` and append `rest` (Figure 2, with the standard
 /// accumulator formulation). The `< pivot` side is consumed by the
-/// continuing loop; the `>= pivot` side is sorted by a forked future whose
-/// result becomes the tail of `pivot :: …`.
-pub fn qs<K: Key>(
-    ctx: &mut Ctx,
-    mut l: FList<K>,
-    mut rest: FList<K>,
-    out: Promise<FList<K>>,
-    mode: Mode,
-) {
-    loop {
-        ctx.tick(1);
-        let (h, t) = match l.as_cons() {
-            None => {
-                out.fulfill(ctx, rest);
-                return;
-            }
-            Some((h, t)) => (h.clone(), t.clone()),
-        };
-        let tail = ctx.touch(&t);
-        // let (less, greater) = ?partition(h, tail)
-        let (lp, lf) = ctx.promise();
-        let (gp, gf) = ctx.promise();
-        let pivot = h.clone();
-        match mode {
-            Mode::Pipelined => {
-                ctx.fork_unit(move |ctx| partition(ctx, &pivot, tail, lp, gp));
-            }
-            Mode::Strict => {
-                ctx.call_strict(move |ctx| {
-                    ctx.fork_unit(move |ctx| partition(ctx, &pivot, tail, lp, gp));
-                });
-            }
-        }
-        // qs(less) ++ (h :: ?qs(greater, rest))
-        let (gout_p, gout_f) = ctx.promise();
-        let rest_in = rest;
-        ctx.fork_unit(move |ctx| {
-            let g = ctx.touch(&gf);
-            qs(ctx, g, rest_in, gout_p, mode);
-        });
-        rest = FList::cons(h, gout_f);
-        l = ctx.touch(&lf);
-    }
+/// continuing recursion; the `>= pivot` side is sorted by a forked future
+/// whose result becomes the tail of `pivot :: …`.
+pub fn qs<K: Key>(ctx: &Ctx, l: List<K>, rest: List<K>, out: Promise<List<K>>, mode: Mode) {
+    pf_algs::list::qs(ctx, l, rest, out, mode);
 }
 
 /// Sort `keys` with the futures quicksort under `mode`; returns the result
 /// list (post-run inspectable) and the cost report.
-pub fn run_quicksort<K: Key>(keys: &[K], mode: Mode) -> (FList<K>, CostReport) {
+pub fn run_quicksort<K: Key>(keys: &[K], mode: Mode) -> (List<K>, CostReport) {
     Sim::new().run(|ctx| {
         let l = preload_list(ctx, keys);
         let (op, of) = ctx.promise();
-        qs(ctx, l, FList::nil(), op, mode);
+        qs(ctx, l, List::nil(), op, mode);
         ctx.touch(&of)
     })
 }

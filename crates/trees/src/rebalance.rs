@@ -1,8 +1,9 @@
 //! §3.1 (end) — rebalancing an unbalanced BST with pipelining.
 //!
-//! The merge of two balanced trees can produce a tree of height
-//! `lg n + lg m`. The paper sketches a three-phase fix, all within
-//! O(lg n + lg m) depth and O(n + m) work:
+//! The three-phase algorithm is written once, engine-generically, in
+//! [`pf_algs::rebalance`]; this module instantiates it on the simulator,
+//! keeps the historical signatures, and holds the cost tests for the
+//! O(lg n + lg m) depth / O(n + m) work bounds:
 //!
 //! 1. a bottom-up pass storing subtree **sizes** ([`annotate_sizes`]);
 //! 2. a top-down pass assigning each node its in-order **rank**
@@ -16,254 +17,66 @@
 //! phase 2 compute ranks without touching children a second time, keeping
 //! the program linear (§4).
 
-use std::rc::Rc;
-
 use pf_core::{CostReport, Ctx, Fut, Promise, Sim};
 
-use crate::tree::Tree;
+use crate::tree::{SimTree, Tree};
 use crate::{Key, Mode};
 
-/// A size-annotated tree (phase-1 output). Built strictly bottom-up, so
-/// children are plain values, not futures.
-pub enum SizedTree<K> {
-    /// Empty.
-    Leaf,
-    /// Node with subtree size and left-subtree size cached.
-    Node(Rc<SizedNode<K>>),
-}
+pub use pf_algs::rebalance::{SizedNode, SizedTree};
 
-/// Node of a [`SizedTree`].
-pub struct SizedNode<K> {
-    /// The key.
-    pub key: K,
-    /// Total number of keys in this subtree.
-    pub size: usize,
-    /// Number of keys in the left subtree (caches the rank offset).
-    pub left_size: usize,
-    /// Left subtree.
-    pub left: SizedTree<K>,
-    /// Right subtree.
-    pub right: SizedTree<K>,
-}
-
-impl<K> Clone for SizedTree<K> {
-    fn clone(&self) -> Self {
-        match self {
-            SizedTree::Leaf => SizedTree::Leaf,
-            SizedTree::Node(n) => SizedTree::Node(Rc::clone(n)),
-        }
-    }
-}
-
-impl<K> SizedTree<K> {
-    /// Size of the subtree (0 for leaf).
-    pub fn size(&self) -> usize {
-        match self {
-            SizedTree::Leaf => 0,
-            SizedTree::Node(n) => n.size,
-        }
-    }
-}
-
-/// A rank-annotated tree (phase-2 output). Children are futures again:
-/// phase 2 emits nodes top-down and `split_rank`/`rebuild` consume them in
-/// pipelined fashion.
-pub enum RankedTree<K> {
-    /// Empty.
-    Leaf,
-    /// Node carrying its global in-order rank.
-    Node(Rc<RankedNode<K>>),
-}
+/// A rank-annotated tree (phase-2 output) on the simulator engine.
+pub type RankedTree<K> = pf_algs::rebalance::RankedTree<Ctx, K>;
 
 /// Node of a [`RankedTree`].
-pub struct RankedNode<K> {
-    /// The key.
-    pub key: K,
-    /// Global in-order index of this key in the whole tree.
-    pub rank: usize,
-    /// Future of the left subtree.
-    pub left: Fut<RankedTree<K>>,
-    /// Future of the right subtree.
-    pub right: Fut<RankedTree<K>>,
-}
-
-impl<K> Clone for RankedTree<K> {
-    fn clone(&self) -> Self {
-        match self {
-            RankedTree::Leaf => RankedTree::Leaf,
-            RankedTree::Node(n) => RankedTree::Node(Rc::clone(n)),
-        }
-    }
-}
+pub type RankedNode<K> = pf_algs::rebalance::RankedNode<Ctx, K>;
 
 /// Phase 1: bottom-up size annotation. Depth O(h), work O(n).
-pub fn annotate_sizes<K: Key>(ctx: &mut Ctx, t: Fut<Tree<K>>, out: Promise<SizedTree<K>>) {
-    let tv = ctx.touch(&t);
-    ctx.tick(1);
-    match tv {
-        Tree::Leaf => out.fulfill(ctx, SizedTree::Leaf),
-        Tree::Node(n) => {
-            let (lp, lf) = ctx.promise();
-            let (rp, rf) = ctx.promise();
-            let l = n.left.clone();
-            let r = n.right.clone();
-            ctx.fork_unit(move |ctx| annotate_sizes(ctx, l, lp));
-            ctx.fork_unit(move |ctx| annotate_sizes(ctx, r, rp));
-            let lv = ctx.touch(&lf);
-            let rv = ctx.touch(&rf);
-            ctx.tick(1);
-            let left_size = lv.size();
-            let size = 1 + left_size + rv.size();
-            out.fulfill(
-                ctx,
-                SizedTree::Node(Rc::new(SizedNode {
-                    key: n.key.clone(),
-                    size,
-                    left_size,
-                    left: lv,
-                    right: rv,
-                })),
-            );
-        }
-    }
+pub fn annotate_sizes<K: Key>(ctx: &Ctx, t: Fut<Tree<K>>, out: Promise<SizedTree<K>>) {
+    pf_algs::rebalance::annotate_sizes(ctx, t, out);
 }
 
 /// Phase 2: top-down rank assignment. `offset` is the number of keys to
 /// the left of this subtree. Depth O(h), work O(n).
 pub fn assign_ranks<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     t: SizedTree<K>,
     offset: usize,
     out: Promise<RankedTree<K>>,
 ) {
-    ctx.tick(1);
-    match t {
-        SizedTree::Leaf => out.fulfill(ctx, RankedTree::Leaf),
-        SizedTree::Node(n) => {
-            let rank = offset + n.left_size;
-            let (lp, lf) = ctx.promise();
-            let (rp, rf) = ctx.promise();
-            out.fulfill(
-                ctx,
-                RankedTree::Node(Rc::new(RankedNode {
-                    key: n.key.clone(),
-                    rank,
-                    left: lf,
-                    right: rf,
-                })),
-            );
-            let (l, r) = (n.left.clone(), n.right.clone());
-            ctx.fork_unit(move |ctx| assign_ranks(ctx, l, offset, lp));
-            ctx.fork_unit(move |ctx| assign_ranks(ctx, r, rank + 1, rp));
-        }
-    }
+    pf_algs::rebalance::assign_ranks(ctx, t, offset, out);
 }
 
 /// Phase 3a: `split_rank(r, t)` — partition by global rank: nodes with
 /// rank `< r` to `lout`, rank `> r` to `rout`, and the key of the rank-`r`
 /// node to `kout`. Structurally `splitm` with ranks as keys.
 pub fn split_rank<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     r: usize,
     t: RankedTree<K>,
     lout: Promise<RankedTree<K>>,
     rout: Promise<RankedTree<K>>,
     kout: Promise<K>,
 ) {
-    ctx.tick(1);
-    match t {
-        RankedTree::Leaf => unreachable!("split_rank: rank {r} not present"),
-        RankedTree::Node(n) => {
-            if r == n.rank {
-                kout.fulfill(ctx, n.key.clone());
-                let lv = ctx.touch(&n.left);
-                lout.fulfill(ctx, lv);
-                let rv = ctx.touch(&n.right);
-                rout.fulfill(ctx, rv);
-            } else if r < n.rank {
-                let (rp1, rf1) = ctx.promise();
-                rout.fulfill(
-                    ctx,
-                    RankedTree::Node(Rc::new(RankedNode {
-                        key: n.key.clone(),
-                        rank: n.rank,
-                        left: rf1,
-                        right: n.right.clone(),
-                    })),
-                );
-                let lv = ctx.touch(&n.left);
-                split_rank(ctx, r, lv, lout, rp1, kout);
-            } else {
-                let (lp1, lf1) = ctx.promise();
-                lout.fulfill(
-                    ctx,
-                    RankedTree::Node(Rc::new(RankedNode {
-                        key: n.key.clone(),
-                        rank: n.rank,
-                        left: n.left.clone(),
-                        right: lf1,
-                    })),
-                );
-                let rv = ctx.touch(&n.right);
-                split_rank(ctx, r, rv, lp1, rout, kout);
-            }
-        }
-    }
+    pf_algs::rebalance::split_rank(ctx, r, t, lout, rout, kout);
 }
 
 /// Phase 3b: rebuild the subtree holding ranks `lo..hi` of `t` into a
 /// perfectly balanced tree: split at the median rank, use that node as the
 /// root, recurse on the halves (pipelined like `merge`).
 pub fn rebuild<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     t: Fut<RankedTree<K>>,
     lo: usize,
     hi: usize,
     out: Promise<Tree<K>>,
     mode: Mode,
 ) {
-    ctx.tick(1);
-    if lo >= hi {
-        out.fulfill(ctx, Tree::Leaf);
-        return;
-    }
-    let tv = ctx.touch(&t);
-    let mid = lo + (hi - lo) / 2;
-    let (lp, lf) = ctx.promise();
-    let (rp, rf) = ctx.promise();
-    let (kp, kf) = ctx.promise();
-    match mode {
-        Mode::Pipelined => {
-            ctx.fork_unit(move |ctx| split_rank(ctx, mid, tv, lp, rp, kp));
-        }
-        Mode::Strict => {
-            ctx.call_strict(move |ctx| {
-                ctx.fork_unit(move |ctx| split_rank(ctx, mid, tv, lp, rp, kp));
-            });
-        }
-    }
-    // Fork the child rebuilds *before* touching the median key: they need
-    // only the piece futures, which `split_rank` streams out node by node,
-    // so they start peeling while this level's split is still searching
-    // for its median.
-    let (blp, blf) = ctx.promise();
-    let (brp, brf) = ctx.promise();
-    ctx.fork_unit(move |ctx| rebuild(ctx, lf, lo, mid, blp, mode));
-    ctx.fork_unit(move |ctx| rebuild(ctx, rf, mid + 1, hi, brp, mode));
-    let key = ctx.touch(&kf);
-    ctx.tick(1);
-    out.fulfill(ctx, Tree::node(key, blf, brf));
+    pf_algs::rebalance::rebuild(ctx, t, lo, hi, out, mode);
 }
 
 /// The full three-phase rebalance of an arbitrary BST.
-pub fn rebalance<K: Key>(ctx: &mut Ctx, t: Fut<Tree<K>>, out: Promise<Tree<K>>, mode: Mode) {
-    let (sp, sf) = ctx.promise();
-    ctx.fork_unit(move |ctx| annotate_sizes(ctx, t, sp));
-    let sv = ctx.touch(&sf);
-    let n = sv.size();
-    let (rp, rf) = ctx.promise();
-    ctx.fork_unit(move |ctx| assign_ranks(ctx, sv, 0, rp));
-    rebuild(ctx, rf, 0, n, out, mode);
+pub fn rebalance<K: Key>(ctx: &Ctx, t: Fut<Tree<K>>, out: Promise<Tree<K>>, mode: Mode) {
+    pf_algs::rebalance::rebalance(ctx, t, out, mode);
 }
 
 /// The §3.1 composite the rebalance exists for: **merge two balanced
@@ -273,15 +86,13 @@ pub fn rebalance<K: Key>(ctx: &mut Ctx, t: Fut<Tree<K>>, out: Promise<Tree<K>>, 
 /// output is perfectly balanced (unlike raw merge, whose height can reach
 /// lg n + lg m).
 pub fn merge_balanced<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     a: Fut<Tree<K>>,
     b: Fut<Tree<K>>,
     out: Promise<Tree<K>>,
     mode: Mode,
 ) {
-    let (mp, mf) = ctx.promise();
-    ctx.fork_unit(move |ctx| crate::merge::merge(ctx, a, b, mp, mode));
-    rebalance(ctx, mf, out, mode);
+    pf_algs::rebalance::merge_balanced(ctx, a, b, out, mode);
 }
 
 /// Run [`merge_balanced`] on two sorted disjoint key sets.
@@ -310,43 +121,8 @@ pub fn run_rebalance<K: Key>(keys_in_tree_order: &[K], mode: Mode) -> (Fut<Tree<
 
 /// Build a BST by naive (unbalanced) insertion order using free cells —
 /// a worst-case input generator for the rebalancer.
-pub fn preload_unbalanced<K: Key>(ctx: &mut Ctx, keys: &[K]) -> Tree<K> {
-    #[derive(Clone)]
-    enum P<K> {
-        Leaf,
-        Node(K, Box<P<K>>, Box<P<K>>),
-    }
-    fn ins<K: Ord + Clone>(t: P<K>, k: K) -> P<K> {
-        match t {
-            P::Leaf => P::Node(k, Box::new(P::Leaf), Box::new(P::Leaf)),
-            P::Node(key, l, r) => {
-                if k < key {
-                    P::Node(key, Box::new(ins(*l, k)), r)
-                } else if k > key {
-                    P::Node(key, l, Box::new(ins(*r, k)))
-                } else {
-                    P::Node(key, l, r)
-                }
-            }
-        }
-    }
-    fn conv<K: Key>(ctx: &mut Ctx, t: &P<K>) -> Tree<K> {
-        match t {
-            P::Leaf => Tree::Leaf,
-            P::Node(k, l, r) => {
-                let lv = conv(ctx, l);
-                let rv = conv(ctx, r);
-                let lf = ctx.preload(lv);
-                let rf = ctx.preload(rv);
-                Tree::node(k.clone(), lf, rf)
-            }
-        }
-    }
-    let mut p = P::Leaf;
-    for k in keys {
-        p = ins(p, k.clone());
-    }
-    conv(ctx, &p)
+pub fn preload_unbalanced<K: Key>(ctx: &Ctx, keys: &[K]) -> Tree<K> {
+    pf_algs::rebalance::unbalanced_from(ctx, keys)
 }
 
 #[cfg(test)]

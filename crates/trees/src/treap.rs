@@ -1,6 +1,12 @@
 //! §3.2–3.3 — pipelined treap **union** and **difference** (Figures 4
 //! and 7; Theorems 3.5, 3.7, 3.11; Corollaries 3.6, 3.12).
 //!
+//! The algorithms are written once, engine-generically, in
+//! [`pf_algs::treap`]; this module instantiates them on the simulator,
+//! keeps the historical `pf_trees::treap` signatures, and adds the
+//! sim-only input builders and timestamp inspectors plus the cost tests
+//! for the paper's expected-depth theorems.
+//!
 //! Treaps (Seidel–Aragon randomized search trees) keep keys in symmetric
 //! order and independently random priorities in max-heap order, giving
 //! expected Θ(lg n) height. The paper shows that the *obvious sequential
@@ -14,153 +20,52 @@
 //! total function of the (key, priority) entries; the sequential treap in
 //! [`crate::seq`] uses the same rule, which the cross-backend tests rely
 //! on.
-//!
-//! Beyond the paper's two headline operations the module rounds out the
-//! set-algebra API: [`intersect`] (the dual of [`diff`], from the
-//! companion set-operations paper the text cites), bulk
-//! [`insert_keys`] / [`delete_keys`], and the single-key dictionary
-//! operations [`contains`] / [`insert_one`] / [`delete_one`] expressed as
-//! singleton unions/differences — exactly how §3.2–3.3 say the bulk
-//! primitives are meant to be used.
-
-use std::rc::Rc;
 
 use pf_core::{CostReport, Ctx, Fut, Promise, Sim};
 
 use crate::seq::{Entry, PlainTreap};
 use crate::{Key, Mode};
 
-/// A treap whose children are future cells.
-pub enum Treap<K> {
-    /// The empty treap.
-    Leaf,
-    /// An interior node (shared, immutable).
-    Node(Rc<TreapNode<K>>),
-}
+pub use pf_algs::treap::{TreapFut, TreapWr};
+
+/// A treap whose children are future cells, on the simulator engine.
+pub type Treap<K> = pf_algs::treap::Treap<Ctx, K>;
 
 /// An interior node of a [`Treap`].
-pub struct TreapNode<K> {
-    /// Key (symmetric order).
-    pub key: K,
-    /// Priority (max-heap order, ties broken by key).
-    pub prio: u64,
-    /// Future of the left subtreap.
-    pub left: Fut<Treap<K>>,
-    /// Future of the right subtreap.
-    pub right: Fut<Treap<K>>,
-}
+pub type TreapNode<K> = pf_algs::treap::TreapNode<Ctx, K>;
 
-impl<K> Clone for Treap<K> {
-    fn clone(&self) -> Self {
-        match self {
-            Treap::Leaf => Treap::Leaf,
-            Treap::Node(n) => Treap::Node(Rc::clone(n)),
-        }
-    }
-}
-
-fn wins<K: Ord>(k1: &K, p1: u64, k2: &K, p2: u64) -> bool {
-    (p1, k1) > (p2, k2)
-}
-
-impl<K: Key> Treap<K> {
-    /// Construct an interior node.
-    pub fn node(key: K, prio: u64, left: Fut<Treap<K>>, right: Fut<Treap<K>>) -> Self {
-        Treap::Node(Rc::new(TreapNode {
-            key,
-            prio,
-            left,
-            right,
-        }))
-    }
-
-    /// Is this the empty treap?
-    pub fn is_leaf(&self) -> bool {
-        matches!(self, Treap::Leaf)
-    }
-
+/// Simulator-only extensions of [`Treap`]: free input construction and
+/// post-run timestamp inspection. Bring this trait into scope to call
+/// them as `Treap::preload_entries(..)` etc.
+pub trait SimTreap<K: Key>: Sized {
     /// Convert a sequential treap into a simulator treap using free
     /// pre-written cells (input construction, zero cost).
-    pub fn preload_plain(ctx: &mut Ctx, t: &Option<Box<PlainTreap<K>>>) -> Treap<K> {
-        match t {
-            None => Treap::Leaf,
-            Some(n) => {
-                let l = Self::preload_plain(ctx, &n.left);
-                let r = Self::preload_plain(ctx, &n.right);
-                let lf = ctx.preload(l);
-                let rf = ctx.preload(r);
-                Treap::node(n.key.clone(), n.prio, lf, rf)
-            }
-        }
-    }
+    fn preload_plain(ctx: &Ctx, t: &Option<Box<PlainTreap<K>>>) -> Self;
 
     /// Build directly from entries (builds a [`PlainTreap`] first).
-    pub fn preload_entries(ctx: &mut Ctx, entries: &[Entry<K>]) -> Treap<K> {
-        let plain = PlainTreap::from_entries(entries);
-        Self::preload_plain(ctx, &plain)
-    }
-
-    /// Post-run inspection: sorted key vector.
-    pub fn to_sorted_vec(&self) -> Vec<K> {
-        let mut v = Vec::new();
-        self.inorder_into(&mut v);
-        v
-    }
-
-    fn inorder_into(&self, out: &mut Vec<K>) {
-        if let Treap::Node(n) = self {
-            n.left.with(|l| l.inorder_into(out));
-            out.push(n.key.clone());
-            n.right.with(|r| r.inorder_into(out));
-        }
-    }
-
-    /// Post-run inspection: number of keys.
-    pub fn size(&self) -> usize {
-        match self {
-            Treap::Leaf => 0,
-            Treap::Node(n) => 1 + n.left.with(|l| l.size()) + n.right.with(|r| r.size()),
-        }
-    }
-
-    /// Post-run inspection: height (empty = 0).
-    pub fn height(&self) -> usize {
-        match self {
-            Treap::Leaf => 0,
-            Treap::Node(n) => {
-                1 + n
-                    .left
-                    .with(|l| l.height())
-                    .max(n.right.with(|r| r.height()))
-            }
-        }
-    }
-
-    /// Post-run inspection: BST order and heap order both hold.
-    pub fn check_invariants(&self) -> bool {
-        fn rec<K: Key>(t: &Treap<K>, max_prio: Option<(u64, K)>) -> bool {
-            match t {
-                Treap::Leaf => true,
-                Treap::Node(n) => {
-                    if let Some((p, k)) = &max_prio {
-                        if wins(&n.key, n.prio, k, *p) {
-                            return false;
-                        }
-                    }
-                    let here = Some((n.prio, n.key.clone()));
-                    n.left.with(|l| rec(l, here.clone())) && n.right.with(|r| rec(r, here))
-                }
-            }
-        }
-        let heap_ok = rec(self, None);
-        let keys = self.to_sorted_vec();
-        let bst_ok = keys.windows(2).all(|w| w[0] < w[1]);
-        heap_ok && bst_ok
-    }
+    fn preload_entries(ctx: &Ctx, entries: &[Entry<K>]) -> Self;
 
     /// Post-run inspection: largest node-cell write time in the treap
     /// hanging off `root` (the result's full materialization time).
-    pub fn completion_time(root: &Fut<Treap<K>>) -> u64 {
+    fn completion_time(root: &Fut<Self>) -> u64;
+
+    /// Post-run inspection: visit every cell with
+    /// `(write_time, depth_in_tree, subtree_height)`; returns the height of
+    /// the subtree in `cell`. Feeds the τ/ρ-value checkers in
+    /// [`crate::analysis`].
+    fn walk_cells(cell: &Fut<Self>, depth: usize, f: &mut impl FnMut(u64, usize, usize)) -> usize;
+}
+
+impl<K: Key> SimTreap<K> for Treap<K> {
+    fn preload_plain(ctx: &Ctx, t: &Option<Box<PlainTreap<K>>>) -> Treap<K> {
+        Treap::from_plain(ctx, t)
+    }
+
+    fn preload_entries(ctx: &Ctx, entries: &[Entry<K>]) -> Treap<K> {
+        Treap::from_entries(ctx, entries)
+    }
+
+    fn completion_time(root: &Fut<Treap<K>>) -> u64 {
         let mut t = root.time();
         root.with(|tr| {
             if let Treap::Node(n) = tr {
@@ -172,11 +77,7 @@ impl<K: Key> Treap<K> {
         t
     }
 
-    /// Post-run inspection: visit every cell with
-    /// `(write_time, depth_in_tree, subtree_height)`; returns the height of
-    /// the subtree in `cell`. Feeds the τ/ρ-value checkers in
-    /// [`crate::analysis`].
-    pub fn walk_cells(
+    fn walk_cells(
         cell: &Fut<Treap<K>>,
         depth: usize,
         f: &mut impl FnMut(u64, usize, usize),
@@ -197,338 +98,106 @@ impl<K: Key> Treap<K> {
 
 /// `splitm(s, t)` (Figure 4): partition `t` by the splitter `s` into keys
 /// `< s` (`lout`) and keys `> s` (`rout`), **excluding** `s` itself;
-/// `fout` reports whether `s` was present. Completes early if the splitter
-/// is found — one of the data-dependent delays that make the pipeline
-/// dynamic.
+/// `fout` reports whether `s` was present. See [`pf_algs::treap::splitm`].
 pub fn splitm<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     s: &K,
     t: Treap<K>,
     lout: Promise<Treap<K>>,
     rout: Promise<Treap<K>>,
     fout: Promise<bool>,
 ) {
-    ctx.tick(1); // match + compare
-    match t {
-        Treap::Leaf => {
-            lout.fulfill(ctx, Treap::Leaf);
-            rout.fulfill(ctx, Treap::Leaf);
-            fout.fulfill(ctx, false);
-        }
-        Treap::Node(n) => {
-            if *s == n.key {
-                // Found: both sides are the children, written strictly
-                // (a write is strict on the value, so touch first).
-                let lv = ctx.touch(&n.left);
-                lout.fulfill(ctx, lv);
-                let rv = ctx.touch(&n.right);
-                rout.fulfill(ctx, rv);
-                fout.fulfill(ctx, true);
-            } else if *s < n.key {
-                let (rp1, rf1) = ctx.promise();
-                rout.fulfill(
-                    ctx,
-                    Treap::node(n.key.clone(), n.prio, rf1, n.right.clone()),
-                );
-                let lt = ctx.touch(&n.left);
-                splitm(ctx, s, lt, lout, rp1, fout);
-            } else {
-                let (lp1, lf1) = ctx.promise();
-                lout.fulfill(ctx, Treap::node(n.key.clone(), n.prio, n.left.clone(), lf1));
-                let rt = ctx.touch(&n.right);
-                splitm(ctx, s, rt, lp1, rout, fout);
-            }
-        }
-    }
+    pf_algs::treap::splitm(ctx, s.clone(), t, lout, rout, fout);
 }
 
 /// `join(l, r)` (Figure 7): concatenate two treaps where every key of `l`
-/// is smaller than every key of `r`. Takes already-touched root values;
-/// the recursion forks so the result spine pipelines upward — the
-/// ρ-value analysis of Lemma 3.10.
-pub fn join<K: Key>(ctx: &mut Ctx, l: Treap<K>, r: Treap<K>, out: Promise<Treap<K>>) {
-    ctx.tick(1);
-    match (l, r) {
-        (Treap::Leaf, r) => out.fulfill(ctx, r),
-        (l, Treap::Leaf) => out.fulfill(ctx, l),
-        (Treap::Node(a), Treap::Node(b)) => {
-            if wins(&a.key, a.prio, &b.key, b.prio) {
-                let (jp, jf) = ctx.promise();
-                out.fulfill(ctx, Treap::node(a.key.clone(), a.prio, a.left.clone(), jf));
-                let ar = a.right.clone();
-                ctx.fork_unit(move |ctx| {
-                    let rv = ctx.touch(&ar);
-                    join(ctx, rv, Treap::Node(b), jp);
-                });
-            } else {
-                let (jp, jf) = ctx.promise();
-                out.fulfill(ctx, Treap::node(b.key.clone(), b.prio, jf, b.right.clone()));
-                let bl = b.left.clone();
-                ctx.fork_unit(move |ctx| {
-                    let lv = ctx.touch(&bl);
-                    join(ctx, Treap::Node(a), lv, jp);
-                });
-            }
-        }
-    }
+/// is smaller than every key of `r`. See [`pf_algs::treap::join`].
+pub fn join<K: Key>(ctx: &Ctx, l: Treap<K>, r: Treap<K>, out: Promise<Treap<K>>) {
+    pf_algs::treap::join(ctx, l, r, out);
 }
 
 /// `union(a, b)` (Figure 4): the keys of both treaps, duplicates removed.
-/// The higher-priority root becomes the result root; the other treap is
-/// split by that root's key with `splitm`, whose two output futures feed
-/// the parallel recursive unions.
+/// See [`pf_algs::treap::union`].
 pub fn union<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     a: Fut<Treap<K>>,
     b: Fut<Treap<K>>,
     out: Promise<Treap<K>>,
     mode: Mode,
 ) {
-    let av = ctx.touch(&a);
-    ctx.tick(1);
-    if av.is_leaf() {
-        let bv = ctx.touch(&b);
-        out.fulfill(ctx, bv);
-        return;
-    }
-    let bv = ctx.touch(&b);
-    ctx.tick(1);
-    let (w, loser) = match (av, bv) {
-        (av, Treap::Leaf) => {
-            out.fulfill(ctx, av);
-            return;
-        }
-        (Treap::Node(na), Treap::Node(nb)) => {
-            if wins(&na.key, na.prio, &nb.key, nb.prio) {
-                (na, Treap::Node(nb))
-            } else {
-                (nb, Treap::Node(na))
-            }
-        }
-        (Treap::Leaf, _) => unreachable!("handled above"),
-    };
-    // let (l2, r2) = ?splitm(w.key, loser)
-    let (lp, lf) = ctx.promise();
-    let (rp, rf) = ctx.promise();
-    let (fp, _ff) = ctx.promise(); // found-flag: duplicates drop silently
-    let key = w.key.clone();
-    match mode {
-        Mode::Pipelined => {
-            ctx.fork_unit(move |ctx| splitm(ctx, &key, loser, lp, rp, fp));
-        }
-        Mode::Strict => {
-            ctx.call_strict(move |ctx| {
-                ctx.fork_unit(move |ctx| splitm(ctx, &key, loser, lp, rp, fp));
-            });
-        }
-    }
-    // Node(k, p, ?union(w.left, l2), ?union(w.right, r2))
-    let (ulp, ulf) = ctx.promise();
-    let (urp, urf) = ctx.promise();
-    ctx.tick(1);
-    out.fulfill(ctx, Treap::node(w.key.clone(), w.prio, ulf, urf));
-    let wl = w.left.clone();
-    let wr = w.right.clone();
-    ctx.fork_unit(move |ctx| union(ctx, wl, lf, ulp, mode));
-    ctx.fork_unit(move |ctx| union(ctx, wr, rf, urp, mode));
+    pf_algs::treap::union(ctx, a, b, out, mode);
 }
 
-/// `diff(a, b)` (Figure 7): the keys of `a` that are not in `b`. Splits
-/// `b` by `a`'s root key, recurses on both sides in parallel, and — if the
-/// root key was found in `b` — deletes it by joining the two recursive
-/// results. The descending phase pipelines like `union`; the ascending
-/// (join) phase pipelines by the ρ-value argument of Theorem 3.11.
+/// `diff(a, b)` (Figure 7): the keys of `a` that are not in `b`.
+/// See [`pf_algs::treap::diff`].
 pub fn diff<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     a: Fut<Treap<K>>,
     b: Fut<Treap<K>>,
     out: Promise<Treap<K>>,
     mode: Mode,
 ) {
-    let av = ctx.touch(&a);
-    ctx.tick(1);
-    let n1 = match av {
-        Treap::Leaf => {
-            out.fulfill(ctx, Treap::Leaf);
-            return;
-        }
-        Treap::Node(n) => n,
-    };
-    let bv = ctx.touch(&b);
-    ctx.tick(1);
-    if bv.is_leaf() {
-        out.fulfill(ctx, Treap::Node(n1));
-        return;
-    }
-    // let (l2, r2, found) = ?splitm(a.key, b)
-    let (lp, lf) = ctx.promise();
-    let (rp, rf) = ctx.promise();
-    let (fp, ff) = ctx.promise();
-    let key = n1.key.clone();
-    match mode {
-        Mode::Pipelined => {
-            ctx.fork_unit(move |ctx| splitm(ctx, &key, bv, lp, rp, fp));
-        }
-        Mode::Strict => {
-            ctx.call_strict(move |ctx| {
-                ctx.fork_unit(move |ctx| splitm(ctx, &key, bv, lp, rp, fp));
-            });
-        }
-    }
-    // l = ?diff(a.left, l2); r = ?diff(a.right, r2)
-    let (dlp, dlf) = ctx.promise();
-    let (drp, drf) = ctx.promise();
-    let al = n1.left.clone();
-    let ar = n1.right.clone();
-    ctx.fork_unit(move |ctx| diff(ctx, al, lf, dlp, mode));
-    ctx.fork_unit(move |ctx| diff(ctx, ar, rf, drp, mode));
-    // if found then join(l, r) else Node(k, p, l, r)
-    let found = ctx.touch(&ff);
-    ctx.tick(1);
-    if found {
-        let lv = ctx.touch(&dlf);
-        let rv = ctx.touch(&drf);
-        match mode {
-            Mode::Pipelined => join(ctx, lv, rv, out),
-            Mode::Strict => ctx.call_strict(move |ctx| join(ctx, lv, rv, out)),
-        }
-    } else {
-        out.fulfill(ctx, Treap::node(n1.key.clone(), n1.prio, dlf, drf));
-    }
+    pf_algs::treap::diff(ctx, a, b, out, mode);
 }
 
 /// `intersect(a, b)`: the keys present in both treaps, with `a`'s
-/// priorities. Structurally the dual of [`diff`] (same split, same
-/// pipelined descent, same data-dependent join phase — only the
-/// keep/delete decision is inverted), completing the set-operation family
-/// of the companion paper the text cites for Theorem 3.7 (reference 11).
+/// priorities. See [`pf_algs::treap::intersect`].
 pub fn intersect<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     a: Fut<Treap<K>>,
     b: Fut<Treap<K>>,
     out: Promise<Treap<K>>,
     mode: Mode,
 ) {
-    let av = ctx.touch(&a);
-    ctx.tick(1);
-    let n1 = match av {
-        Treap::Leaf => {
-            out.fulfill(ctx, Treap::Leaf);
-            return;
-        }
-        Treap::Node(n) => n,
-    };
-    let bv = ctx.touch(&b);
-    ctx.tick(1);
-    if bv.is_leaf() {
-        out.fulfill(ctx, Treap::Leaf);
-        return;
-    }
-    let (lp, lf) = ctx.promise();
-    let (rp, rf) = ctx.promise();
-    let (fp, ff) = ctx.promise();
-    let key = n1.key.clone();
-    match mode {
-        Mode::Pipelined => {
-            ctx.fork_unit(move |ctx| splitm(ctx, &key, bv, lp, rp, fp));
-        }
-        Mode::Strict => {
-            ctx.call_strict(move |ctx| {
-                ctx.fork_unit(move |ctx| splitm(ctx, &key, bv, lp, rp, fp));
-            });
-        }
-    }
-    let (ilp, ilf) = ctx.promise();
-    let (irp, irf) = ctx.promise();
-    let al = n1.left.clone();
-    let ar = n1.right.clone();
-    ctx.fork_unit(move |ctx| intersect(ctx, al, lf, ilp, mode));
-    ctx.fork_unit(move |ctx| intersect(ctx, ar, rf, irp, mode));
-    // Inverted decision vs diff: keep the root only if it IS in b.
-    let found = ctx.touch(&ff);
-    ctx.tick(1);
-    if found {
-        out.fulfill(ctx, Treap::node(n1.key.clone(), n1.prio, ilf, irf));
-    } else {
-        let lv = ctx.touch(&ilf);
-        let rv = ctx.touch(&irf);
-        match mode {
-            Mode::Pipelined => join(ctx, lv, rv, out),
-            Mode::Strict => ctx.call_strict(move |ctx| join(ctx, lv, rv, out)),
-        }
-    }
+    pf_algs::treap::intersect(ctx, a, b, out, mode);
 }
 
 /// Single-key search (§3.2: treaps "provide for search, insertion, and
 /// deletion of keys"). A plain root-to-leaf walk touching each child on
 /// the way down: O(h) depth and work.
-pub fn contains<K: Key>(ctx: &mut Ctx, t: Fut<Treap<K>>, key: &K) -> bool {
-    let mut cur = ctx.touch(&t);
-    loop {
-        ctx.tick(1);
-        match cur {
-            Treap::Leaf => return false,
-            Treap::Node(n) => {
-                if *key == n.key {
-                    return true;
-                }
-                cur = if *key < n.key {
-                    ctx.touch(&n.left)
-                } else {
-                    ctx.touch(&n.right)
-                };
-            }
-        }
-    }
+pub fn contains<K: Key>(ctx: &Ctx, t: Fut<Treap<K>>, key: &K) -> bool {
+    let (p, f) = ctx.promise();
+    pf_algs::treap::contains(ctx, t, key.clone(), p);
+    f.get()
 }
 
 /// Single-key insertion, expressed as a singleton union — exactly the
 /// paper's reduction of dictionary operations to the bulk primitives.
 pub fn insert_one<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     t: Fut<Treap<K>>,
     key: K,
     prio: u64,
     mode: Mode,
 ) -> Fut<Treap<K>> {
-    insert_keys(ctx, t, &[(key, prio)], mode)
+    pf_algs::treap::insert_one(ctx, t, key, prio, mode)
 }
 
 /// Single-key deletion via a singleton difference.
-pub fn delete_one<K: Key>(ctx: &mut Ctx, t: Fut<Treap<K>>, key: K, mode: Mode) -> Fut<Treap<K>> {
-    delete_keys(ctx, t, &[(key, 0)], mode)
+pub fn delete_one<K: Key>(ctx: &Ctx, t: Fut<Treap<K>>, key: K, mode: Mode) -> Fut<Treap<K>> {
+    pf_algs::treap::delete_one(ctx, t, key, mode)
 }
 
 /// Bulk insert (§3.2: union "can be used to insert a set of keys into a
-/// treap"): build a treap of the new entries — preloaded, since treap
-/// construction from a batch is the client's input marshalling — and
-/// union it in. Returns the future of the updated treap.
+/// treap"). See [`pf_algs::treap::insert_keys`].
 pub fn insert_keys<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     t: Fut<Treap<K>>,
     batch: &[Entry<K>],
     mode: Mode,
 ) -> Fut<Treap<K>> {
-    let b = Treap::preload_entries(ctx, batch);
-    let fb = ctx.preload(b);
-    let (p, f) = ctx.promise();
-    ctx.fork_unit(move |ctx| union(ctx, t, fb, p, mode));
-    f
+    pf_algs::treap::insert_keys(ctx, t, batch, mode)
 }
 
 /// Bulk delete (§3.3: difference "can be used to delete a set of keys").
 /// The priorities in `batch` are irrelevant (only keys are matched).
 pub fn delete_keys<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     t: Fut<Treap<K>>,
     batch: &[Entry<K>],
     mode: Mode,
 ) -> Fut<Treap<K>> {
-    let b = Treap::preload_entries(ctx, batch);
-    let fb = ctx.preload(b);
-    let (p, f) = ctx.promise();
-    ctx.fork_unit(move |ctx| diff(ctx, t, fb, p, mode));
-    f
+    pf_algs::treap::delete_keys(ctx, t, batch, mode)
 }
 
 /// Run `union` on treaps built from the given entries; returns the result

@@ -1,6 +1,12 @@
 //! Binary search trees with **futures as child pointers** — the data
 //! representation that makes implicit pipelining possible (§3.1).
 //!
+//! The tree type itself is engine-generic and lives in
+//! [`pf_algs::tree`]; this module pins it to the simulator engine
+//! ([`pf_core::Ctx`]) and adds the sim-only machinery: free preloaded
+//! input construction and the timestamp inspectors used by the τ/ρ-value
+//! checkers in [`crate::analysis`].
+//!
 //! A consumer holding a [`Tree`] node can read its key and hand each child
 //! future to a further consumer *before the producer has materialized the
 //! child*: "if an operation examines the head of a linked list to get a
@@ -8,118 +14,47 @@
 //! not the second or any other element. We make significant use of this
 //! property" (§2).
 
-use std::rc::Rc;
-
 use pf_core::{Ctx, Fut};
 
 use crate::Key;
 
-/// A binary search tree whose children are future cells.
-pub enum Tree<K> {
-    /// The empty tree.
-    Leaf,
-    /// An interior node (shared, immutable).
-    Node(Rc<Node<K>>),
-}
+pub use pf_algs::tree::{TreeFut, TreeWr};
+
+/// A binary search tree whose children are future cells, on the simulator
+/// engine.
+pub type Tree<K> = pf_algs::tree::Tree<Ctx, K>;
 
 /// An interior node of a [`Tree`].
-pub struct Node<K> {
-    /// The key stored at this node.
-    pub key: K,
-    /// Future of the left subtree (keys `< key`).
-    pub left: Fut<Tree<K>>,
-    /// Future of the right subtree (keys `> key`).
-    pub right: Fut<Tree<K>>,
-}
+pub type Node<K> = pf_algs::tree::Node<Ctx, K>;
 
-impl<K> Clone for Tree<K> {
-    fn clone(&self) -> Self {
-        match self {
-            Tree::Leaf => Tree::Leaf,
-            Tree::Node(n) => Tree::Node(Rc::clone(n)),
-        }
-    }
-}
-
-impl<K> Tree<K> {
-    /// Construct an interior node.
-    pub fn node(key: K, left: Fut<Tree<K>>, right: Fut<Tree<K>>) -> Self {
-        Tree::Node(Rc::new(Node { key, left, right }))
-    }
-
-    /// Is this the empty tree?
-    pub fn is_leaf(&self) -> bool {
-        matches!(self, Tree::Leaf)
-    }
-}
-
-impl<K: Key> Tree<K> {
+/// Simulator-only extensions of [`Tree`]: free input construction and
+/// post-run timestamp inspection. The methods live in a trait because
+/// `Tree<K>` is an alias of the generic tree at `B = Ctx` — bring this
+/// trait into scope to call them as `Tree::preload_balanced(..)` etc.
+pub trait SimTree<K: Key>: Sized {
     /// Build a balanced tree from a sorted slice using **free** pre-written
     /// cells ([`Ctx::preload`]) — input construction must not pollute the
     /// measured cost of the algorithm under test.
-    pub fn preload_balanced(ctx: &mut Ctx, sorted: &[K]) -> Tree<K> {
-        if sorted.is_empty() {
-            return Tree::Leaf;
-        }
-        let mid = sorted.len() / 2;
-        let left = Self::preload_balanced(ctx, &sorted[..mid]);
-        let right = Self::preload_balanced(ctx, &sorted[mid + 1..]);
-        let lf = ctx.preload(left);
-        let rf = ctx.preload(right);
-        Tree::node(sorted[mid].clone(), lf, rf)
-    }
-
-    /// Post-run inspection: collect the keys in symmetric order.
-    ///
-    /// # Panics
-    /// If any child cell is still unwritten.
-    pub fn to_sorted_vec(&self) -> Vec<K> {
-        let mut out = Vec::new();
-        self.inorder_into(&mut out);
-        out
-    }
-
-    fn inorder_into(&self, out: &mut Vec<K>) {
-        if let Tree::Node(n) = self {
-            n.left.with(|l| l.inorder_into(out));
-            out.push(n.key.clone());
-            n.right.with(|r| r.inorder_into(out));
-        }
-    }
-
-    /// Post-run inspection: number of keys.
-    pub fn size(&self) -> usize {
-        match self {
-            Tree::Leaf => 0,
-            Tree::Node(n) => 1 + n.left.with(|l| l.size()) + n.right.with(|r| r.size()),
-        }
-    }
-
-    /// Post-run inspection: height (empty tree has height 0, a single node
-    /// height 1) — the paper's `h(T)` up to the off-by-one convention.
-    pub fn height(&self) -> usize {
-        match self {
-            Tree::Leaf => 0,
-            Tree::Node(n) => {
-                1 + n
-                    .left
-                    .with(|l| l.height())
-                    .max(n.right.with(|r| r.height()))
-            }
-        }
-    }
-
-    /// Post-run inspection: is this a valid BST with strictly increasing
-    /// keys in symmetric order?
-    pub fn is_search_tree(&self) -> bool {
-        let keys = self.to_sorted_vec();
-        keys.windows(2).all(|w| w[0] < w[1])
-    }
+    fn preload_balanced(ctx: &Ctx, sorted: &[K]) -> Self;
 
     /// Post-run inspection: the largest write timestamp of any node cell in
     /// the tree reachable from `root` — the virtual time at which the tree
     /// was fully materialized. `root` itself counts.
-    pub fn completion_time(root: &Fut<Tree<K>>) -> u64 {
+    fn completion_time(root: &Fut<Self>) -> u64;
+
+    /// Post-run inspection: visit every *node cell* in the tree with its
+    /// `(write_time, depth_in_tree, height_of_subtree)` triple; used by the
+    /// τ/ρ-value checkers in [`crate::analysis`]. Returns the height of the
+    /// subtree stored in `cell` (leaf = 0).
+    fn walk_cells(cell: &Fut<Self>, depth: usize, f: &mut impl FnMut(u64, usize, usize)) -> usize;
+}
+
+impl<K: Key> SimTree<K> for Tree<K> {
+    fn preload_balanced(ctx: &Ctx, sorted: &[K]) -> Tree<K> {
+        Tree::from_sorted(ctx, sorted)
+    }
+
+    fn completion_time(root: &Fut<Tree<K>>) -> u64 {
         let mut t = root.time();
         root.with(|tree| {
             if let Tree::Node(n) = tree {
@@ -131,11 +66,7 @@ impl<K: Key> Tree<K> {
         t
     }
 
-    /// Post-run inspection: visit every *node cell* in the tree with its
-    /// `(write_time, depth_in_tree, height_of_subtree)` triple; used by the
-    /// τ/ρ-value checkers in [`crate::analysis`]. Returns the height of the
-    /// subtree stored in `cell` (leaf = 0).
-    pub fn walk_cells(
+    fn walk_cells(
         cell: &Fut<Tree<K>>,
         depth: usize,
         f: &mut impl FnMut(u64, usize, usize),

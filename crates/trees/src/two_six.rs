@@ -1,6 +1,10 @@
 //! §3.4 — **2-6 trees**: the top-down variant of Paul–Vishkin–Wagener's
 //! pipelined 2-3 trees (Theorem 3.13).
 //!
+//! The algorithm is written once, engine-generically, in
+//! [`pf_algs::two_six`]; this module instantiates it on the simulator,
+//! keeps the historical signatures, and holds the γ-value cost tests.
+//!
 //! A 2-6 tree stores one to five keys per node (hence two to six children);
 //! every key appears exactly once, either as an internal splitter or in a
 //! leaf, and all leaves sit at the same level. Inserting `m` sorted keys
@@ -19,146 +23,41 @@
 //! Key arrays are manipulated with the paper's `array_split` primitive
 //! (O(1) depth, O(len) work — [`pf_core::Ctx::flat`]).
 
-use std::rc::Rc;
-
 use pf_core::{CostReport, Ctx, Fut, Promise, Sim};
 
 use crate::{Key, Mode};
 
-/// A 2-6 tree with future children.
-pub enum TsTree<K> {
-    /// A leaf holding 1–5 keys (0 keys only for the empty tree).
-    Leaf(Rc<Vec<K>>),
-    /// An internal node: 1–5 splitter keys, `keys + 1` children.
-    Node(Rc<TsNode<K>>),
-}
+pub use pf_algs::two_six::level_arrays;
+pub use pf_algs::two_six::{TsFut, TsWr};
+
+/// A 2-6 tree with future children, on the simulator engine.
+pub type TsTree<K> = pf_algs::two_six::TsTree<Ctx, K>;
 
 /// An internal node of a [`TsTree`].
-pub struct TsNode<K> {
-    /// Splitter keys, sorted; these are real keys of the set.
-    pub keys: Vec<K>,
-    /// Children (`keys.len() + 1` of them), as futures.
-    pub children: Vec<Fut<TsTree<K>>>,
-}
+pub type TsNode<K> = pf_algs::two_six::TsNode<Ctx, K>;
 
-impl<K> Clone for TsTree<K> {
-    fn clone(&self) -> Self {
-        match self {
-            TsTree::Leaf(ks) => TsTree::Leaf(Rc::clone(ks)),
-            TsTree::Node(n) => TsTree::Node(Rc::clone(n)),
-        }
-    }
-}
-
-impl<K: Key> TsTree<K> {
-    /// The empty tree.
-    pub fn empty() -> Self {
-        TsTree::Leaf(Rc::new(Vec::new()))
-    }
-
-    fn key_count(&self) -> usize {
-        match self {
-            TsTree::Leaf(ks) => ks.len(),
-            TsTree::Node(n) => n.keys.len(),
-        }
-    }
-
-    /// Post-run inspection: all keys in sorted order (leaf keys and
-    /// internal splitters interleaved in symmetric order).
-    pub fn to_sorted_vec(&self) -> Vec<K> {
-        let mut out = Vec::new();
-        self.inorder_into(&mut out);
-        out
-    }
-
-    fn inorder_into(&self, out: &mut Vec<K>) {
-        match self {
-            TsTree::Leaf(ks) => out.extend(ks.iter().cloned()),
-            TsTree::Node(n) => {
-                for i in 0..n.children.len() {
-                    n.children[i].with(|c| c.inorder_into(out));
-                    if i < n.keys.len() {
-                        out.push(n.keys[i].clone());
-                    }
-                }
-            }
-        }
-    }
-
-    /// Post-run inspection: number of keys stored.
-    pub fn size(&self) -> usize {
-        match self {
-            TsTree::Leaf(ks) => ks.len(),
-            TsTree::Node(n) => {
-                n.keys.len()
-                    + n.children
-                        .iter()
-                        .map(|c| c.with(|t| t.size()))
-                        .sum::<usize>()
-            }
-        }
-    }
-
-    /// Post-run inspection: number of levels (a lone leaf is height 0).
-    pub fn height(&self) -> usize {
-        match self {
-            TsTree::Leaf(_) => 0,
-            TsTree::Node(n) => 1 + n.children[0].with(|c| c.height()),
-        }
-    }
-
-    /// Post-run inspection: check every 2-6 tree invariant. Returns a
-    /// description of the first violation, if any.
-    pub fn validate(&self) -> Result<(), String> {
-        let keys = self.to_sorted_vec();
-        if keys.windows(2).any(|w| w[0] >= w[1]) {
-            return Err("keys not strictly increasing in symmetric order".into());
-        }
-        fn rec<K: Key>(t: &TsTree<K>, is_root: bool) -> Result<usize, String> {
-            match t {
-                TsTree::Leaf(ks) => {
-                    if ks.is_empty() && !is_root {
-                        return Err("empty non-root leaf".into());
-                    }
-                    if ks.len() > 5 {
-                        return Err(format!("leaf with {} keys", ks.len()));
-                    }
-                    Ok(0)
-                }
-                TsTree::Node(n) => {
-                    if n.keys.is_empty() || n.keys.len() > 5 {
-                        return Err(format!("internal node with {} keys", n.keys.len()));
-                    }
-                    if n.children.len() != n.keys.len() + 1 {
-                        return Err(format!(
-                            "node with {} keys but {} children",
-                            n.keys.len(),
-                            n.children.len()
-                        ));
-                    }
-                    let mut depth = None;
-                    for c in &n.children {
-                        let d = c.with(|t| rec(t, false))?;
-                        match depth {
-                            None => depth = Some(d),
-                            Some(prev) if prev != d => {
-                                return Err("leaves at different levels".into())
-                            }
-                            _ => {}
-                        }
-                    }
-                    Ok(depth.expect("at least two children") + 1)
-                }
-            }
-        }
-        rec(self, true).map(|_| ())
-    }
+/// Simulator-only extensions of [`TsTree`]: free input construction and
+/// the timestamp walk. Bring this trait into scope to call them as
+/// `TsTree::preload_from_sorted(..)` etc.
+pub trait SimTsTree<K: Key>: Sized {
+    /// Build a valid 2-6 tree from sorted distinct keys using free cells
+    /// (input construction). Leaves get one or two keys, internal nodes
+    /// two or three children — a well-filled tree with insertion slack.
+    fn preload_from_sorted(ctx: &Ctx, keys: &[K]) -> Self;
 
     /// Post-run inspection: visit every cell with
     /// `(write_time, depth_in_tree, subtree_height)` — feeds the γ-value
     /// checker ([`crate::analysis::min_rho_k`], Definition 3). Returns the
     /// subtree height.
-    pub fn walk_cells(
+    fn walk_cells(cell: &Fut<Self>, depth: usize, f: &mut impl FnMut(u64, usize, usize)) -> usize;
+}
+
+impl<K: Key> SimTsTree<K> for TsTree<K> {
+    fn preload_from_sorted(ctx: &Ctx, keys: &[K]) -> TsTree<K> {
+        TsTree::from_sorted(ctx, keys)
+    }
+
+    fn walk_cells(
         cell: &Fut<TsTree<K>>,
         depth: usize,
         f: &mut impl FnMut(u64, usize, usize),
@@ -177,310 +76,33 @@ impl<K: Key> TsTree<K> {
         f(t, depth, h);
         h
     }
-
-    /// Build a valid 2-6 tree from sorted distinct keys using free cells
-    /// (input construction). Leaves get one or two keys, internal nodes
-    /// two or three children — a well-filled tree with insertion slack.
-    pub fn preload_from_sorted(ctx: &mut Ctx, keys: &[K]) -> TsTree<K> {
-        if keys.is_empty() {
-            return TsTree::empty();
-        }
-        // Height: smallest h with n <= 3^(h+1) - 1 (capacity with <= 2
-        // keys per leaf and <= 2 keys per internal node).
-        let mut h = 0usize;
-        let mut cap = 2usize; // 3^(h+1) - 1 for h = 0
-        while keys.len() > cap {
-            h += 1;
-            cap = cap * 3 + 2;
-        }
-        Self::build_h(ctx, keys, h)
-    }
-
-    fn build_h(ctx: &mut Ctx, keys: &[K], h: usize) -> TsTree<K> {
-        if h == 0 {
-            debug_assert!((1..=2).contains(&keys.len()));
-            return TsTree::Leaf(Rc::new(keys.to_vec()));
-        }
-        // min/max keys a subtree of height h-1 can hold:
-        let min_keys = (1usize << h) - 1; // 2^h - 1
-        let max_keys = 3usize.pow(h as u32) - 1; // 3^h - 1
-        let n = keys.len();
-        // Prefer 2 children, fall back to 3.
-        let c = if n > 2 * min_keys && n <= 2 * max_keys + 1 {
-            2
-        } else {
-            debug_assert!(
-                n >= 3 * min_keys + 2 && n <= 3 * max_keys + 2,
-                "no feasible fanout for n={n}, h={h}"
-            );
-            3
-        };
-        let mut sizes = vec![min_keys; c];
-        let mut rem = n - (c - 1) - c * min_keys;
-        for s in sizes.iter_mut() {
-            let add = rem.min(max_keys - min_keys);
-            *s += add;
-            rem -= add;
-        }
-        debug_assert_eq!(rem, 0);
-        let mut node_keys = Vec::with_capacity(c - 1);
-        let mut children = Vec::with_capacity(c);
-        let mut at = 0usize;
-        for (i, s) in sizes.iter().enumerate() {
-            let sub = Self::build_h(ctx, &keys[at..at + s], h - 1);
-            children.push(ctx.preload(sub));
-            at += s;
-            if i < c - 1 {
-                node_keys.push(keys[at].clone());
-                at += 1;
-            }
-        }
-        TsTree::Node(Rc::new(TsNode {
-            keys: node_keys,
-            children,
-        }))
-    }
 }
 
 /// The paper's `array_split` primitive: partition a sorted key array by a
 /// splitter in O(1) depth, O(len) work. Keys equal to the splitter are
 /// dropped (the splitter is already in the tree — set semantics).
-pub fn array_split<K: Key>(ctx: &mut Ctx, keys: &[K], s: &K) -> (Vec<K>, Vec<K>) {
-    ctx.flat(keys.len() as u64);
-    let less = keys.iter().filter(|k| *k < s).cloned().collect();
-    let greater = keys.iter().filter(|k| *k > s).cloned().collect();
-    (less, greater)
-}
-
-/// Partition sorted `keys` into `splitters.len() + 1` buckets with repeated
-/// `array_split`s (one per splitter — a 2-6 node has at most five).
-fn partition_keys<K: Key>(ctx: &mut Ctx, keys: Vec<K>, splitters: &[K]) -> Vec<Vec<K>> {
-    let mut parts = Vec::with_capacity(splitters.len() + 1);
-    let mut rest = keys;
-    for s in splitters {
-        let (l, g) = array_split(ctx, &rest, s);
-        parts.push(l);
-        rest = g;
-    }
-    parts.push(rest);
-    parts
-}
-
-/// Sorted merge of two sorted key vectors, dropping duplicates.
-fn sorted_merge_dedup<K: Key>(a: &[K], b: &[K]) -> Vec<K> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() || j < b.len() {
-        let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
-            let k = a[i].clone();
-            i += 1;
-            k
-        } else {
-            let k = b[j].clone();
-            j += 1;
-            k
-        };
-        if out.last() != Some(&next) {
-            out.push(next);
-        }
-    }
-    out
-}
-
-/// Does this node need a split before we recurse into it? (It must be a
-/// 2-3 node — at most two keys — when a wave enters it.)
-fn needs_split<K: Key>(t: &TsTree<K>) -> bool {
-    t.key_count() >= 3
-}
-
-/// Split a node with ≥ 3 keys around its middle key: `(left, middle,
-/// right)`; both halves are 2-3 nodes.
-fn split_node<K: Key>(t: &TsTree<K>) -> (TsTree<K>, K, TsTree<K>) {
-    match t {
-        TsTree::Leaf(ks) => {
-            let mid = ks.len() / 2;
-            (
-                TsTree::Leaf(Rc::new(ks[..mid].to_vec())),
-                ks[mid].clone(),
-                TsTree::Leaf(Rc::new(ks[mid + 1..].to_vec())),
-            )
-        }
-        TsTree::Node(n) => {
-            let mid = n.keys.len() / 2;
-            (
-                TsTree::Node(Rc::new(TsNode {
-                    keys: n.keys[..mid].to_vec(),
-                    children: n.children[..=mid].to_vec(),
-                })),
-                n.keys[mid].clone(),
-                TsTree::Node(Rc::new(TsNode {
-                    keys: n.keys[mid + 1..].to_vec(),
-                    children: n.children[mid + 1..].to_vec(),
-                })),
-            )
-        }
-    }
-}
-
-/// A deferred recursive insertion (created in pass 1, forked in pass 2 —
-/// after the new node has been written, so the node is available in
-/// constant depth).
-struct PendingInsert<K> {
-    part: Vec<K>,
-    subtree: TsTree<K>,
-    out: Promise<TsTree<K>>,
+pub fn array_split<K: Key>(ctx: &Ctx, keys: &[K], s: &K) -> (Vec<K>, Vec<K>) {
+    pf_algs::two_six::array_split(ctx, keys, s)
 }
 
 /// Insert a well-separated key array into the node value `t` (which the
 /// caller has already touched and, if necessary, split down to a 2-3
-/// node). Writes the new node to `out` in constant depth; children are
-/// futures filled by forked recursive inserts.
-pub fn insert_val<K: Key>(ctx: &mut Ctx, keys: Vec<K>, t: TsTree<K>, out: Promise<TsTree<K>>) {
-    ctx.tick(1);
-    if keys.is_empty() {
-        out.fulfill(ctx, t);
-        return;
-    }
-    match t {
-        TsTree::Leaf(existing) => {
-            ctx.flat((keys.len() + existing.len()) as u64);
-            let merged = sorted_merge_dedup(&existing, &keys);
-            assert!(
-                merged.len() <= 5,
-                "leaf overflow ({} keys): key array not well-separated",
-                merged.len()
-            );
-            out.fulfill(ctx, TsTree::Leaf(Rc::new(merged)));
-        }
-        TsTree::Node(n) => {
-            debug_assert!(n.keys.len() <= 2, "must insert into a 2-3 node");
-            let parts = partition_keys(ctx, keys, &n.keys);
-            let mut new_keys: Vec<K> = Vec::with_capacity(5);
-            let mut new_children: Vec<Fut<TsTree<K>>> = Vec::with_capacity(6);
-            let mut pending: Vec<PendingInsert<K>> = Vec::new();
-            // Pass 1: determine the new node's structure, touching only the
-            // children that receive keys.
-            for (i, part) in parts.into_iter().enumerate() {
-                if part.is_empty() {
-                    // Untouched child: reuse the future as-is.
-                    new_children.push(n.children[i].clone());
-                } else {
-                    let cv = ctx.touch(&n.children[i]);
-                    ctx.tick(1);
-                    if needs_split(&cv) {
-                        let (l, sep, r) = split_node(&cv);
-                        ctx.tick(1);
-                        let (pl, pr) = array_split(ctx, &part, &sep);
-                        new_children.push(queue_insert(ctx, pl, l, &mut pending));
-                        new_keys.push(sep);
-                        new_children.push(queue_insert(ctx, pr, r, &mut pending));
-                    } else {
-                        new_children.push(queue_insert(ctx, part, cv, &mut pending));
-                    }
-                }
-                if i < n.keys.len() {
-                    new_keys.push(n.keys[i].clone());
-                }
-            }
-            debug_assert!(new_keys.len() <= 5 && new_children.len() == new_keys.len() + 1);
-            ctx.tick(1);
-            out.fulfill(
-                ctx,
-                TsTree::Node(Rc::new(TsNode {
-                    keys: new_keys,
-                    children: new_children,
-                })),
-            );
-            // Pass 2: fork the recursive inserts.
-            for p in pending {
-                ctx.fork_unit(move |ctx| insert_val(ctx, p.part, p.subtree, p.out));
-            }
-        }
-    }
-}
-
-fn queue_insert<K: Key>(
-    ctx: &mut Ctx,
-    part: Vec<K>,
-    subtree: TsTree<K>,
-    pending: &mut Vec<PendingInsert<K>>,
-) -> Fut<TsTree<K>> {
-    if part.is_empty() {
-        ctx.filled(subtree)
-    } else {
-        let (p, f) = ctx.promise();
-        pending.push(PendingInsert {
-            part,
-            subtree,
-            out: p,
-        });
-        f
-    }
+/// node). See [`pf_algs::two_six::insert_val`].
+pub fn insert_val<K: Key>(ctx: &Ctx, keys: Vec<K>, t: TsTree<K>, out: Promise<TsTree<K>>) {
+    pf_algs::two_six::insert_val(ctx, keys, t, out);
 }
 
 /// Insert one well-separated wave into the tree rooted at `t`, splitting
 /// the root first if needed (the only place the tree grows in height).
-pub fn insert_wave<K: Key>(
-    ctx: &mut Ctx,
-    keys: Vec<K>,
-    t: Fut<TsTree<K>>,
-    out: Promise<TsTree<K>>,
-) {
-    let tv = ctx.touch(&t);
-    ctx.tick(1);
-    if keys.is_empty() {
-        out.fulfill(ctx, tv);
-        return;
-    }
-    let tv = if needs_split(&tv) {
-        let (l, sep, r) = split_node(&tv);
-        ctx.tick(1);
-        let lf = ctx.filled(l);
-        let rf = ctx.filled(r);
-        TsTree::Node(Rc::new(TsNode {
-            keys: vec![sep],
-            children: vec![lf, rf],
-        }))
-    } else {
-        tv
-    };
-    insert_val(ctx, keys, tv, out);
-}
-
-/// Compute the well-separated wave arrays for a sorted key slice: the
-/// levels of the conceptual balanced binary tree (median; quartiles; …).
-/// Each wave is sorted, and consecutive keys within a wave are separated
-/// by a key from an earlier wave.
-pub fn level_arrays<K: Key>(keys: &[K]) -> Vec<Vec<K>> {
-    fn rec<K: Key>(keys: &[K], lo: usize, hi: usize, d: usize, out: &mut Vec<Vec<K>>) {
-        if lo >= hi {
-            return;
-        }
-        if out.len() == d {
-            out.push(Vec::new());
-        }
-        let mid = lo + (hi - lo) / 2;
-        out[d].push(keys[mid].clone());
-        rec(keys, lo, mid, d + 1, out);
-        rec(keys, mid + 1, hi, d + 1, out);
-    }
-    let mut out = Vec::new();
-    rec(keys, 0, keys.len(), 0, &mut out);
-    out
+pub fn insert_wave<K: Key>(ctx: &Ctx, keys: Vec<K>, t: Fut<TsTree<K>>, out: Promise<TsTree<K>>) {
+    pf_algs::two_six::insert_wave(ctx, keys, t, out);
 }
 
 /// Insert `m` sorted distinct keys into the 2-6 tree behind `t`, one wave
 /// per conceptual level, pipelined (or strictly, wave-after-wave, in
 /// [`Mode::Strict`]). Returns the future of the final tree.
-pub fn insert_many<K: Key>(
-    ctx: &mut Ctx,
-    keys: &[K],
-    t: Fut<TsTree<K>>,
-    mode: Mode,
-) -> Fut<TsTree<K>> {
-    insert_many_with_waves(ctx, keys, t, mode)
-        .pop()
-        .expect("at least the initial tree")
+pub fn insert_many<K: Key>(ctx: &Ctx, keys: &[K], t: Fut<TsTree<K>>, mode: Mode) -> Fut<TsTree<K>> {
+    pf_algs::two_six::insert_many(ctx, keys, t, mode)
 }
 
 /// Like [`insert_many`], but returns the root future of **every** wave
@@ -489,31 +111,12 @@ pub fn insert_many<K: Key>(
 /// `γ(i+1) ≤ γ(i) + 3·kb`, i.e. bounded increments — experiment E07
 /// checks exactly that on the returned futures.
 pub fn insert_many_with_waves<K: Key>(
-    ctx: &mut Ctx,
+    ctx: &Ctx,
     keys: &[K],
     t: Fut<TsTree<K>>,
     mode: Mode,
 ) -> Vec<Fut<TsTree<K>>> {
-    let mut waves_out = vec![t.clone()];
-    let mut cur = t;
-    for wave in level_arrays(keys) {
-        ctx.flat(wave.len() as u64); // forming the next well-separated array
-        let (p, f) = ctx.promise();
-        let prev = cur;
-        match mode {
-            Mode::Pipelined => {
-                ctx.fork_unit(move |ctx| insert_wave(ctx, wave, prev, p));
-            }
-            Mode::Strict => {
-                ctx.call_strict(move |ctx| {
-                    ctx.fork_unit(move |ctx| insert_wave(ctx, wave, prev, p));
-                });
-            }
-        }
-        waves_out.push(f.clone());
-        cur = f;
-    }
-    waves_out
+    pf_algs::two_six::insert_many_with_waves(ctx, keys, t, mode)
 }
 
 /// Build a tree from `initial`, insert `keys`, return the final root

@@ -7,8 +7,8 @@ use pf_core::Sim;
 use pf_trees::analysis::{collect, min_tau_ks};
 use pf_trees::merge::run_merge;
 use pf_trees::seq::{splitmix64, Entry, PlainTreap};
-use pf_trees::treap::{join, run_union, splitm, Treap};
-use pf_trees::tree::Tree;
+use pf_trees::treap::{join, run_union, splitm, SimTreap, Treap};
+use pf_trees::tree::{SimTree, Tree};
 use pf_trees::two_six::level_arrays;
 use pf_trees::Mode;
 use proptest::prelude::*;

@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 
 use pf_core::Sim;
 use pf_examples::banner;
-use pf_trees::two_six::{insert_many, TsTree};
+use pf_trees::two_six::{insert_many, SimTsTree, TsTree};
 use pf_trees::Mode;
 use rand::prelude::*;
 use rand::rngs::SmallRng;

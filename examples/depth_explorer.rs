@@ -10,6 +10,8 @@
 use pf_core::CostReport;
 use pf_examples::banner;
 use pf_machine::{predicted_time, Machine};
+use pf_trees::treap::SimTreap;
+use pf_trees::tree::SimTree;
 use pf_trees::workloads::{
     diff_entries, interleaved_pair, shuffled_keys, sorted_keys, union_entries,
 };

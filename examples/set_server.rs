@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 
 use pf_examples::banner;
 use pf_rt::{cell, ready, Runtime};
-use pf_rt_algs::rtreap::{diff as rt_diff, union as rt_union, RTreap};
+use pf_rt_algs::rtreap::{diff as rt_diff, union as rt_union, RTreap, RtTreap};
 use pf_trees::seq::{Entry, PlainTreap};
 use rand::prelude::*;
 use rand::rngs::SmallRng;
@@ -79,7 +79,7 @@ fn main() {
             }
         }
         // Parallel treap batch.
-        let batch_treap = RTreap::from_entries(entries);
+        let batch_treap = RTreap::from_entries_ready(entries);
         let cur = ready(state);
         let bt = ready(batch_treap);
         let (op, of) = cell();

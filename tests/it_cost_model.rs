@@ -7,8 +7,8 @@ use pf_tests::{entries, oracle_diff, oracle_merge, oracle_union};
 use pf_trees::merge::run_merge;
 use pf_trees::quicksort::run_quicksort;
 use pf_trees::rebalance::run_rebalance;
-use pf_trees::treap::{run_diff, run_union, Treap};
-use pf_trees::tree::Tree;
+use pf_trees::treap::{run_diff, run_union, SimTreap, Treap};
+use pf_trees::tree::{SimTree, Tree};
 use pf_trees::two_six::run_insert_many;
 use pf_trees::Mode;
 use proptest::prelude::*;

@@ -2,14 +2,17 @@
 //! and the sequential references must produce identical results (and for
 //! treaps, identical shapes) on identical inputs, across thread counts.
 
+use pf_backend::{PipeBackend, Seq};
 use pf_rt::{cell, ready, Runtime};
-use pf_rt_algs::rlist::{consume, produce, qs, RList};
-use pf_rt_algs::rtreap::{diff as rt_diff, union as rt_union, RTreap};
-use pf_rt_algs::rtree::{merge as rt_merge, RTree};
+use pf_rt_algs::rlist::{consume, produce, qs, RList, RtList};
+use pf_rt_algs::rtreap::{diff as rt_diff, union as rt_union, RTreap, RtTreap};
+use pf_rt_algs::rtree::{merge as rt_merge, RTree, RtTree};
+use pf_rt_algs::rtwosix::{insert_many as rt_insert_many, RTsTree, RtTsTree};
 use pf_tests::entries;
 use pf_trees::merge::run_merge;
 use pf_trees::seq::PlainTreap;
 use pf_trees::treap::{run_diff, run_union};
+use pf_trees::two_six::run_insert_many;
 use pf_trees::workloads::shuffled_keys;
 use pf_trees::Mode;
 
@@ -22,7 +25,10 @@ fn merge_agrees_across_backends() {
         let model = root.get().to_sorted_vec();
         for threads in [1, 3] {
             let (op, of) = cell();
-            let (ta, tb) = (ready(RTree::from_sorted(&a)), ready(RTree::from_sorted(&b)));
+            let (ta, tb) = (
+                ready(RTree::from_sorted_ready(&a)),
+                ready(RTree::from_sorted_ready(&b)),
+            );
             Runtime::new(threads).run(move |wk| rt_merge(wk, ta, tb, op));
             assert_eq!(
                 of.expect().to_sorted_vec(),
@@ -49,8 +55,8 @@ fn union_shape_agrees_across_all_three_backends() {
     for threads in [1, 2, 4] {
         let (op, of) = cell();
         let (ta, tb) = (
-            ready(RTreap::from_entries(&a)),
-            ready(RTreap::from_entries(&b)),
+            ready(RTreap::from_entries_ready(&a)),
+            ready(RTreap::from_entries_ready(&b)),
         );
         Runtime::new(threads).run(move |wk| rt_union(wk, ta, tb, op));
         let t = of.expect();
@@ -71,11 +77,84 @@ fn diff_agrees_across_backends() {
     for threads in [1, 4] {
         let (op, of) = cell();
         let (ta, tb) = (
-            ready(RTreap::from_entries(&a)),
-            ready(RTreap::from_entries(&b)),
+            ready(RTreap::from_entries_ready(&a)),
+            ready(RTreap::from_entries_ready(&b)),
         );
         Runtime::new(threads).run(move |wk| rt_diff(wk, ta, tb, op));
         assert_eq!(of.expect().to_sorted_vec(), seq_keys, "threads={threads}");
+    }
+}
+
+#[test]
+fn rebalance_agrees_across_all_three_backends() {
+    for n in [0usize, 1, 37, 300] {
+        let keys: Vec<i64> = shuffled_keys(n, 11 + n as u64);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        // Cost model: deterministic shape, used as the reference below.
+        let (root, _) = pf_trees::rebalance::run_rebalance(&keys, Mode::Pipelined);
+        let model = root.get();
+        assert_eq!(model.to_sorted_vec(), sorted, "n={n}");
+        // Sequential oracle: the same generic text at B = Seq.
+        let seq_tree = Seq::run(|bk| {
+            let ft = bk.input(pf_algs::rebalance::unbalanced_from(bk, &keys));
+            let (op, of) = bk.cell();
+            pf_algs::rebalance::rebalance(bk, ft, op, Mode::Pipelined);
+            pf_algs::tree::Tree::<Seq, i64>::expect(&of)
+        });
+        assert_eq!(seq_tree.to_sorted_vec(), sorted, "n={n}");
+        assert_eq!(seq_tree.height(), model.height(), "n={n}");
+        // Real runtime, multiple thread counts: identical deterministic shape.
+        for threads in [1, 4] {
+            let keys = keys.clone();
+            let (op, of) = cell();
+            Runtime::new(threads).run(move |wk| {
+                let ft = wk.input(pf_algs::rebalance::unbalanced_from(wk, &keys));
+                pf_rt_algs::rrebalance::rebalance(wk, ft, op);
+            });
+            let t = of.expect();
+            assert_eq!(t.to_sorted_vec(), sorted, "n={n} threads={threads}");
+            assert_eq!(t.height(), model.height(), "n={n} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn two_six_insert_agrees_across_all_three_backends() {
+    for (n, m) in [(0usize, 40usize), (400, 120), (1000, 1)] {
+        let initial: Vec<i64> = (0..n as i64).map(|i| 2 * i).collect();
+        let newk: Vec<i64> = (0..m as i64).map(|i| 8 * i + 1).collect();
+        let mut expect = initial.clone();
+        expect.extend(&newk);
+        expect.sort_unstable();
+        // Cost model.
+        let (root, _) = run_insert_many(&initial, &newk, Mode::Pipelined);
+        let model = root.get();
+        model.validate().unwrap();
+        assert_eq!(model.to_sorted_vec(), expect, "n={n} m={m}");
+        // Sequential oracle: the same generic text at B = Seq.
+        let seq_tree = Seq::run(|bk| {
+            let ft = bk.input(pf_algs::two_six::TsTree::<Seq, i64>::from_sorted(
+                bk, &initial,
+            ));
+            let f = pf_algs::two_six::insert_many(bk, &newk, ft, Mode::Pipelined);
+            pf_algs::two_six::TsTree::<Seq, i64>::expect(&f)
+        });
+        seq_tree.validate().unwrap();
+        assert_eq!(seq_tree.to_sorted_vec(), expect, "n={n} m={m}");
+        // Real runtime, multiple thread counts.
+        for threads in [1, 4] {
+            let ft = ready(RTsTree::from_sorted_ready(&initial));
+            let (op, of) = cell();
+            let keys = newk.clone();
+            Runtime::new(threads).run(move |wk| {
+                let f = rt_insert_many(wk, &keys, ft);
+                f.touch(wk, move |tv, wk| op.fulfill(wk, tv));
+            });
+            let t = of.expect();
+            t.validate().unwrap();
+            assert_eq!(t.to_sorted_vec(), expect, "n={n} m={m} threads={threads}");
+        }
     }
 }
 
@@ -106,7 +185,7 @@ fn quicksort_agrees_with_std_sort() {
         let (l, _) = pf_trees::quicksort::run_quicksort(&keys, Mode::Pipelined);
         assert_eq!(l.collect_vec(), expect);
         // Real runtime.
-        let rl = RList::from_slice(&keys);
+        let rl = RList::from_slice_ready(&keys);
         let (op, of) = cell();
         Runtime::new(4).run(move |wk| qs(wk, rl, RList::Nil, op));
         assert_eq!(of.expect().collect_vec(), expect);
@@ -127,7 +206,10 @@ fn algorithms_are_generic_over_key_types() {
     assert!(c.is_linear());
 
     let (op, of) = cell();
-    let (ta, tb) = (ready(RTree::from_sorted(&a)), ready(RTree::from_sorted(&b)));
+    let (ta, tb) = (
+        ready(RTree::from_sorted_ready(&a)),
+        ready(RTree::from_sorted_ready(&b)),
+    );
     Runtime::new(2).run(move |wk| rt_merge(wk, ta, tb, op));
     assert_eq!(of.expect().to_sorted_vec(), expect);
 
@@ -160,8 +242,8 @@ fn repeated_rt_runs_are_deterministic_in_value() {
     for _ in 0..20 {
         let (op, of) = cell();
         let (ta, tb) = (
-            ready(RTreap::from_entries(&a)),
-            ready(RTreap::from_entries(&b)),
+            ready(RTreap::from_entries_ready(&a)),
+            ready(RTreap::from_entries_ready(&b)),
         );
         Runtime::new(4).run(move |wk| rt_union(wk, ta, tb, op));
         let keys = of.expect().to_sorted_vec();

@@ -17,11 +17,11 @@
 use pf_core::Sim;
 use pf_machine::{replay, Discipline, INFINITE_P};
 use pf_rt::{cell, ready, Runtime};
-use pf_rt_algs::rtreap::{union as rt_union, RTreap};
-use pf_rt_algs::rtwosix::{insert_many as rt_insert_many, RTsTree};
+use pf_rt_algs::rtreap::{union as rt_union, RTreap, RtTreap};
+use pf_rt_algs::rtwosix::{insert_many as rt_insert_many, RTsTree, RtTsTree};
 use pf_tests::entries;
-use pf_trees::treap::{union, Treap};
-use pf_trees::two_six::{insert_many, TsTree};
+use pf_trees::treap::{union, SimTreap, Treap};
+use pf_trees::two_six::{insert_many, SimTsTree, TsTree};
 use pf_trees::Mode;
 
 #[test]
@@ -60,8 +60,8 @@ fn treap_union_replay_meets_depth_bound_and_rt_agrees() {
     for threads in [1, 2, 4] {
         let (op, of) = cell();
         let (ta, tb) = (
-            ready(RTreap::from_entries(&a)),
-            ready(RTreap::from_entries(&b)),
+            ready(RTreap::from_entries_ready(&a)),
+            ready(RTreap::from_entries_ready(&b)),
         );
         let rstats = Runtime::new(threads).run_stats(move |wk| rt_union(wk, ta, tb, op));
         let t = of.expect();
@@ -109,7 +109,7 @@ fn two_six_insert_replay_meets_depth_bound_and_rt_agrees() {
         let (op, of) = cell();
         let (i3, k3) = (initial.clone(), keys.clone());
         let rstats = Runtime::new(threads).run_stats(move |wk| {
-            let t = ready(RTsTree::from_sorted(&i3));
+            let t = ready(RTsTree::from_sorted_ready(&i3));
             let f = rt_insert_many(wk, &k3, t);
             f.touch(wk, move |tv, wk| op.fulfill(wk, tv));
         });

@@ -124,7 +124,7 @@ proptest! {
     fn random_programs_steal_replay(seed in 0u64..3000, fanout in 1usize..4, depth in 1usize..5, p in 1usize..6) {
         use pf_core::{Ctx, Sim};
         use pf_machine::{steal_replay, StealConfig};
-        fn build(ctx: &mut Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
+        fn build(ctx: &Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
             ctx.tick(1 + (seed % 3));
             if depth == 0 {
                 return seed;
@@ -153,7 +153,7 @@ proptest! {
     #[test]
     fn random_programs_replay_correctly(seed in 0u64..5000, fanout in 1usize..4, depth in 1usize..6) {
         use pf_core::{Ctx, Sim};
-        fn build(ctx: &mut Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
+        fn build(ctx: &Ctx, seed: u64, fanout: usize, depth: usize) -> u64 {
             ctx.tick(1 + (seed % 3));
             if depth == 0 {
                 return seed;
