@@ -12,7 +12,16 @@
 //! * [`two_six`] — the 2-6 tree multi-insert (§3.4, Theorem 3.13);
 //! * [`list`] — the Figure 1 producer/consumer pipeline and Halstead's
 //!   Figure 2 quicksort;
+//! * [`mergesort`] — the §5 conjectured pipelined tree mergesort;
 //! * [`plain`] — the sequential treap oracle (pure code, no engine).
+//!
+//! The **hand-pipelined baselines** live here too, but on a different
+//! engine surface: [`cole`] (cascading mergesort) and [`pvw`] (the
+//! synchronous 2-3-tree wave pipeline) advance in explicit rounds, so they
+//! are generic over [`RoundExec`] — the round-barrier engine — rather than
+//! [`PipeBackend`]. The same text runs on `SeqRounds` (the virtual-time
+//! simulator E16/E18 count rounds on) and `pf_rt::rounds::PoolRounds` (the
+//! worker pool they are wall-clocked on).
 //!
 //! The same text compiles against the virtual-time simulator
 //! (`pf_core::Ctx`, exact work/depth accounting), the real work-stealing
@@ -35,15 +44,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cole;
 pub mod list;
 pub mod merge;
+pub mod mergesort;
 pub mod plain;
+pub mod pvw;
 pub mod rebalance;
 pub mod treap;
 pub mod tree;
 pub mod two_six;
 
-pub use pf_backend::{Key, Mode, PipeBackend, Seq, SeqFut, Val};
+pub use pf_backend::{Job, Key, Mode, PipeBackend, RoundExec, Seq, SeqFut, SeqRounds, Val};
 
 /// Fork `body` under `mode`: pipelined is a plain fork; strict wraps the
 /// fork in [`PipeBackend::strict`], so (on the simulator) none of the

@@ -1,0 +1,115 @@
+//! PR 4 evidence harness: the futures algorithms vs the hand-pipelined
+//! baselines (Cole's cascade, the PVW wave schedule), both executing on
+//! the *same* persistent worker pool — futures via the §4 scheduler,
+//! the baselines via the round-barrier engine (`PoolRounds`, one
+//! synchronous wave per run-to-quiescence barrier).
+//!
+//! Alongside each wall-clock pair the harness records the model-side
+//! quantities the experiments compare (futures DAG depth, Cole stages,
+//! PVW rounds), which are executor-independent and pinned by test.
+//!
+//! Usage: `bench_pr4` — writes `results/BENCH_PR4.json` and prints the
+//! metrics. `bench_pr4 ci` shrinks the sizes for the CI smoke run.
+
+use pf_rt_algs::baselines::{
+    time_cole_pool, time_cole_seq, time_msort_rt, time_pvw_pool, time_pvw_seq, time_sort_seq,
+};
+use pf_rt_algs::drivers::{best_of, time_insert_rt, time_insert_seq};
+use pf_trees::mergesort::run_msort;
+use pf_trees::workloads::{shuffled_keys, sorted_keys};
+use pf_trees::Mode;
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn main() {
+    let ci = std::env::args().nth(1).as_deref() == Some("ci");
+    let (lg_sort, lg_n, lg_m, reps) = if ci { (10, 12, 6, 1) } else { (14, 16, 10, 5) };
+
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let keys = shuffled_keys(1usize << lg_sort, 77);
+    let initial = sorted_keys(1usize << lg_n, 2);
+    let newk: Vec<i64> = (0..(1i64 << lg_m)).map(|i| 2 * i + 1).collect();
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, v: f64| {
+        println!("{name:<40} {v:>12.3}");
+        entries.push((name, v));
+    };
+
+    // Sorting pair: futures msort vs Cole's cascade, same keys, same pool.
+    for t in THREADS {
+        let d = best_of(reps, || time_msort_rt(&keys, t));
+        push(format!("msort_futures_t{t}_ms"), d.as_secs_f64() * 1e3);
+        let d = best_of(reps, || time_cole_pool(&keys, t).0);
+        push(format!("cole_rounds_t{t}_ms"), d.as_secs_f64() * 1e3);
+    }
+    push(
+        "cole_rounds_seq_ms".into(),
+        best_of(reps, || time_cole_seq(&keys).0).as_secs_f64() * 1e3,
+    );
+    push(
+        "sort_unstable_seq_ms".into(),
+        best_of(reps, || time_sort_seq(&keys)).as_secs_f64() * 1e3,
+    );
+
+    // Insert pair: futures 2-6 bulk insert vs the PVW wave schedule.
+    for t in THREADS {
+        let d = best_of(reps, || time_insert_rt(&initial, &newk, t));
+        push(format!("insert_futures_t{t}_ms"), d.as_secs_f64() * 1e3);
+        let d = best_of(reps, || time_pvw_pool(&initial, &newk, t).0);
+        push(format!("pvw_rounds_t{t}_ms"), d.as_secs_f64() * 1e3);
+    }
+    push(
+        "pvw_rounds_seq_ms".into(),
+        best_of(reps, || time_pvw_seq(&initial, &newk).0).as_secs_f64() * 1e3,
+    );
+    push(
+        "insert_btreeset_seq_ms".into(),
+        best_of(reps, || time_insert_seq(&initial, &newk)).as_secs_f64() * 1e3,
+    );
+
+    // Model-side quantities for the same workloads (executor-independent).
+    let (_, c) = run_msort(&keys, Mode::Pipelined);
+    push("msort_model_depth".into(), c.depth as f64);
+    let (_, cs) = time_cole_seq(&keys);
+    push("cole_model_stages".into(), cs.stages as f64);
+    let (_, ps) = time_pvw_seq(&initial, &newk);
+    push("pvw_model_rounds".into(), ps.rounds as f64);
+    push("pvw_model_waves".into(), ps.waves as f64);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"label\": \"pr4_futures_vs_hand_pipelined\",\n");
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str(&format!(
+        "  \"note\": \"sort pair at n=2^{lg_sort} (futures msort vs Cole cascade), insert pair at n=2^{lg_n}, m=2^{lg_m} (futures 2-6 insert vs PVW waves); both sides share one warm pool per width; _model_ metrics are virtual-time, pinned by pinned_baselines\",\n",
+    ));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{k}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_PR4.json", &json).expect("write json");
+    println!("\nwrote results/BENCH_PR4.json");
+}

@@ -1,4 +1,14 @@
-//! E13 — conclusions conjecture: pipelined mergesort depth growth.
+//! E13 — conclusions conjecture: pipelined mergesort depth growth on the
+//! cost model, plus the wall-clock companion on the real runtime.
+//!
+//! `e13_mergesort ci` runs the small-n smoke configuration used by CI.
 fn main() {
-    pf_bench::exp_model::e13_mergesort(&[8, 9, 10, 11, 12, 13], &[1, 2, 3]).print();
+    let ci = std::env::args().nth(1).as_deref() == Some("ci");
+    if ci {
+        pf_bench::exp_model::e13_mergesort(&[8, 9], &[1]).print();
+        pf_bench::exp_rt::e13_msort_wallclock(&[9], &[1, 4, 8], 1).print();
+    } else {
+        pf_bench::exp_model::e13_mergesort(&[8, 9, 10, 11, 12, 13], &[1, 2, 3]).print();
+        pf_bench::exp_rt::e13_msort_wallclock(&[12, 14, 16], &[1, 4, 8], 3).print();
+    }
 }

@@ -15,6 +15,9 @@ use std::time::{Duration, Instant};
 use pf_core::{CostModel, Sim};
 use pf_rt::mutex_cell::mx_cell;
 use pf_rt::{cell, Runtime};
+use pf_rt_algs::baselines::{
+    time_cole_pool, time_cole_seq, time_msort_rt, time_pvw_pool, time_pvw_seq, time_sort_seq,
+};
 use pf_rt_algs::drivers::{
     best_of, time_insert_rt, time_insert_seq, time_merge_rt, time_merge_seq, time_rebalance_rt,
     time_union_rt, time_union_seq,
@@ -22,7 +25,7 @@ use pf_rt_algs::drivers::{
 use pf_rt_algs::rtree::RtTree;
 use pf_trees::merge::run_merge;
 use pf_trees::tree::SimTree;
-use pf_trees::workloads::{interleaved_pair, union_entries};
+use pf_trees::workloads::{interleaved_pair, shuffled_keys, sorted_keys, union_entries};
 use pf_trees::Mode;
 
 use crate::{f2, u, Table};
@@ -90,6 +93,101 @@ pub fn e12_runtime(lg_n: u32, threads: &[usize], reps: usize) -> Vec<Table> {
         ]);
     }
     vec![t1, t2, t3]
+}
+
+/// E13w — wall-clock companion to the E13 depth table: the futures
+/// mergesort on the real pool across thread counts, vs `sort_unstable`.
+pub fn e13_msort_wallclock(lgs: &[u32], threads: &[usize], reps: usize) -> Table {
+    let mut t = Table::new(
+        "E13w futures mergesort wall-clock (real runtime) vs sequential sort",
+        &["n", "threads", "futures msort (ms)", "sort_unstable (ms)"],
+    );
+    for &l in lgs {
+        let keys = shuffled_keys(1usize << l, 3);
+        let ds = best_of(reps, || time_sort_seq(&keys));
+        for &th in threads {
+            let df = best_of(reps, || time_msort_rt(&keys, th));
+            t.row(vec![u(1u64 << l), u(th as u64), ms(df), ms(ds)]);
+        }
+    }
+    t
+}
+
+/// E16w — wall-clock head-to-head on the *same pool*: the futures 2-6
+/// bulk insert (implicit pipeline, scheduler-discovered) vs the PVW wave
+/// schedule executed one synchronous round per pool barrier
+/// (`PoolRounds`). The `seq` row gives the single-thread references
+/// (`BTreeSet` extend and the inline `SeqRounds` execution).
+pub fn e16_pvw_wallclock(lg_n: u32, lg_m: u32, threads: &[usize], reps: usize) -> Table {
+    let n = 1usize << lg_n;
+    let m = 1usize << lg_m;
+    let initial = sorted_keys(n, 2);
+    let newk: Vec<i64> = (0..m as i64).map(|i| 2 * i + 1).collect();
+    let mut t = Table::new(
+        format!("E16w wall-clock: futures 2-6 insert vs PVW hand rounds, n = {n}, m = {m}"),
+        &[
+            "threads",
+            "futures insert (ms)",
+            "pvw rounds (ms)",
+            "pvw/futures",
+        ],
+    );
+    let df = best_of(reps, || time_insert_seq(&initial, &newk));
+    let dp = best_of(reps, || time_pvw_seq(&initial, &newk).0);
+    t.row(vec![
+        "seq".into(),
+        ms(df),
+        ms(dp),
+        f2(dp.as_secs_f64() / df.as_secs_f64()),
+    ]);
+    for &th in threads {
+        let df = best_of(reps, || time_insert_rt(&initial, &newk, th));
+        let dp = best_of(reps, || time_pvw_pool(&initial, &newk, th).0);
+        t.row(vec![
+            u(th as u64),
+            ms(df),
+            ms(dp),
+            f2(dp.as_secs_f64() / df.as_secs_f64()),
+        ]);
+    }
+    t
+}
+
+/// E18w — wall-clock head-to-head on the *same pool*: the futures tree
+/// mergesort vs Cole's cascade executed one synchronous stage per pool
+/// barrier (`PoolRounds`). The `seq` row gives the single-thread
+/// references (`sort_unstable` and the inline `SeqRounds` cascade).
+pub fn e18_cole_wallclock(lg_n: u32, threads: &[usize], reps: usize) -> Table {
+    let n = 1usize << lg_n;
+    let keys = shuffled_keys(n, 77);
+    let mut t = Table::new(
+        format!("E18w wall-clock: futures msort vs Cole cascade (hand stages), n = {n}"),
+        &[
+            "threads",
+            "futures msort (ms)",
+            "cole stages (ms)",
+            "cole/futures",
+        ],
+    );
+    let df = best_of(reps, || time_sort_seq(&keys));
+    let dc = best_of(reps, || time_cole_seq(&keys).0);
+    t.row(vec![
+        "seq".into(),
+        ms(df),
+        ms(dc),
+        f2(dc.as_secs_f64() / df.as_secs_f64()),
+    ]);
+    for &th in threads {
+        let df = best_of(reps, || time_msort_rt(&keys, th));
+        let dc = best_of(reps, || time_cole_pool(&keys, th).0);
+        t.row(vec![
+            u(th as u64),
+            ms(df),
+            ms(dc),
+            f2(dc.as_secs_f64() / df.as_secs_f64()),
+        ]);
+    }
+    t
 }
 
 /// E15a — cost-constant sensitivity: the measured merge depth scales
@@ -200,6 +298,16 @@ mod tests {
         assert_eq!(ts.len(), 3);
         assert_eq!(ts[0].rows.len(), 3);
         assert_eq!(ts[2].rows.len(), 5);
+    }
+
+    #[test]
+    fn wallclock_pairs_smoke() {
+        let t = e13_msort_wallclock(&[9], &[1, 2], 1);
+        assert_eq!(t.rows.len(), 2);
+        let t = e16_pvw_wallclock(10, 5, &[1, 2], 1);
+        assert_eq!(t.rows.len(), 3, "seq row + one row per thread count");
+        let t = e18_cole_wallclock(9, &[1, 2], 1);
+        assert_eq!(t.rows.len(), 3);
     }
 
     #[test]

@@ -15,11 +15,15 @@
 //! * [`rtwosix`] — the 2-6 tree bulk insert (Thm 3.13);
 //! * [`rlist`] — the producer/consumer pipeline (Fig. 1) and Halstead's
 //!   quicksort (Fig. 2);
-//! * [`drivers`] — wall-clock measurement drivers for experiment E12.
+//! * [`drivers`] — wall-clock measurement drivers for experiment E12;
+//! * [`baselines`] — paired futures-vs-hand-pipelined drivers for
+//!   E13/E16/E18 (mergesort, PVW waves, Cole's cascade on the
+//!   round-barrier engine).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baselines;
 pub mod drivers;
 pub mod rlist;
 pub mod rrebalance;

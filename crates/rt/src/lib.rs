@@ -51,11 +51,13 @@ pub mod cell;
 pub mod deque;
 pub mod mutex_cell;
 pub mod pool;
+pub mod rounds;
 pub mod scheduler;
 pub mod sync;
 pub mod task;
 
 pub use cell::{cell, ready, FutRead, FutWrite};
+pub use rounds::PoolRounds;
 pub use scheduler::{RunStats, Runtime, Worker};
 
 // The engine-agnostic surface `Worker` implements (see `backend`):

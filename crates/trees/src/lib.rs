@@ -14,6 +14,8 @@
 //! | [`quicksort`] | Fig. 2 | Halstead's futures quicksort — pipelining does *not* beat Θ(n) depth |
 //! | [`pipeline`] | Fig. 1 | producer/consumer list pipeline |
 //! | [`mergesort`] | §5 (conclusions) | tree mergesort with three levels of pipelining |
+//! | [`cole`] | §1/§5 baseline (Cole '88) | hand-pipelined cascading mergesort: 3·lg n synchronous stages |
+//! | [`pvw`] | §1/§3.4 baseline (PVW) | hand-scheduled synchronous wave pipeline for 2-6 bulk insert, ≈ 2 lg m + lg n rounds |
 //!
 //! Every pipelined algorithm also has a **strict** (non-pipelined) mode —
 //! the same code run under [`pf_core::Ctx::call_strict`] — so one
@@ -28,7 +30,11 @@
 //! builders, cost-report runners (`run_*`), completion-time and cell-walk
 //! inspection, and the measurement suites in [`analysis`]. The same generic
 //! code runs on the real scheduler via `pf-rt-algs` and on the sequential
-//! oracle via `pf_backend::Seq`.
+//! oracle via `pf_backend::Seq`. The conclusions' [`mergesort`] and the
+//! two hand-pipelined baselines ([`cole`], [`pvw`]) likewise live in
+//! [`pf_algs`] — mergesort generic over the backend, the baselines generic
+//! over the round-barrier executor (`pf_backend::RoundExec`) — with this
+//! crate re-exporting them and keeping the cost-model tests.
 //!
 //! The tree types ([`tree::Tree`], [`treap::Treap`], [`two_six::TsTree`])
 //! have *futures as child pointers*: a node can be handed to a consumer

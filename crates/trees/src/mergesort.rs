@@ -1,43 +1,28 @@
 //! §5 (conclusions) — the pipelined tree mergesort the paper conjectures
-//! about: "We conjecture that a simple mergesort based on the merge in
-//! Section 3.1 has expected depth (averaged over all possible input
-//! orderings) close to O(lg n), perhaps O(lg n lg lg n). This algorithm
-//! has three levels of pipelining."
+//! about (three levels of pipelining; expected depth close to O(lg n)).
 //!
-//! `msort` recursively sorts the two halves of the input (as futures) and
-//! merges the resulting trees with the pipelined `merge` — so merges at
-//! different levels of the recursion tree overlap, exactly like Cole's
-//! mergesort but managed implicitly. Experiment E13 measures the depth
-//! growth empirically.
+//! The algorithm itself is written once, engine-generically, in
+//! [`pf_algs::mergesort`]; this module instantiates it on the simulator
+//! and provides the [`run_msort`] / [`run_msort_balanced`] entry points
+//! plus the cost tests behind the E13 conjecture measurement. The
+//! wall-clock instantiation on the real runtime lives in
+//! `pf_rt_algs::drivers`.
 
 use pf_core::{CostReport, Ctx, Fut, Promise, Sim};
 
-use crate::merge::merge;
 use crate::tree::Tree;
 use crate::{Key, Mode};
 
 /// Sort `keys` (distinct, in any order) into a BST by recursive halving
-/// and pipelined merging.
+/// and pipelined merging. See [`pf_algs::mergesort::msort`].
 pub fn msort<K: Key>(ctx: &Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
-    ctx.tick(1);
-    match keys.len() {
-        0 => out.fulfill(ctx, Tree::Leaf),
-        1 => {
-            let lf = ctx.filled(Tree::Leaf);
-            let rf = ctx.filled(Tree::Leaf);
-            let k = keys.into_iter().next().expect("len checked");
-            out.fulfill(ctx, Tree::node(k, lf, rf));
-        }
-        n => {
-            let mut a = keys;
-            let b = a.split_off(n / 2);
-            let (pa, fa) = ctx.promise();
-            ctx.fork_unit(move |ctx| msort(ctx, a, pa, mode));
-            let (pb, fb) = ctx.promise();
-            ctx.fork_unit(move |ctx| msort(ctx, b, pb, mode));
-            merge(ctx, fa, fb, out, mode);
-        }
-    }
+    pf_algs::mergesort::msort(ctx, keys, out, mode);
+}
+
+/// Mergesort variant that rebalances the merged tree at every level of the
+/// recursion. See [`pf_algs::mergesort::msort_balanced`].
+pub fn msort_balanced<K: Key>(ctx: &Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
+    pf_algs::mergesort::msort_balanced(ctx, keys, out, mode);
 }
 
 /// Run the mergesort; returns the result root future and cost report.
@@ -47,35 +32,6 @@ pub fn run_msort<K: Key>(keys: &[K], mode: Mode) -> (Fut<Tree<K>>, CostReport) {
         msort(ctx, keys.to_vec(), op, mode);
         of
     })
-}
-
-/// Mergesort variant that **rebalances** the merged tree at every level of
-/// the recursion (using the §3.1 pipelined rebalancer). Merge outputs can
-/// reach height lg a + lg b, and those heights feed the next merge's
-/// depth; rebalancing between levels keeps every merge input at the
-/// optimal height — an ablation for the E13 conjecture measurement.
-pub fn msort_balanced<K: Key>(ctx: &Ctx, keys: Vec<K>, out: Promise<Tree<K>>, mode: Mode) {
-    ctx.tick(1);
-    match keys.len() {
-        0 => out.fulfill(ctx, Tree::Leaf),
-        1 => {
-            let lf = ctx.filled(Tree::Leaf);
-            let rf = ctx.filled(Tree::Leaf);
-            let k = keys.into_iter().next().expect("len checked");
-            out.fulfill(ctx, Tree::node(k, lf, rf));
-        }
-        n => {
-            let mut a = keys;
-            let b = a.split_off(n / 2);
-            let (pa, fa) = ctx.promise();
-            ctx.fork_unit(move |ctx| msort_balanced(ctx, a, pa, mode));
-            let (pb, fb) = ctx.promise();
-            ctx.fork_unit(move |ctx| msort_balanced(ctx, b, pb, mode));
-            let (mp, mf) = ctx.promise();
-            merge(ctx, fa, fb, mp, mode);
-            crate::rebalance::rebalance(ctx, mf, out, mode);
-        }
-    }
 }
 
 /// Run the rebalancing mergesort.

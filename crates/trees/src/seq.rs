@@ -5,4 +5,4 @@
 //! the generic algorithms it validates. This module keeps the historical
 //! `pf_trees::seq` paths working.
 
-pub use pf_algs::plain::{splitmix64, wins, Entry, PlainTreap};
+pub use pf_algs::plain::{splitmix64, Entry, PlainTreap};

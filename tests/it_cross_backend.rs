@@ -234,6 +234,80 @@ fn algorithms_are_generic_over_key_types() {
 }
 
 #[test]
+fn mergesort_agrees_across_all_three_backends() {
+    for n in [0usize, 1, 2, 37, 300] {
+        let keys = shuffled_keys(n, 5 + n as u64);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        // Cost model: deterministic shape, used as the height reference.
+        let (root, _) = pf_trees::mergesort::run_msort(&keys, Mode::Pipelined);
+        let model = root.get();
+        assert_eq!(model.to_sorted_vec(), expect, "n={n}");
+        // Sequential oracle: the same generic text at B = Seq.
+        let seq_tree = Seq::run(|bk| {
+            let (op, of) = bk.cell();
+            pf_algs::mergesort::msort(bk, keys.clone(), op, Mode::Pipelined);
+            pf_algs::tree::Tree::<Seq, i64>::expect(&of)
+        });
+        assert_eq!(seq_tree.to_sorted_vec(), expect, "n={n}");
+        assert_eq!(seq_tree.height(), model.height(), "n={n}");
+        // Real runtime, multiple thread counts: identical deterministic shape.
+        for threads in [1, 4] {
+            let keys = keys.clone();
+            let (op, of) = cell();
+            Runtime::new(threads)
+                .run(move |wk| pf_algs::mergesort::msort(wk, keys, op, Mode::Pipelined));
+            let t = of.expect();
+            assert_eq!(t.to_sorted_vec(), expect, "n={n} threads={threads}");
+            assert_eq!(t.height(), model.height(), "n={n} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn quicksort_agrees_across_all_three_backends() {
+    use pf_algs::list::{qs as generic_qs, List};
+    for seed in [0u64, 3] {
+        let keys = shuffled_keys(400, seed);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        // Cost model.
+        let (l, _) = pf_trees::quicksort::run_quicksort(&keys, Mode::Pipelined);
+        assert_eq!(l.collect_vec(), expect, "seed={seed}");
+        // Sequential oracle: the same generic text at B = Seq.
+        let seq_sorted = Seq::run(|bk| {
+            let l = List::from_slice(bk, &keys);
+            let (op, of) = bk.cell();
+            generic_qs(bk, l, List::nil(), op, Mode::Pipelined);
+            List::<Seq, i64>::expect_vec(&of)
+        });
+        assert_eq!(seq_sorted, expect, "seed={seed}");
+        // Real runtime.
+        for threads in [1, 4] {
+            let rl = RList::from_slice_ready(&keys);
+            let (op, of) = cell();
+            Runtime::new(threads).run(move |wk| qs(wk, rl, RList::Nil, op));
+            assert_eq!(
+                of.expect().collect_vec(),
+                expect,
+                "seed={seed} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "future cell touched before it was written")]
+fn seq_oracle_rejects_touch_before_write() {
+    // The sequential backend is the Σ_f ⇒ Σ oracle: it must refuse any
+    // program whose futures-free erasure would read an unwritten cell.
+    Seq::run(|bk| {
+        let (_wr, f) = bk.cell::<i64>();
+        bk.touch(&f, |_bk, _v| {});
+    });
+}
+
+#[test]
 fn repeated_rt_runs_are_deterministic_in_value() {
     // Scheduling is nondeterministic; results must not be.
     let a = entries((0..300).map(|i| 2 * i));
