@@ -42,7 +42,7 @@ use pf_check::CheckBuilder;
 
 use pf_rt::deque::{deque, Steal};
 use pf_rt::mutex_cell::mx_cell;
-use pf_rt::{cell, Runtime};
+use pf_rt::{cell, CancelToken, Runtime, Session, SessionError};
 
 /// Exploration budgets for models embedding the full `Runtime` (worker
 /// threads + session protocol): these have hundreds of choice points, so
@@ -385,6 +385,100 @@ fn mutex_cell_two_touchers_one_writer() {
             wk.spawn(move |wk| w.fulfill(wk, 6));
         });
         assert_eq!(runs.load(Ordering::Relaxed), 2);
+        drop(rt);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment: recoverable aborts, poisoning, cancellation
+// ---------------------------------------------------------------------------
+
+/// The recoverable abort rendezvous: a panicking task must surface as
+/// `Err(Panicked)` from `try_run` — never a deadlock, never a missed
+/// rendezvous — in every interleaving, and the same pool must complete a
+/// clean session afterwards.
+#[cfg(not(pf_check_lost_wakeup))]
+#[test]
+fn try_run_abort_rendezvous_under_injected_panic() {
+    rt_budget().run(|| {
+        let rt = Runtime::new(2);
+        let err = rt
+            .try_run(|wk| {
+                wk.spawn(|_| {});
+                wk.spawn(|_| panic!("model task boom"));
+                wk.spawn(|_| {});
+            })
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Panicked { .. }), "{err}");
+        assert_eq!(err.panic_message(), Some("model task boom"));
+        let (w, out) = cell::<u32>();
+        rt.try_run(move |wk| {
+            wk.spawn(move |wk| w.fulfill(wk, 5));
+        })
+        .unwrap();
+        assert_eq!(out.expect(), 5);
+        drop(rt);
+    });
+}
+
+/// Poison-then-touch: a continuation suspended when its session aborts
+/// must be poisoned with the aborting session's context (program order
+/// makes the suspension precede the panicking task here), and a straggler
+/// touch in a later session must fail fast with that context rather than
+/// suspend forever.
+#[cfg(not(pf_check_lost_wakeup))]
+#[test]
+fn poison_then_touch_fails_fast() {
+    rt_budget().run(|| {
+        let rt = Runtime::new(2);
+        let (_w, r) = cell::<u32>(); // never fulfilled
+        let r_in = r.clone();
+        let err = rt
+            .try_run(move |wk| {
+                r_in.touch(wk, |_v, _wk| {});
+                wk.spawn(|_| panic!("poisoner"));
+            })
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Panicked { .. }), "{err}");
+        let info = r.poison_info().expect("suspended cell must be poisoned");
+        assert_eq!(info.session, err.session());
+        let r_late = r.clone();
+        let err2 = rt
+            .try_run(move |wk| r_late.touch(wk, |_v, _wk| {}))
+            .unwrap_err();
+        let msg = err2.panic_message().unwrap_or("");
+        assert!(msg.contains("poisoned"), "{msg}");
+        drop(rt);
+    });
+}
+
+/// A cancel racing the session's own completion: every interleaving must
+/// end in either a clean `Ok` (with the result written) or
+/// `Err(Cancelled)` — nothing else, no hang — and the pool must be
+/// reusable afterwards in both cases.
+#[cfg(not(pf_check_lost_wakeup))]
+#[test]
+fn cancel_racing_fulfill() {
+    rt_budget().run(|| {
+        let rt = Runtime::new(2);
+        let tok = CancelToken::new();
+        let t2 = tok.clone();
+        let canceller = thread::spawn(move || t2.cancel());
+        let (w, out) = cell::<u32>();
+        let res = rt.try_run_session(Session::new().cancel_token(&tok), move |wk| {
+            wk.spawn(move |wk| w.fulfill(wk, 7));
+        });
+        canceller.join().unwrap();
+        match res {
+            Ok(_) => assert_eq!(out.expect(), 7),
+            Err(e) => assert!(matches!(e, SessionError::Cancelled { .. }), "{e}"),
+        }
+        let (w2, out2) = cell::<u32>();
+        rt.try_run(move |wk| {
+            wk.spawn(move |wk| w2.fulfill(wk, 9));
+        })
+        .unwrap();
+        assert_eq!(out2.expect(), 9);
         drop(rt);
     });
 }

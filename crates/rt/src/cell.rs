@@ -25,25 +25,55 @@
 //! at touch time already captures the cell (an `Arc`) and clones the
 //! value out when it runs, so the writer hands it to the scheduler as-is
 //! instead of re-boxing it with the value (the old double allocation on
-//! every suspension). The one cost of this shape: while a waiter sits in
-//! a cell, the cell keeps itself alive through the waiter's `Arc`. The
-//! cycle is broken whenever the waiter is taken out — every path of a run
-//! that reaches quiescence — but if a run *aborts on a panic* with a
-//! continuation still suspended, that cell and its waiter leak. That is
-//! an accepted cost: an aborted run's pending graph is unreachable
-//! garbage anyway, and the paper's model has no panics.
+//! every suspension). While a waiter sits in a cell, the cell keeps
+//! itself alive through the waiter's `Arc` — a deliberate cycle, broken
+//! whenever the waiter is taken out. That happens on every path: a run
+//! that reaches quiescence reactivates the waiter, and a run that
+//! *aborts* (panic, cancel, deadline, stall) **poisons** the cell at the
+//! abort rendezvous — a fourth state, `POISONED`, entered only from
+//! `WAITING` — which takes the waiter out and drops it, so nothing leaks.
+//! A poisoned cell remembers why its session died
+//! ([`FutRead::poison_info`]); any straggler touch or fulfill of it
+//! panics immediately with that context instead of suspending on a value
+//! that can never arrive. See the "Failure model" section of DESIGN.md.
+//!
+//! Under `--cfg pf_chaos` the fulfill/touch entry points also host the
+//! chaos layer's delay hook (see [`crate::chaos`]); in normal builds the
+//! hook compiles to nothing.
 
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
 use crate::sync::atomic::{AtomicU8, Ordering};
 
+use crate::error::{PoisonInfo, PoisonTarget, StuckCell};
 use crate::scheduler::Worker;
 use crate::task::Task;
 
 const EMPTY: u8 = 0;
 const WAITING: u8 = 1;
 const FULL: u8 = 2;
+/// The cell's session aborted with a continuation suspended here; the
+/// waiter was dropped and `Inner::poison` holds the failure context.
+/// Terminal, entered only from `WAITING`, only at the abort rendezvous.
+const POISONED: u8 = 3;
+
+fn state_name(s: u8) -> &'static str {
+    match s {
+        EMPTY => "EMPTY",
+        WAITING => "WAITING",
+        FULL => "FULL",
+        POISONED => "POISONED",
+        _ => "invalid",
+    }
+}
+
+fn poison_desc(info: &Option<Arc<PoisonInfo>>) -> String {
+    match info {
+        Some(i) => i.to_string(),
+        None => "poisoned (context missing)".to_string(),
+    }
+}
 
 /// A suspended continuation, pre-bound to its cell: calling it clones the
 /// (by then published) value out and runs the user's closure.
@@ -53,6 +83,51 @@ struct Inner<T> {
     state: AtomicU8,
     value: UnsafeCell<Option<T>>,
     waiter: UnsafeCell<Option<Waiter>>,
+    /// Why the cell was poisoned; written before the release transition
+    /// to POISONED, read only after an acquire load of POISONED.
+    poison: UnsafeCell<Option<Arc<PoisonInfo>>>,
+}
+
+impl<T: Send> PoisonTarget for Inner<T> {
+    fn poison(&self, ctx: &Arc<PoisonInfo>) -> Option<StuckCell> {
+        // Publish the context before the state transition so any thread
+        // that later observes POISONED (acquire) sees it.
+        // SAFETY: called single-threadedly at the abort rendezvous (trait
+        // contract); nobody reads the slot before POISONED is published.
+        unsafe { *self.poison.get() = Some(Arc::clone(ctx)) };
+        match self
+            .state
+            .compare_exchange(WAITING, POISONED, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                // SAFETY: we won the transition out of WAITING, so we own
+                // the waiter slot exactly like a writer would. Dropping
+                // the waiter box releases the continuation's captures and
+                // breaks the waiter→cell Arc cycle — the "leak on abort"
+                // this state exists to prevent. Its destructor must not
+                // wedge the cleanup.
+                let waiter = unsafe { (*self.waiter.get()).take() };
+                if let Some(w) = waiter {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(w)));
+                }
+                Some(StuckCell {
+                    addr: self as *const Self as usize,
+                    payload_type: std::any::type_name::<T>(),
+                    kind: "cell",
+                })
+            }
+            Err(prev) => {
+                // Nothing suspended here (the suspension raced to FULL
+                // before the abort): withdraw the context again.
+                // SAFETY: the state can never return to WAITING, so the
+                // slot stays unobserved.
+                if prev != POISONED {
+                    unsafe { *self.poison.get() = None };
+                }
+                None
+            }
+        }
+    }
 }
 
 // SAFETY: access to the UnsafeCells is mediated by the state machine:
@@ -90,6 +165,7 @@ pub fn cell<T>() -> (FutWrite<T>, FutRead<T>) {
         state: AtomicU8::new(EMPTY),
         value: UnsafeCell::new(None),
         waiter: UnsafeCell::new(None),
+        poison: UnsafeCell::new(None),
     });
     (
         FutWrite {
@@ -106,6 +182,7 @@ pub fn ready<T>(value: T) -> FutRead<T> {
             state: AtomicU8::new(FULL),
             value: UnsafeCell::new(Some(value)),
             waiter: UnsafeCell::new(None),
+            poison: UnsafeCell::new(None),
         }),
     }
 }
@@ -114,6 +191,7 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
     /// Write the value; if a continuation is suspended in the cell, hand it
     /// a clone of the value as a new task on `worker`'s queue.
     pub fn fulfill(self, worker: &Worker, value: T) {
+        crate::chaos::maybe_delay();
         // SAFETY: we are the unique writer (FutWrite is not Clone and is
         // consumed); no reader dereferences `value` until it observes FULL.
         unsafe { *self.inner.value.get() = Some(value) };
@@ -134,6 +212,20 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
                 // transfer, not a spawn.
                 worker.enqueue_transferred(Task::from_boxed(waiter));
             }
+            POISONED => {
+                // Restore the terminal state (the swap clobbered it),
+                // then fail with the originating context.
+                self.inner.state.store(POISONED, Ordering::SeqCst);
+                // SAFETY: POISONED observed via the AcqRel swap ⇒ the
+                // context write is visible; the slot is never modified
+                // after POISONED is published.
+                let info = unsafe { (*self.inner.poison.get()).clone() };
+                panic!(
+                    "fulfill of a poisoned future cell (session {}): {}",
+                    worker.session_id(),
+                    poison_desc(&info)
+                );
+            }
             _ => unreachable!("future cell written twice"),
         }
     }
@@ -146,6 +238,15 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
         match self.inner.state.swap(FULL, Ordering::AcqRel) {
             EMPTY => {}
             WAITING => panic!("fulfill_outside with a suspended waiter"),
+            POISONED => {
+                self.inner.state.store(POISONED, Ordering::SeqCst);
+                // SAFETY: as in `fulfill`.
+                let info = unsafe { (*self.inner.poison.get()).clone() };
+                panic!(
+                    "fulfill_outside of a poisoned future cell: {}",
+                    poison_desc(&info)
+                );
+            }
             _ => unreachable!("future cell written twice"),
         }
     }
@@ -157,6 +258,7 @@ impl<T: Clone + Send + 'static> FutRead<T> {
     /// arrives. At most one touch per cell (the §4 linearity restriction);
     /// a second touch panics.
     pub fn touch(&self, worker: &Worker, cont: impl FnOnce(T, &Worker) + Send + 'static) {
+        crate::chaos::maybe_delay();
         match self.inner.state.load(Ordering::Acquire) {
             FULL => {
                 // SAFETY: FULL observed with acquire ⇒ value write visible.
@@ -164,7 +266,22 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                     unsafe { (*self.inner.value.get()).clone() }.expect("FULL cell without value");
                 worker.run_inline_or_spawn(v, cont);
             }
-            WAITING => panic!("non-linear program: second touch of a future cell"),
+            WAITING => panic!(
+                "non-linear program: second touch of a future cell \
+                 (state=WAITING, session={}, cell={:p})",
+                worker.session_id(),
+                Arc::as_ptr(&self.inner),
+            ),
+            POISONED => {
+                // SAFETY: POISONED observed with acquire ⇒ the context
+                // write is visible and the slot is frozen.
+                let info = unsafe { (*self.inner.poison.get()).clone() };
+                panic!(
+                    "touch of a poisoned future cell (session {}): {}",
+                    worker.session_id(),
+                    poison_desc(&info)
+                );
+            }
             _ => {
                 // Build the single-allocation waiter: it captures the
                 // cell and clones the value out when it eventually runs
@@ -189,7 +306,16 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 ) {
-                    Ok(_) => {} // suspended; the writer will reactivate us
+                    Ok(_) => {
+                        // Suspended; the writer will reactivate us.
+                        // Register with the executing worker so an abort
+                        // of this session can poison the cell and reclaim
+                        // the continuation (see pool.rs). Registration is
+                        // a plain owner-local push; the weak ref dies with
+                        // the cell, so completed cells cost nothing.
+                        let weak = Arc::downgrade(&self.inner);
+                        worker.register_suspend(weak);
+                    }
                     Err(FULL) => {
                         // The write raced us: reclaim the continuation and
                         // run it now (the failed CAS's acquire load makes
@@ -201,8 +327,14 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                             unsafe { (*self.inner.waiter.get()).take() }.expect("waiter vanished");
                         worker.run_boxed_inline_or_spawn(waiter);
                     }
-                    Err(WAITING) => {
-                        panic!("non-linear program: concurrent second touch")
+                    Err(prev @ WAITING) | Err(prev @ POISONED) => {
+                        panic!(
+                            "non-linear program: concurrent second touch of a future cell \
+                             (state={}, session={}, cell={:p})",
+                            state_name(prev),
+                            worker.session_id(),
+                            Arc::as_ptr(&self.inner),
+                        )
                     }
                     Err(_) => unreachable!(),
                 }
@@ -228,9 +360,29 @@ impl<T: Clone + Send + 'static> FutRead<T> {
         }
     }
 
-    /// [`FutRead::peek`], panicking on an unwritten cell.
+    /// [`FutRead::peek`], panicking on an unwritten cell — with the
+    /// poison context when the cell's session aborted under it.
     pub fn expect(&self) -> T {
-        self.peek().expect("future cell not written")
+        match self.peek() {
+            Some(v) => v,
+            None => match self.poison_info() {
+                Some(info) => panic!("future cell not written: {info}"),
+                None => panic!("future cell not written"),
+            },
+        }
+    }
+
+    /// The failure context stamped into this cell when its session
+    /// aborted with a continuation still suspended here; `None` for
+    /// healthy cells. Safe at any time, like [`FutRead::peek`].
+    pub fn poison_info(&self) -> Option<PoisonInfo> {
+        if self.inner.state.load(Ordering::Acquire) == POISONED {
+            // SAFETY: POISONED observed with acquire ⇒ the context write
+            // is visible; the slot is never modified afterwards.
+            unsafe { (*self.inner.poison.get()).as_deref().cloned() }
+        } else {
+            None
+        }
     }
 }
 

@@ -1,0 +1,354 @@
+//! First-class session failure: the error surface of [`Runtime::try_run`]
+//! and the cancellation/poisoning machinery behind it.
+//!
+//! The paper's cost model has no panics; a long-running service does. This
+//! module makes a failed session a *recoverable value* instead of a
+//! process-wide unwind:
+//!
+//! * [`SessionError`] — why a session ended abnormally: a task panicked,
+//!   the session was cancelled, its deadline expired, or the pool stalled
+//!   (every worker parked with live suspended continuations — a cyclic
+//!   touch or a lost wakeup).
+//! * [`CancelToken`] — a cloneable handle that cooperatively aborts the
+//!   session it is registered with; [`Session`] carries it (and an
+//!   optional deadline) into [`Runtime::try_run_session`].
+//! * [`PoisonInfo`] — the context stamped into every future cell whose
+//!   continuation was still suspended when its session aborted. A
+//!   straggler touch of a poisoned cell fails fast with the *originating*
+//!   failure instead of deadlocking on a value that will never arrive.
+//!
+//! [`Runtime::try_run`]: crate::Runtime::try_run
+//! [`Runtime::try_run_session`]: crate::Runtime::try_run_session
+
+use std::any::Any;
+use std::fmt;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Mutex;
+
+use crate::pool::{AbortReason, Shared};
+
+/// Why a session ended abnormally. Returned by
+/// [`Runtime::try_run`](crate::Runtime::try_run); every variant leaves the
+/// pool reusable — queued tasks were drained, suspended continuations were
+/// dropped, and their cells poisoned.
+pub enum SessionError {
+    /// A task panicked. The abort rendezvous drained the session and this
+    /// carries the original panic payload (first panic wins).
+    Panicked {
+        /// Id of the aborted session.
+        session: u64,
+        /// The original panic payload, as `catch_unwind` caught it.
+        payload: Box<dyn Any + Send>,
+    },
+    /// The session's [`CancelToken`] fired.
+    Cancelled {
+        /// Id of the cancelled session.
+        session: u64,
+    },
+    /// The session's deadline expired before quiescence.
+    DeadlineExceeded {
+        /// Id of the aborted session.
+        session: u64,
+        /// The deadline that was set.
+        deadline: Duration,
+    },
+    /// The quiescence watchdog found the pool stalled: every worker parked,
+    /// no task queued anywhere, but live suspended continuations remain —
+    /// a cyclic touch chain or a dropped write. Previously this state
+    /// deadlocked forever; now it aborts with the stuck cell set.
+    Stalled {
+        /// Id of the aborted session.
+        session: u64,
+        /// What was stuck: liveness count and the poisoned cells.
+        report: StallReport,
+    },
+}
+
+/// Diagnostic payload of [`SessionError::Stalled`].
+#[derive(Debug, Clone, Default)]
+pub struct StallReport {
+    /// Value of the live-closure counter at detection time (number of
+    /// continuations that were queued, running, or suspended — at a stall
+    /// all of them are suspended).
+    pub live: usize,
+    /// The cells whose suspended continuations were drained and dropped at
+    /// the abort rendezvous.
+    pub stuck: Vec<StuckCell>,
+}
+
+/// One cell that still held a suspended continuation when its session
+/// aborted.
+#[derive(Debug, Clone)]
+pub struct StuckCell {
+    /// Address of the cell's shared state (stable for the cell's lifetime;
+    /// correlate with logs or a debugger).
+    pub addr: usize,
+    /// `type_name` of the cell's payload type.
+    pub payload_type: &'static str,
+    /// Which cell implementation: `"cell"` (lock-free) or `"mutex_cell"`.
+    pub kind: &'static str,
+}
+
+impl fmt::Display for StuckCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{}>@{:#x}", self.kind, self.payload_type, self.addr)
+    }
+}
+
+/// Best-effort human-readable rendering of a panic payload (`&str` and
+/// `String` payloads — i.e. every `panic!` with a message — are shown
+/// verbatim).
+pub fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+impl SessionError {
+    /// Id of the session this error aborted.
+    pub fn session(&self) -> u64 {
+        match self {
+            SessionError::Panicked { session, .. }
+            | SessionError::Cancelled { session }
+            | SessionError::DeadlineExceeded { session, .. }
+            | SessionError::Stalled { session, .. } => *session,
+        }
+    }
+
+    /// The panic message, when this is [`SessionError::Panicked`] with a
+    /// string payload.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            SessionError::Panicked { payload, .. } => Some(panic_message(payload.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Re-raise the failure on the calling thread:
+    /// [`std::panic::resume_unwind`] with the original payload for
+    /// [`SessionError::Panicked`], a plain `panic!` describing the error
+    /// otherwise. This is how [`Runtime::run`](crate::Runtime::run) keeps
+    /// its propagate-the-panic contract on top of `try_run`.
+    pub fn resume(self) -> ! {
+        match self {
+            SessionError::Panicked { payload, .. } => std::panic::resume_unwind(payload),
+            other => panic!("{other}"),
+        }
+    }
+
+    /// The one-line poison context stamped into cells this abort orphaned.
+    pub(crate) fn describe_reason(reason: &AbortReason) -> String {
+        match reason {
+            AbortReason::Panic(payload) => {
+                format!("task panicked: {}", panic_message(payload.as_ref()))
+            }
+            AbortReason::Cancelled => "session cancelled".into(),
+            AbortReason::Deadline(d) => format!("deadline of {d:?} exceeded"),
+            AbortReason::Stalled { live } => {
+                format!("session stalled with {live} live suspended continuations")
+            }
+        }
+    }
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Panicked { session, payload } => write!(
+                f,
+                "session {session} panicked: {}",
+                panic_message(payload.as_ref())
+            ),
+            SessionError::Cancelled { session } => write!(f, "session {session} cancelled"),
+            SessionError::DeadlineExceeded { session, deadline } => {
+                write!(f, "session {session} exceeded its deadline of {deadline:?}")
+            }
+            SessionError::Stalled { session, report } => {
+                write!(
+                    f,
+                    "session {session} stalled: {} live suspended continuation(s), stuck cells: [",
+                    report.live
+                )?;
+                for (i, c) in report.stuck.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+// The payload of `Panicked` is not `Debug`, so a derived impl is
+// unavailable; one canonical rendering also keeps test assertions simple.
+impl fmt::Debug for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// The failure context stamped into a future cell when its session aborted
+/// while a continuation was suspended in it. Any later touch of the cell
+/// panics with this context (see the cell docs); [`FutRead::poison_info`]
+/// exposes it for inspection.
+///
+/// [`FutRead::poison_info`]: crate::FutRead::poison_info
+#[derive(Debug, Clone)]
+pub struct PoisonInfo {
+    /// The session whose abort poisoned the cell.
+    pub session: u64,
+    /// One-line description of why that session aborted.
+    pub reason: String,
+}
+
+impl fmt::Display for PoisonInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "poisoned by aborted session {}: {}",
+            self.session, self.reason
+        )
+    }
+}
+
+/// Something the abort rendezvous can poison: a future cell that may hold a
+/// suspended continuation. Implemented by both cell flavors; the pool keeps
+/// per-worker registries of `Weak` references to every cell a touch
+/// suspended into (see `pool.rs`).
+pub(crate) trait PoisonTarget: Send + Sync {
+    /// If a continuation is still suspended here, drop it, stamp `ctx`, and
+    /// return a description of the stuck cell; otherwise do nothing. Called
+    /// only single-threadedly, with every worker held at the abort
+    /// rendezvous.
+    fn poison(&self, ctx: &Arc<PoisonInfo>) -> Option<StuckCell>;
+}
+
+/// Options for one session: an optional deadline and an optional
+/// [`CancelToken`]. Passed to
+/// [`Runtime::try_run_session`](crate::Runtime::try_run_session).
+///
+/// ```
+/// use std::time::Duration;
+/// use pf_rt::{Runtime, Session};
+///
+/// let rt = Runtime::new(2);
+/// let stats = rt
+///     .try_run_session(Session::new().deadline(Duration::from_secs(5)), |wk| {
+///         wk.spawn(|_| { /* ... */ });
+///     })
+///     .expect("finished well inside the deadline");
+/// assert_eq!(stats.spawns, 1);
+/// ```
+#[derive(Default, Clone)]
+pub struct Session {
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) cancel: Option<CancelToken>,
+}
+
+impl Session {
+    /// A session with no deadline and no cancel token (the
+    /// [`Runtime::try_run`](crate::Runtime::try_run) default).
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Bound the session's wall-clock duration: when it expires before
+    /// quiescence the session aborts with
+    /// [`SessionError::DeadlineExceeded`]. Enforcement is cooperative —
+    /// running tasks finish their current closure (poll
+    /// [`Worker::cancelled`](crate::Worker::cancelled) inside long ones);
+    /// queued and suspended continuations are dropped at the rendezvous.
+    /// (Inert under the model checker, which has no clock.)
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Attach a cancel token: [`CancelToken::cancel`] aborts this session
+    /// with [`SessionError::Cancelled`] from any thread.
+    pub fn cancel_token(mut self, t: &CancelToken) -> Self {
+        self.cancel = Some(t.clone());
+        self
+    }
+}
+
+pub(crate) struct CancelInner {
+    flag: AtomicBool,
+    /// The session currently registered with this token: the pool it runs
+    /// on and its session id. Registered by `try_run_session` at session
+    /// start, cleared at session end; `cancel` routed through the pool's
+    /// abort slot is a no-op when the ids no longer match, so a token can
+    /// never abort a session it was not attached to.
+    target: Mutex<Option<(Weak<Shared>, u64)>>,
+}
+
+/// A cloneable cancellation handle for one session.
+///
+/// Create it, attach it with [`Session::cancel_token`], hand clones to
+/// whoever should be able to abort the session (a signal handler, an admin
+/// endpoint, a client-disconnect watcher), and call [`CancelToken::cancel`]
+/// at any time — before the session starts (it then fails fast) or while it
+/// runs (it aborts at the next task boundary).
+#[derive(Clone)]
+pub struct CancelToken {
+    pub(crate) inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                target: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Request cancellation of the session this token is registered with
+    /// (idempotent; safe from any thread, including before the session
+    /// starts). Running tasks are not preempted — they finish their current
+    /// closure; everything queued or suspended is dropped at the abort
+    /// rendezvous and the session returns [`SessionError::Cancelled`].
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::SeqCst);
+        let target = crate::pool::lock(&self.inner.target).clone();
+        if let Some((shared, session)) = target {
+            if let Some(shared) = shared.upgrade() {
+                shared.request_abort(Some(session), AbortReason::Cancelled);
+            }
+        }
+    }
+
+    /// Has [`CancelToken::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::SeqCst)
+    }
+
+    /// Register this token with a live session (session start).
+    pub(crate) fn register(&self, shared: &Arc<Shared>, session: u64) {
+        *crate::pool::lock(&self.inner.target) = Some((Arc::downgrade(shared), session));
+    }
+
+    /// Detach from the session (session end, any outcome).
+    pub(crate) fn unregister(&self) {
+        *crate::pool::lock(&self.inner.target) = None;
+    }
+}

@@ -29,6 +29,16 @@
 //! poll-based futures with per-task heap state are a poor match for
 //! millions of single-assignment cells (see DESIGN.md).
 //!
+//! **Failure is a first-class outcome** ([`mod@error`]): a session that
+//! panics, is cancelled via a [`CancelToken`], exceeds its [`Session`]
+//! deadline, or stalls (cyclic touch) comes back from
+//! [`Runtime::try_run`] as a [`SessionError`] value. The abort drains
+//! every queued task, drops every suspended continuation (nothing
+//! leaks), and poisons the cells that held them so straggler touches
+//! fail fast with the originating context — the pool is immediately
+//! reusable. A `--cfg pf_chaos` build arms deterministic fault injection
+//! ([`mod@chaos`]) to stress exactly these paths.
+//!
 //! ```
 //! use pf_rt::{cell, Runtime};
 //!
@@ -48,7 +58,9 @@
 
 pub mod backend;
 pub mod cell;
+pub mod chaos;
 pub mod deque;
+pub mod error;
 pub mod mutex_cell;
 pub mod pool;
 pub mod rounds;
@@ -57,6 +69,7 @@ pub mod sync;
 pub mod task;
 
 pub use cell::{cell, ready, FutRead, FutWrite};
+pub use error::{CancelToken, PoisonInfo, Session, SessionError, StallReport, StuckCell};
 pub use rounds::PoolRounds;
 pub use scheduler::{RunStats, Runtime, Worker};
 

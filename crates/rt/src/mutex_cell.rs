@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use crate::sync::Mutex;
 
+use crate::error::{PoisonInfo, PoisonTarget, StuckCell};
 use crate::scheduler::Worker;
 use crate::task::Task;
 
@@ -20,10 +21,39 @@ type Waiter = Box<dyn FnOnce(&Worker) + Send>;
 enum State<T> {
     Empty(Vec<Waiter>),
     Full(T),
+    /// The cell's session aborted with waiters suspended here; they were
+    /// dropped at the abort rendezvous (same failure model as the
+    /// lock-free cell — see `cell.rs` and DESIGN.md).
+    Poisoned(Arc<PoisonInfo>),
 }
 
 struct Inner<T> {
     state: Mutex<State<T>>,
+}
+
+impl<T: Send> PoisonTarget for Inner<T> {
+    fn poison(&self, ctx: &Arc<PoisonInfo>) -> Option<StuckCell> {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut *g {
+            State::Empty(ws) if !ws.is_empty() => {
+                let waiters = std::mem::take(ws);
+                *g = State::Poisoned(Arc::clone(ctx));
+                drop(g);
+                for w in waiters {
+                    // A destructor panic must not wedge the abort cleanup.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(w)));
+                }
+                Some(StuckCell {
+                    addr: self as *const Self as usize,
+                    payload_type: std::any::type_name::<T>(),
+                    kind: "mutex_cell",
+                })
+            }
+            // Nothing suspended (fulfilled after registration, never
+            // touched, or already poisoned): leave the state alone.
+            _ => None,
+        }
+    }
 }
 
 /// Write half (consumed on write).
@@ -62,9 +92,18 @@ impl<T: Clone + Send + 'static> MxWrite<T> {
     pub fn fulfill(self, worker: &Worker, value: T) {
         let waiters = {
             let mut g = self.inner.state.lock().unwrap();
+            if let State::Poisoned(info) = &*g {
+                let info = Arc::clone(info);
+                drop(g);
+                panic!(
+                    "fulfill of a poisoned mutex cell (session {}): {info}",
+                    worker.session_id()
+                );
+            }
             match std::mem::replace(&mut *g, State::Full(value)) {
                 State::Empty(ws) => ws,
                 State::Full(_) => unreachable!("mutex cell written twice"),
+                State::Poisoned(_) => unreachable!("checked above"),
             }
         };
         // Waiter hand-off: each box was allocated at touch time and is
@@ -84,13 +123,27 @@ impl<T: Clone + Send + 'static> MxRead<T> {
             let mut g = self.inner.state.lock().unwrap();
             match &mut *g {
                 State::Full(v) => Some(v.clone()),
+                State::Poisoned(info) => {
+                    let info = Arc::clone(info);
+                    drop(g);
+                    panic!(
+                        "touch of a poisoned mutex cell (session {}): {info}",
+                        worker.session_id()
+                    );
+                }
                 State::Empty(ws) => {
                     worker.note_suspend();
+                    // First suspension: register for poisoning on abort
+                    // (one registry entry covers all of a cell's waiters).
+                    if ws.is_empty() {
+                        let weak = Arc::downgrade(&self.inner);
+                        worker.register_suspend(weak);
+                    }
                     let inner = Arc::clone(&self.inner);
                     ws.push(Box::new(move |wk: &Worker| {
                         let v = match &*inner.state.lock().unwrap() {
                             State::Full(v) => v.clone(),
-                            State::Empty(_) => unreachable!("waiter ran before write"),
+                            _ => unreachable!("waiter ran before write"),
                         };
                         cont(v, wk);
                     }));
@@ -103,11 +156,12 @@ impl<T: Clone + Send + 'static> MxRead<T> {
         }
     }
 
-    /// Clone the value out if written (post-run inspection).
+    /// Clone the value out if written (post-run inspection). `None` for
+    /// unwritten *and* poisoned cells.
     pub fn peek(&self) -> Option<T> {
         match &*self.inner.state.lock().unwrap() {
             State::Full(v) => Some(v.clone()),
-            State::Empty(_) => None,
+            State::Empty(_) | State::Poisoned(_) => None,
         }
     }
 

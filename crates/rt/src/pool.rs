@@ -50,30 +50,66 @@
 //! pair forbids. Waking is therefore a performance hint everywhere else
 //! but a guarantee where it matters.
 //!
-//! # Panic protocol
+//! # Abort protocol (panic, cancel, deadline, stall)
 //!
 //! Workers are persistent, so a panicking task must not kill its thread,
 //! and the old trick of forcing `live = 0` is unsound here (a concurrent
 //! `fetch_sub` would underflow the counter for the *next* session).
-//! Instead:
+//! Panics are one of four abort *reasons* — the others are a fired
+//! [`CancelToken`], an expired [`Session`] deadline, and a watchdog-
+//! detected stall — and all four share one protocol:
 //!
-//! 1. the panicking worker stores the payload (first panic wins), raises
-//!    `aborting`, and wakes everyone — including the client;
+//! 1. whoever detects the fault files the reason in the session's abort
+//!    slot (first reason wins, and only for the *current* session — a
+//!    stale cancel is a no-op), raises `aborting`, and wakes everyone —
+//!    including the client;
 //! 2. each worker finishes its current task normally, then enters an
 //!    *abort rendezvous*: it increments `abort_idle` and parks until
 //!    `aborting` clears, touching no queue;
 //! 3. once `abort_idle` equals the pool size, every worker is provably
 //!    idle, so the client single-threadedly drains and drops all queued
-//!    tasks, clears `aborting`, wakes the workers back into their normal
-//!    loop, and re-throws the payload.
+//!    tasks, **poisons every cell that still holds a suspended
+//!    continuation** (dropping the continuation — nothing leaks; any
+//!    straggler touch of such a cell fails fast with the originating
+//!    failure context), clears `aborting`, wakes the workers back into
+//!    their normal loop, and returns the reason as a
+//!    [`SessionError`](crate::SessionError). [`Runtime::run`] re-throws
+//!    it; [`Runtime::try_run`] hands it to the caller and the pool is
+//!    immediately reusable.
 //!
-//! Continuations still suspended inside future cells when a run aborts
-//! are dropped with the cells that hold them (see `cell.rs` for the one
-//! caveat).
+//! The poison pass finds its targets through per-worker *suspend
+//! registries*: each touch that suspends appends a `Weak` reference to
+//! its cell in the executing worker's registry (owner-only, no
+//! synchronization on the hot path). The client may read the registries
+//! at the rendezvous — the `abort_idle` RMWs order every worker's
+//! registry writes before the client's reads — and clears them at
+//! session start, when the pool is quiescent (the `live` counter's
+//! final `AcqRel` decrement orders all session writes before the
+//! client's observation of `done`).
+//!
+//! # Quiescence watchdog
+//!
+//! A correct program always drives `live` to zero, but a buggy one — a
+//! touch of a cell nobody will ever write, a cyclic touch chain — parks
+//! every worker forever with `live > 0`. The client's wait loop (outside
+//! the model checker, which has no clock) polls a few times per second:
+//! when the sleeper bitmask stays full, the executed-task counters stay
+//! frozen, and every queue stays empty across several consecutive
+//! samples, nothing can ever change again — a parked worker only wakes
+//! for a push, and no task is running to push. If the queues are
+//! *non-empty* with all workers parked, that is a lost wakeup (a runtime
+//! bug, closed by the fence protocol above, but cheap to defend against):
+//! the watchdog re-kicks the pool a bounded number of times before giving
+//! up. Either way the session aborts with
+//! [`SessionError::Stalled`](crate::SessionError::Stalled) carrying the
+//! stuck cell set instead of hanging the client forever.
 
 use std::any::Any;
-use std::panic::resume_unwind;
-use std::sync::{Arc, OnceLock};
+use std::cell::UnsafeCell;
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Duration;
+
+use crate::error::{PoisonInfo, PoisonTarget, Session, SessionError, StallReport, StuckCell};
 
 use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::thread::{JoinHandle, Thread};
@@ -175,24 +211,104 @@ pub struct RunStats {
     pub steals: u64,
 }
 
+/// Why the current session is aborting; filed in the abort slot by
+/// whoever detects the fault, first reason wins.
+// The model checker's condvar has no timed wait, so the deadline and
+// watchdog detectors (and hence their variants) don't exist there.
+#[cfg_attr(pf_check, allow(dead_code))]
+pub(crate) enum AbortReason {
+    /// A task panicked; carries the payload `catch_unwind` caught.
+    Panic(Box<dyn Any + Send>),
+    /// The session's [`CancelToken`](crate::CancelToken) fired.
+    Cancelled,
+    /// The session's deadline expired.
+    Deadline(Duration),
+    /// The quiescence watchdog found the pool wedged.
+    Stalled {
+        /// `live` counter at detection time.
+        live: usize,
+    },
+}
+
+/// The abort state of the pool's current session.
+#[derive(Default)]
+struct AbortSlot {
+    /// A session is between start and end; aborts are only accepted while
+    /// set (a cancel arriving between sessions must not wedge the pool).
+    active: bool,
+    /// Id of that session; targeted aborts (cancel tokens) must match.
+    session: u64,
+    /// The filed abort reason, if any. `Some` ⇔ the session is aborting.
+    reason: Option<AbortReason>,
+}
+
+/// Per-worker registry of cells this worker suspended a continuation
+/// into during the current session — the poison pass's work list.
+/// Owner-only while the session runs (plain `UnsafeCell`, padded so
+/// owners never share a cache line); read/cleared by the client only at
+/// the abort rendezvous or between sessions (safety argument in the
+/// module docs).
+#[repr(align(128))]
+pub(crate) struct SuspendRegistry {
+    cells: UnsafeCell<Vec<Weak<dyn PoisonTarget>>>,
+}
+
+// SAFETY: all cross-thread access is phase-separated by the session and
+// abort protocols; see the module docs and the `unsafe fn` contracts.
+unsafe impl Send for SuspendRegistry {}
+unsafe impl Sync for SuspendRegistry {}
+
+impl SuspendRegistry {
+    fn new() -> Self {
+        SuspendRegistry {
+            cells: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Record a cell the owning worker just suspended into.
+    ///
+    /// SAFETY: callable only by the worker that owns this registry, while
+    /// it is running a task of a live session.
+    #[inline]
+    pub(crate) unsafe fn push(&self, cell: Weak<dyn PoisonTarget>) {
+        unsafe { (*self.cells.get()).push(cell) };
+    }
+
+    /// Take the registry's contents (client, at the abort rendezvous).
+    ///
+    /// SAFETY: callable only while every worker is provably idle (all in
+    /// the abort rendezvous, or the pool quiescent between sessions).
+    unsafe fn take(&self) -> Vec<Weak<dyn PoisonTarget>> {
+        unsafe { std::mem::take(&mut *self.cells.get()) }
+    }
+}
+
 /// State shared by the client and every worker of one pool.
 pub(crate) struct Shared {
     pub(crate) injector: Injector<Task>,
     pub(crate) stealers: Vec<Stealer<Task>>,
     pub(crate) live: AtomicUsize,
     pub(crate) stats: Vec<WorkerStats>,
+    /// Per-worker suspend registries, indexed like `stealers`.
+    pub(crate) suspended: Vec<SuspendRegistry>,
+    /// Id of the current (or most recent) session; bumped at session
+    /// start. Read by workers for diagnostics ([`Worker::session_id`]).
+    ///
+    /// [`Worker::session_id`]: crate::Worker::session_id
+    pub(crate) session_id: AtomicU64,
     /// Bit *i* set ⇔ worker *i* is parked (or committing to park).
     sleepers: AtomicU64,
     /// Unpark handles, indexed like `stealers`; set once at pool start.
     threads: OnceLock<Vec<Thread>>,
-    /// A task panicked; workers rendezvous instead of running tasks.
-    aborting: AtomicBool,
+    /// The session is aborting; workers rendezvous instead of running
+    /// tasks.
+    pub(crate) aborting: AtomicBool,
     /// Pool teardown: workers exit their loop.
     shutdown: AtomicBool,
     /// Number of workers currently parked in the abort rendezvous.
     abort_idle: AtomicUsize,
-    /// First panic payload of the aborting session.
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Abort state of the current session.
+    abort: Mutex<AbortSlot>,
     /// Session-over flag + condvar the client blocks on.
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -200,7 +316,7 @@ pub(crate) struct Shared {
 
 /// Ignore mutex poisoning: every guarded invariant here is re-established
 /// explicitly by the session/abort protocol, not by the guard scope.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -209,6 +325,8 @@ impl Shared {
     /// corresponding queue push: the fence orders the push before the
     /// mask read (the producer half of the lost-wakeup argument above).
     pub(crate) fn notify(&self, mut budget: usize) {
+        // Chaos seam: stretch the push→wakeup window (no-op normally).
+        crate::chaos::maybe_delay();
         fence(Ordering::SeqCst);
         while budget > 0 {
             let mask = self.sleepers.load(Ordering::Relaxed);
@@ -243,13 +361,21 @@ impl Shared {
         }
     }
 
-    /// A task panicked: record the payload and start the abort protocol.
-    fn begin_abort(&self, payload: Box<dyn Any + Send>) {
+    /// File an abort reason for the current session and start the abort
+    /// protocol. `session: Some(id)` restricts the abort to that session
+    /// (cancel tokens target the session they were registered with);
+    /// `None` means "whatever session is live now" (a worker panic).
+    /// Returns whether this call filed the reason — `false` when no
+    /// session is active, the id does not match, or a reason was already
+    /// filed (first fault wins; later payloads are dropped).
+    pub(crate) fn request_abort(&self, session: Option<u64>, reason: AbortReason) -> bool {
         {
-            let mut slot = lock(&self.panic);
-            if slot.is_none() {
-                *slot = Some(payload);
+            let mut slot = lock(&self.abort);
+            if !slot.active || session.is_some_and(|id| id != slot.session) || slot.reason.is_some()
+            {
+                return false;
             }
+            slot.reason = Some(reason);
         }
         self.aborting.store(true, Ordering::SeqCst);
         // Wake parked workers into the rendezvous and the client out of
@@ -257,6 +383,7 @@ impl Shared {
         self.unpark_all();
         let _g = lock(&self.done);
         self.done_cv.notify_all();
+        true
     }
 
     /// Worker side of the abort protocol: report idle, then hold still
@@ -290,9 +417,17 @@ fn worker_loop(wk: &Worker) {
         if let Some(task) = wk.find_task() {
             idle = 0;
             wk.stats().add_tasks(1);
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run(wk))) {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Chaos seam: with `--cfg pf_chaos` this may panic before
+                // the task body, modeling a fault at any task boundary.
+                // A no-op otherwise.
+                crate::chaos::maybe_panic();
+                task.run(wk)
+            })) {
                 Ok(()) => shared.task_done(),
-                Err(payload) => shared.begin_abort(payload),
+                Err(payload) => {
+                    shared.request_abort(None, AbortReason::Panic(payload));
+                }
             }
             continue;
         }
@@ -359,12 +494,14 @@ impl Runtime {
             stealers,
             live: AtomicUsize::new(0),
             stats: (0..nthreads).map(|_| WorkerStats::default()).collect(),
+            suspended: (0..nthreads).map(|_| SuspendRegistry::new()).collect(),
+            session_id: AtomicU64::new(0),
             sleepers: AtomicU64::new(0),
             threads: OnceLock::new(),
             aborting: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             abort_idle: AtomicUsize::new(0),
-            panic: Mutex::new(None),
+            abort: Mutex::new(AbortSlot::default()),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
@@ -437,7 +574,8 @@ impl Runtime {
 
     /// Execute `root` and every task it transitively spawns; returns when
     /// the computation is quiescent (every closure has run). Panics in
-    /// tasks propagate.
+    /// tasks propagate to the caller. Prefer [`Runtime::try_run`] when a
+    /// failed session should be a recoverable value instead.
     pub fn run(&self, root: impl FnOnce(&Worker) + Send + 'static) {
         let _ = self.run_stats(root);
     }
@@ -445,33 +583,111 @@ impl Runtime {
     /// [`Runtime::run`], returning execution statistics for this call
     /// only (counters reset at session start).
     pub fn run_stats(&self, root: impl FnOnce(&Worker) + Send + 'static) -> RunStats {
+        match self.try_run(root) {
+            Ok(stats) => stats,
+            Err(e) => e.resume(),
+        }
+    }
+
+    /// Fault-contained [`Runtime::run`]: execute `root` to quiescence and
+    /// return the session's statistics, or a [`SessionError`] when the
+    /// session aborted (a task panicked; with [`Runtime::try_run_session`]
+    /// options, also cancellation, an expired deadline, or a detected
+    /// stall). On `Err` the pool has already been cleaned up and is
+    /// immediately reusable: queued tasks were drained, suspended
+    /// continuations dropped — nothing leaks — and their cells poisoned,
+    /// so a straggler touch fails fast with this failure's context.
+    pub fn try_run(
+        &self,
+        root: impl FnOnce(&Worker) + Send + 'static,
+    ) -> Result<RunStats, SessionError> {
+        self.try_run_session(Session::new(), root)
+    }
+
+    /// [`Runtime::try_run`] with per-session options: a wall-clock
+    /// [`Session::deadline`] and/or a [`Session::cancel_token`].
+    pub fn try_run_session(
+        &self,
+        opts: Session,
+        root: impl FnOnce(&Worker) + Send + 'static,
+    ) -> Result<RunStats, SessionError> {
         assert!(
             !IN_WORKER.with(|f| f.get()),
             "Runtime::run called from inside a worker task (would deadlock)"
         );
         let _session = lock(&self.session);
         let shared = &*self.shared;
+        let sid = shared.session_id.load(Ordering::Relaxed) + 1;
+        shared.session_id.store(sid, Ordering::Relaxed);
+
+        // Arm the abort slot, then register the cancel token. A token
+        // fired before registration is caught by the flag re-check below;
+        // one fired after goes through `request_abort` like any other
+        // fault. Either way a stale token (previous session, other pool)
+        // can never abort this session: the slot checks the id.
+        {
+            let mut slot = lock(&shared.abort);
+            slot.active = true;
+            slot.session = sid;
+            slot.reason = None;
+        }
+        if let Some(tok) = &opts.cancel {
+            tok.register(&self.shared, sid);
+            if tok.is_cancelled() {
+                shared.request_abort(Some(sid), AbortReason::Cancelled);
+            }
+        }
 
         // Quiescent between sessions: nothing is running, so plain resets
-        // are race-free; the injector push below publishes them.
+        // are race-free; the injector push below publishes them. Stale
+        // suspend-registry entries of the previous session go too.
         for s in &shared.stats {
             s.reset();
+        }
+        for reg in &shared.suspended {
+            // SAFETY: pool quiescent between sessions; session mutex held.
+            drop(unsafe { reg.take() });
         }
         *lock(&shared.done) = false;
         shared.live.store(1, Ordering::Relaxed);
         shared.injector.push(Task::new(root));
         shared.notify(1);
 
-        {
-            let mut done = lock(&shared.done);
-            while !*done && !shared.aborting.load(Ordering::SeqCst) {
-                done = shared.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
-            }
+        self.wait_session(sid, &opts);
+
+        // Disarm the slot; a reason filed before this point wins even
+        // over a clean finish (its filer already raised `aborting`, so
+        // the workers are headed for the rendezvous regardless).
+        let reason = {
+            let mut slot = lock(&shared.abort);
+            slot.active = false;
+            slot.reason.take()
+        };
+        if let Some(tok) = &opts.cancel {
+            tok.unregister();
         }
-        if shared.aborting.load(Ordering::SeqCst) {
-            self.finish_abort();
-            let payload = lock(&shared.panic).take().expect("abort without payload");
-            resume_unwind(payload);
+
+        if let Some(reason) = reason {
+            let ctx = Arc::new(PoisonInfo {
+                session: sid,
+                reason: SessionError::describe_reason(&reason),
+            });
+            let stuck = self.finish_abort(&ctx);
+            return Err(match reason {
+                AbortReason::Panic(payload) => SessionError::Panicked {
+                    session: sid,
+                    payload,
+                },
+                AbortReason::Cancelled => SessionError::Cancelled { session: sid },
+                AbortReason::Deadline(d) => SessionError::DeadlineExceeded {
+                    session: sid,
+                    deadline: d,
+                },
+                AbortReason::Stalled { live } => SessionError::Stalled {
+                    session: sid,
+                    report: StallReport { live, stuck },
+                },
+            });
         }
 
         debug_assert_eq!(shared.live.load(Ordering::SeqCst), 0);
@@ -482,25 +698,85 @@ impl Runtime {
             out.suspensions += s.suspensions.load(Ordering::Relaxed);
             out.steals += s.steals.load(Ordering::Relaxed);
         }
-        out
+        Ok(out)
     }
 
-    /// Client side of the abort protocol (module docs, step 3).
-    fn finish_abort(&self) {
+    /// Block until the session ends (`done`) or an abort begins. Outside
+    /// the model checker this loop also enforces the session deadline and
+    /// runs the quiescence watchdog (module docs); the model build has no
+    /// clock, so it waits indefinitely — model schedules either quiesce
+    /// or abort.
+    #[cfg(not(pf_check))]
+    fn wait_session(&self, sid: u64, opts: &Session) {
+        use std::time::Instant;
+        let shared = &*self.shared;
+        let deadline = opts.deadline.map(|d| (Instant::now() + d, d));
+        let mut watchdog = Watchdog::default();
+        let mut done = lock(&shared.done);
+        loop {
+            if *done || shared.aborting.load(Ordering::SeqCst) {
+                return;
+            }
+            let mut wait_for = WATCHDOG_POLL;
+            if let Some((expires, d)) = deadline {
+                let now = Instant::now();
+                if now >= expires {
+                    // `request_abort` takes the `done` lock to notify;
+                    // release it first.
+                    drop(done);
+                    shared.request_abort(Some(sid), AbortReason::Deadline(d));
+                    done = lock(&shared.done);
+                    continue;
+                }
+                wait_for = wait_for.min(expires - now);
+            }
+            let (g, timeout) = shared
+                .done_cv
+                .wait_timeout(done, wait_for)
+                .unwrap_or_else(|e| e.into_inner());
+            done = g;
+            if timeout.timed_out() {
+                if let Some(live) = watchdog.sample(shared, self.nthreads) {
+                    drop(done);
+                    shared.request_abort(Some(sid), AbortReason::Stalled { live });
+                    done = lock(&shared.done);
+                }
+            }
+        }
+    }
+
+    #[cfg(pf_check)]
+    fn wait_session(&self, _sid: u64, opts: &Session) {
+        // Deadlines and the watchdog need a clock; the model has none.
+        let _ = opts.deadline;
+        let shared = &*self.shared;
+        let mut done = lock(&shared.done);
+        while !*done && !shared.aborting.load(Ordering::SeqCst) {
+            done = shared.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Client side of the abort protocol (module docs, step 3). Returns
+    /// descriptions of the cells that still held a suspended continuation
+    /// — each such continuation is dropped and its cell poisoned with
+    /// `ctx`.
+    fn finish_abort(&self, ctx: &Arc<PoisonInfo>) -> Vec<StuckCell> {
         let shared = &*self.shared;
         // Wait until all workers sit in the rendezvous: any worker still
-        // running a task is not counted, so reaching `nthreads` proves
-        // no queue or counter is being touched.
+        // running a task is not counted, so reaching `nthreads` proves no
+        // queue, counter, or suspend registry is being touched.
         while shared.abort_idle.load(Ordering::SeqCst) != self.nthreads {
             crate::sync::thread::yield_now();
         }
-        // Sole owner of every queue now: drop the unstarted tasks.
-        while shared.injector.pop().is_some() {}
+        // Sole owner of every queue now: drop the unstarted tasks. A
+        // destructor panic must not wedge the cleanup.
+        while let Some(task) = shared.injector.pop() {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
+        }
         for s in &shared.stealers {
             loop {
                 match s.steal() {
                     Steal::Success(task) => {
-                        // A destructor panic must not wedge the cleanup.
                         let _ =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
                     }
@@ -509,8 +785,91 @@ impl Runtime {
                 }
             }
         }
+        // Poison every cell that still holds a suspended continuation:
+        // the continuation is dropped here (zero leaks — each waiter box
+        // owns an `Arc` cycle back to its cell that only this pass can
+        // break) and the cell remembers `ctx`, so a straggler touch in a
+        // later session fails fast with the originating failure.
+        let mut stuck = Vec::new();
+        for reg in &shared.suspended {
+            // SAFETY: every worker is held at the rendezvous (above).
+            for weak in unsafe { reg.take() } {
+                if let Some(cell) = weak.upgrade() {
+                    if let Some(desc) = cell.poison(ctx) {
+                        stuck.push(desc);
+                    }
+                }
+            }
+        }
         shared.aborting.store(false, Ordering::SeqCst);
         shared.unpark_all();
+        stuck
+    }
+}
+
+/// Client-side wait-loop poll interval; also the watchdog sample period.
+#[cfg(not(pf_check))]
+const WATCHDOG_POLL: Duration = Duration::from_millis(2);
+/// Consecutive frozen samples before the watchdog declares a stall.
+#[cfg(not(pf_check))]
+const WATCHDOG_STABLE: u32 = 4;
+/// Re-kicks of a fully-parked pool with non-empty queues (defensive lost-
+/// wakeup recovery) before giving up and declaring a stall.
+#[cfg(not(pf_check))]
+const WATCHDOG_KICKS: u32 = 16;
+
+/// Detects an all-parked, non-quiescent pool (module docs).
+#[cfg(not(pf_check))]
+#[derive(Default)]
+struct Watchdog {
+    last_executed: Option<u64>,
+    stable: u32,
+    kicks: u32,
+}
+
+#[cfg(not(pf_check))]
+impl Watchdog {
+    /// One sample of the pool's global state. Returns `Some(live)` when
+    /// the pool is provably wedged: every worker parked, liveness
+    /// outstanding, progress counters frozen across [`WATCHDOG_STABLE`]
+    /// samples, and either every queue empty (a true stall — absorbing,
+    /// because only a running task can produce work or wake a sleeper) or
+    /// [`WATCHDOG_KICKS`] recovery unparks failed to restart the pool.
+    fn sample(&mut self, shared: &Shared, nthreads: usize) -> Option<usize> {
+        let live = shared.live.load(Ordering::SeqCst);
+        let all_parked = shared.sleepers.load(Ordering::SeqCst).count_ones() as usize == nthreads;
+        if live == 0 || !all_parked || shared.aborting.load(Ordering::SeqCst) {
+            self.stable = 0;
+            self.last_executed = None;
+            return None;
+        }
+        let executed: u64 = shared
+            .stats
+            .iter()
+            .map(|s| s.tasks_executed.load(Ordering::Relaxed))
+            .sum();
+        match self.last_executed {
+            Some(prev) if prev == executed => self.stable += 1,
+            _ => self.stable = 1,
+        }
+        self.last_executed = Some(executed);
+        if self.stable < WATCHDOG_STABLE {
+            return None;
+        }
+        let queues_empty =
+            shared.injector.is_empty() && shared.stealers.iter().all(|s| s.is_empty());
+        if queues_empty {
+            return Some(live);
+        }
+        // All workers parked yet work is queued: a lost wakeup. The fence
+        // protocol makes this unreachable; recover anyway, boundedly.
+        self.stable = 0;
+        self.kicks += 1;
+        if self.kicks > WATCHDOG_KICKS {
+            return Some(live);
+        }
+        shared.unpark_all();
+        None
     }
 }
 

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use pf_backend::{Job, RoundExec};
+use pf_backend::{Job, RoundError, RoundExec};
 
 use crate::scheduler::Runtime;
 use crate::sync::Mutex;
@@ -29,6 +29,9 @@ pub struct PoolRounds {
 impl PoolRounds {
     /// A round engine on the shared pool of width `threads` (workers are
     /// created once per width and reused across rounds and engines).
+    /// (Unavailable under the model checker, like [`Runtime::shared`];
+    /// model tests use [`PoolRounds::on`] with a session-local pool.)
+    #[cfg(not(pf_check))]
     pub fn new(threads: usize) -> Self {
         PoolRounds::on(Runtime::shared(threads))
     }
@@ -63,6 +66,40 @@ impl RoundExec for PoolRounds {
             .collect()
     }
 
+    /// Fault-contained round: a panicking job aborts the round's session,
+    /// but the abort is returned as a [`RoundError`] and the pool stays
+    /// reusable for the next round ([`Runtime::try_run`] semantics).
+    fn try_round<T: Send + 'static>(&mut self, jobs: Vec<Job<T>>) -> Result<Vec<T>, RoundError> {
+        self.executed += 1;
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new(jobs.iter().map(|_| Mutex::new(None)).collect());
+        let fill = Arc::clone(&slots);
+        self.rt
+            .try_run(move |wk| {
+                for (i, job) in jobs.into_iter().enumerate() {
+                    let fill = Arc::clone(&fill);
+                    wk.spawn(move |_wk| {
+                        let v = job();
+                        *fill[i].lock().unwrap() = Some(v);
+                    });
+                }
+            })
+            .map_err(|e| RoundError {
+                message: e.to_string(),
+            })?;
+        slots
+            .iter()
+            .map(|m| {
+                m.lock().unwrap().take().ok_or_else(|| RoundError {
+                    message: "round job did not run".to_string(),
+                })
+            })
+            .collect()
+    }
+
     fn rounds_executed(&self) -> u64 {
         self.executed
     }
@@ -85,6 +122,21 @@ mod tests {
             assert_eq!(seq.round(square_jobs(n)), pool.round(square_jobs(n)));
         }
         assert_eq!(seq.rounds_executed(), pool.rounds_executed());
+    }
+
+    #[test]
+    fn try_round_contains_a_panicking_job() {
+        let mut pool = PoolRounds::new(3);
+        let jobs: Vec<Job<u32>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job bug")),
+            Box::new(|| 3),
+        ];
+        let err = pool.try_round(jobs).unwrap_err();
+        assert!(err.to_string().contains("job bug"), "{err}");
+        // The same engine keeps serving rounds after the contained fault.
+        let out = pool.try_round(square_jobs(8)).unwrap();
+        assert_eq!(out, (0..8).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! [`Runtime::run`] returns.
 
 use std::cell::Cell;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use crate::sync::atomic::Ordering;
 
 use crate::deque::{LocalQueue, Steal};
+use crate::error::PoisonTarget;
 use crate::pool::{Shared, WorkerStats};
 use crate::task::Task;
 
@@ -160,6 +161,30 @@ impl Worker {
         self.index
     }
 
+    /// Id of the session this worker is currently executing (sessions are
+    /// numbered from 1 per pool). Diagnostic: it names the session in
+    /// cell panic messages and [`crate::PoisonInfo`].
+    pub fn session_id(&self) -> u64 {
+        self.shared.session_id.load(Ordering::Relaxed)
+    }
+
+    /// Has the current session been asked to abort (a panic elsewhere, a
+    /// fired [`crate::CancelToken`], an expired deadline)? Long-running
+    /// task bodies should poll this and return early: the runtime never
+    /// preempts a running closure, so cancellation latency is bounded by
+    /// the longest closure that ignores it.
+    pub fn cancelled(&self) -> bool {
+        self.shared.aborting.load(Ordering::Acquire)
+    }
+
+    /// Record a cell this worker just suspended a continuation into, so
+    /// an abort of the session can poison it (see pool.rs). Owner-local.
+    pub(crate) fn register_suspend(&self, cell: Weak<dyn PoisonTarget>) {
+        // SAFETY: `self.index` owns this registry and we are inside a
+        // task of the live session (the only callers are cell touches).
+        unsafe { self.shared.suspended[self.index].push(cell) };
+    }
+
     pub(crate) fn find_task(&self) -> Option<Task> {
         if let Some(t) = self.local.pop() {
             return Some(t);
@@ -178,6 +203,13 @@ impl Worker {
         for k in 0..n {
             let v = (start + k) % n;
             if v == self.index {
+                continue;
+            }
+            // Chaos seam: a denied steal skips this victim, modeling
+            // transient steal failure (no-op outside `--cfg pf_chaos`).
+            // Safe: denial only delays acquisition, and the sleeper
+            // re-check before parking polls the real queues.
+            if crate::chaos::steal_denied() {
                 continue;
             }
             loop {

@@ -17,7 +17,18 @@
 //!   scheduler that only needs to see *blocking* and *racing* operations;
 //! * anything that can block a model thread on a real OS primitive would
 //!   wedge the checker — if you need a new blocking primitive, add it to
-//!   `pf_check::sync` first.
+//!   `pf_check::sync` first;
+//! * timed waits (`Condvar::wait_timeout`, used by the session deadline
+//!   and the quiescence watchdog) are `std`-only: the model has no clock,
+//!   so that code is `#[cfg(not(pf_check))]` at the call site rather
+//!   than shimmed here.
+//!
+//! The shim seam is also where the chaos layer ([`crate::chaos`],
+//! `--cfg pf_chaos`) injects its faults: delays at cell fulfill/touch and
+//! the push→wakeup window, denied steals in `find_task`, and panics at
+//! task boundaries. Chaos instruments the *call sites* of these
+//! primitives rather than wrapping the types, so normal and model builds
+//! are untouched (the two cfgs are mutually exclusive).
 
 #[cfg(not(pf_check))]
 pub use std::sync::{Condvar, Mutex, MutexGuard};

@@ -1,0 +1,86 @@
+//! Seeded chaos stress suite — compiled only under `RUSTFLAGS='--cfg
+//! pf_chaos'`. With injection armed, every session either completes
+//! cleanly or comes back as `Err` from `try_run`; it never hangs, and the
+//! pool keeps serving across hundreds of injected faults.
+//!
+//! One test function on purpose: the chaos config is process-global, so
+//! parallel test threads would perturb each other's injection rates.
+
+#![cfg(pf_chaos)]
+
+use pf_rt::chaos::{injected_panics, install, ChaosConfig};
+use pf_rt::{cell, Runtime, SessionError, Worker};
+
+/// A pipelined computation with real suspensions: a chain of cells where
+/// each stage touches the previous cell and fulfills the next, with every
+/// stage its own task. Stages race with the fulfil wave, so the injected
+/// panics, delays, and steal denials land on suspends, fulfills, wakeups,
+/// and steals — not just task boundaries.
+fn chained_sum(rt: &Runtime, depth: u64) -> Result<u64, SessionError> {
+    let (w0, mut prev) = cell::<u64>();
+    let mut stages: Vec<Box<dyn FnOnce(&Worker) + Send>> = Vec::new();
+    for _ in 0..depth {
+        let (w, r) = cell::<u64>();
+        let src = prev.clone();
+        stages.push(Box::new(move |wk: &Worker| {
+            src.touch(wk, move |v, wk| w.fulfill(wk, v + 1));
+        }));
+        prev = r;
+    }
+    let last = prev.clone();
+    rt.try_run(move |wk| {
+        for st in stages {
+            wk.spawn(move |wk| st(wk));
+        }
+        w0.fulfill(wk, 0);
+    })?;
+    // Ok means quiescence: every stage ran, so the last cell is written.
+    Ok(last.expect())
+}
+
+#[test]
+fn seeded_chaos_sessions_fail_contained_or_complete() {
+    let rt = Runtime::new(4);
+    let mut failed = 0usize;
+    let mut completed = 0usize;
+
+    for seed in 0..120u64 {
+        install(Some(ChaosConfig {
+            seed: 0xC0FFEE ^ seed,
+            panic_per_10k: 150,
+            delay_per_10k: 400,
+            delay_spins: 200,
+            steal_fail_per_10k: 2000,
+        }));
+        let before = injected_panics();
+        let res = chained_sum(&rt, 24);
+        let injected = injected_panics() > before;
+        match res {
+            Ok(v) => {
+                assert_eq!(v, 24);
+                assert!(!injected, "seed {seed}: injected a panic yet completed");
+                completed += 1;
+            }
+            Err(e) => {
+                // Every failure must trace back to an injected fault.
+                assert!(injected, "seed {seed}: failed without an injection: {e}");
+                assert!(
+                    e.panic_message().is_some_and(|m| m.contains("pf-chaos")),
+                    "seed {seed}: unexpected error {e}"
+                );
+                failed += 1;
+            }
+        }
+    }
+
+    // The chosen rates must actually exercise both outcomes.
+    assert!(failed > 0, "chaos rates never fired");
+    assert!(completed > 0, "chaos rates never let a session finish");
+
+    // Disarm and prove the pool is clean: 50 quiet runs, zero failures.
+    install(None);
+    for i in 0..50u64 {
+        let v = chained_sum(&rt, 8).expect("clean run after chaos disarm");
+        assert_eq!(v, 8, "iteration {i}");
+    }
+}

@@ -5,23 +5,51 @@
 //! inserts and deletes arrive; each batch is applied as one treap `union`
 //! or `diff`, so a whole batch costs O(lg n + lg m) depth instead of m
 //! sequential root-to-leaf walks. The example replays a synthetic day of
-//! traffic on both the cost model (reporting work/depth per batch) and
-//! the real runtime, validating every state against a `BTreeSet` oracle.
+//! traffic on the real runtime, validating every state against a
+//! `BTreeSet` oracle.
+//!
+//! This replay also exercises the **failure model**: every batch runs in
+//! a fault-contained session ([`Runtime::try_run_session`] via
+//! [`try_apply_batch`]) under a per-batch deadline. The traffic includes
+//! an empty batch, a batch with duplicate keys, a batch whose handler
+//! panics, and a batch that wedges (and trips its deadline). A failed
+//! batch is reported as *degraded* and the server keeps serving from the
+//! previous root — treap nodes are shared, so keeping the old root costs
+//! one `Arc` clone, and the abort machinery poisons the dead session's
+//! cells instead of leaking its suspended continuations.
 //!
 //! Run with: `cargo run --release -p pf-examples --bin set_server`
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 use pf_examples::banner;
-use pf_rt::{cell, ready, Runtime};
+use pf_rt::{cell, ready, Runtime, Session, SessionError};
+use pf_rt_algs::drivers::try_apply_batch;
 use pf_rt_algs::rtreap::{diff as rt_diff, union as rt_union, RTreap, RtTreap};
 use pf_trees::seq::{Entry, PlainTreap};
 use rand::prelude::*;
 use rand::rngs::SmallRng;
 
-enum Batch {
-    Insert(Vec<Entry<i64>>),
-    Delete(Vec<Entry<i64>>),
+/// Generous ceiling for a healthy batch; only a wedged one gets near it.
+const BATCH_DEADLINE: Duration = Duration::from_secs(10);
+/// Tight ceiling used for the deliberately wedged batch.
+const WEDGED_DEADLINE: Duration = Duration::from_millis(5);
+
+#[derive(Clone, Copy, PartialEq)]
+enum Fault {
+    /// Healthy request.
+    None,
+    /// The batch handler panics mid-flight (a poison-pill request).
+    Panic,
+    /// The batch handler wedges until cancelled: trips the deadline.
+    Wedge,
+}
+
+struct Batch {
+    delete: bool,
+    entries: Vec<Entry<i64>>,
+    fault: Fault,
 }
 
 fn synthesize_traffic(rounds: usize, seed: u64) -> Vec<Batch> {
@@ -34,79 +62,197 @@ fn synthesize_traffic(rounds: usize, seed: u64) -> Vec<Batch> {
             live.shuffle(&mut rng);
             let k = live.len() / 5;
             let dead: Vec<Entry<i64>> = live.drain(..k).map(|k| (k, rng.gen())).collect();
-            batches.push(Batch::Delete(dead));
+            batches.push(Batch {
+                delete: true,
+                entries: dead,
+                fault: Fault::None,
+            });
         } else {
             let m = rng.gen_range(200..800);
-            let fresh: Vec<Entry<i64>> = (0..m)
+            let mut fresh: Vec<Entry<i64>> = (0..m)
                 .map(|_| (rng.gen_range(0..1_000_000), rng.gen::<u64>()))
                 .collect();
+            // Round 4: a client retried — the batch carries duplicates.
+            if r == 4 {
+                let dups: Vec<Entry<i64>> = fresh.iter().take(m / 4).copied().collect();
+                fresh.extend(dups);
+            }
             live.extend(fresh.iter().map(|e| e.0));
             live.sort_unstable();
             live.dedup();
-            batches.push(Batch::Insert(fresh));
+            batches.push(Batch {
+                delete: false,
+                entries: fresh,
+                fault: Fault::None,
+            });
         }
     }
+    // Splice in the misbehaving traffic at fixed points: an empty batch,
+    // a poison-pill batch, and a wedged batch. The faulty batches carry
+    // real entries that must NOT reach the served state.
+    batches.insert(
+        6,
+        Batch {
+            delete: false,
+            entries: Vec::new(),
+            fault: Fault::None,
+        },
+    );
+    let pill: Vec<Entry<i64>> = (0..300)
+        .map(|_| (rng.gen_range(0..1_000_000), rng.gen()))
+        .collect();
+    batches.insert(
+        8,
+        Batch {
+            delete: false,
+            entries: pill,
+            fault: Fault::Panic,
+        },
+    );
+    let slow: Vec<Entry<i64>> = (0..300)
+        .map(|_| (rng.gen_range(0..1_000_000), rng.gen()))
+        .collect();
+    batches.insert(
+        11,
+        Batch {
+            delete: false,
+            entries: slow,
+            fault: Fault::Wedge,
+        },
+    );
     batches
+}
+
+/// Like [`try_apply_batch`], but the session also runs the batch's
+/// injected misbehavior — a panicking task or one that spins until the
+/// session is cancelled (which the deadline eventually does).
+fn apply_with_fault(
+    rt: &Runtime,
+    state: RTreap<i64>,
+    batch: RTreap<i64>,
+    delete: bool,
+    fault: Fault,
+    deadline: Duration,
+) -> Result<RTreap<i64>, SessionError> {
+    let (fs, fb) = (ready(state), ready(batch));
+    let (op, of) = cell();
+    rt.try_run_session(Session::new().deadline(deadline), move |wk| {
+        match fault {
+            Fault::Panic => wk.spawn(|_| panic!("injected fault: malformed request payload")),
+            Fault::Wedge => wk.spawn(|wk| {
+                while !wk.cancelled() {
+                    std::hint::spin_loop();
+                }
+            }),
+            Fault::None => {}
+        }
+        if delete {
+            rt_diff(wk, fs, fb, op)
+        } else {
+            rt_union(wk, fs, fb, op)
+        }
+    })?;
+    Ok(of.expect())
 }
 
 fn main() {
     let batches = synthesize_traffic(12, 2026);
+    let total = batches.len();
 
     banner("replaying batched updates on the real runtime (4 workers)");
     // One persistent pool for the whole replay: a long-lived service keeps
-    // its workers warm instead of spawning threads per batch.
+    // its workers warm instead of spawning threads per batch — including
+    // across batches that fail (the pool survives contained aborts).
     let rt = Runtime::new(4);
     let mut state = RTreap::<i64>::Leaf;
     let mut oracle: BTreeSet<i64> = BTreeSet::new();
     let mut seq_state: Option<Box<PlainTreap<i64>>> = None;
+    let mut degraded = 0usize;
 
-    for (i, batch) in batches.iter().enumerate() {
-        let (kind, entries) = match batch {
-            Batch::Insert(e) => ("insert", e),
-            Batch::Delete(e) => ("delete", e),
+    for (i, batch) in batches.into_iter().enumerate() {
+        let kind = if batch.delete { "delete" } else { "insert" };
+        // Sanitize the request: sort and drop duplicate keys (keep-first,
+        // matching `PlainTreap::from_entries`, whose duplicate inserts are
+        // no-ops — so the dedup is cosmetic for reporting, not load-bearing).
+        let mut entries = batch.entries;
+        let raw = entries.len();
+        entries.sort_by_key(|e| e.0);
+        entries.dedup_by_key(|e| e.0);
+        if entries.len() < raw {
+            println!(
+                "batch {i:>2} {kind:>6} dropped {} duplicate key(s)",
+                raw - entries.len()
+            );
+        }
+
+        let bt = RTreap::from_entries_ready(&entries);
+        let res = match batch.fault {
+            Fault::None => {
+                try_apply_batch(&rt, state.clone(), bt, batch.delete, Some(BATCH_DEADLINE))
+            }
+            f @ Fault::Panic => {
+                apply_with_fault(&rt, state.clone(), bt, batch.delete, f, BATCH_DEADLINE)
+            }
+            f @ Fault::Wedge => {
+                apply_with_fault(&rt, state.clone(), bt, batch.delete, f, WEDGED_DEADLINE)
+            }
         };
-        // Oracle + sequential reference.
-        match batch {
-            Batch::Insert(e) => {
-                oracle.extend(e.iter().map(|x| x.0));
-                seq_state = PlainTreap::union(seq_state, PlainTreap::from_entries(e));
-            }
-            Batch::Delete(e) => {
-                for x in e {
-                    oracle.remove(&x.0);
-                }
-                seq_state = PlainTreap::diff(seq_state, PlainTreap::from_entries(e));
-            }
-        }
-        // Parallel treap batch.
-        let batch_treap = RTreap::from_entries_ready(entries);
-        let cur = ready(state);
-        let bt = ready(batch_treap);
-        let (op, of) = cell();
-        match batch {
-            Batch::Insert(_) => rt.run(move |wk| rt_union(wk, cur, bt, op)),
-            Batch::Delete(_) => rt.run(move |wk| rt_diff(wk, cur, bt, op)),
-        }
-        state = of.expect();
 
-        let keys = state.to_sorted_vec();
-        assert_eq!(
-            keys,
-            oracle.iter().copied().collect::<Vec<_>>(),
-            "batch {i} diverged from the oracle"
-        );
-        assert!(
-            state.check_invariants(),
-            "treap invariants broken at batch {i}"
-        );
-        println!(
-            "batch {i:>2} {kind:>6} {:>4} keys -> live set {:>6} keys, treap height {:>2}",
-            entries.len(),
-            keys.len(),
-            state.height()
-        );
+        match res {
+            Ok(next) => {
+                // Commit: advance the oracle and the sequential reference
+                // only for batches that actually served.
+                if batch.delete {
+                    for e in &entries {
+                        oracle.remove(&e.0);
+                    }
+                    seq_state = PlainTreap::diff(seq_state, PlainTreap::from_entries(&entries));
+                } else {
+                    oracle.extend(entries.iter().map(|e| e.0));
+                    seq_state = PlainTreap::union(seq_state, PlainTreap::from_entries(&entries));
+                }
+                state = next;
+                let keys = state.to_sorted_vec();
+                assert_eq!(
+                    keys,
+                    oracle.iter().copied().collect::<Vec<_>>(),
+                    "batch {i} diverged from the oracle"
+                );
+                assert!(
+                    state.check_invariants(),
+                    "treap invariants broken at batch {i}"
+                );
+                println!(
+                    "batch {i:>2} {kind:>6} {:>4} keys -> live set {:>6} keys, treap height {:>2}",
+                    entries.len(),
+                    keys.len(),
+                    state.height()
+                );
+            }
+            Err(e) => {
+                // Degrade: keep the previous root; the dead session's
+                // suspended continuations were poisoned and dropped, not
+                // leaked, and the pool is immediately reusable.
+                degraded += 1;
+                println!("batch {i:>2} {kind:>6} DEGRADED (kept previous root): {e}");
+                assert!(
+                    batch.fault != Fault::None,
+                    "healthy batch {i} failed unexpectedly: {e}"
+                );
+                assert_eq!(
+                    state.to_sorted_vec(),
+                    oracle.iter().copied().collect::<Vec<_>>(),
+                    "served state changed across a degraded batch {i}"
+                );
+            }
+        }
     }
 
+    // Exactly the two injected faults degraded; everything else served.
+    assert_eq!(
+        degraded, 2,
+        "expected exactly the injected faults to degrade"
+    );
     // The parallel state matches the sequential treap shape exactly
     // (same priorities, same tie-break rule).
     assert_eq!(
@@ -114,5 +260,9 @@ fn main() {
         PlainTreap::height(&seq_state),
         "parallel and sequential treaps must have identical shape"
     );
-    println!("\nall batches verified against BTreeSet and sequential treap. done.");
+    println!(
+        "\n{}/{total} batches served, {degraded} degraded; all states verified against \
+         BTreeSet and sequential treap. done.",
+        total - degraded
+    );
 }
