@@ -581,6 +581,45 @@ where
     f
 }
 
+/// Collapse `k` treap futures into one: the **union tree** a coalescing
+/// ingress queue wants. Instead of folding the batches into the root one
+/// at a time (k sequential unions, each re-walking the accumulated
+/// result), the batches combine pairwise in a balanced tree — ⌈lg k⌉
+/// levels of unions whose operands are other *unresolved* unions, so the
+/// whole tree pipelines: an upper union starts splitting as soon as the
+/// lower union's root node is written. Duplicate keys across batches
+/// resolve to the highest-priority entry regardless of the tree shape
+/// (union keeps the [`wins`] winner), so the result is a function of the
+/// combined entry set only.
+///
+/// Returns the input future unchanged for k = 1 and a ready `Leaf` for
+/// k = 0.
+pub fn union_many<B: PipeBackend, K: Key>(
+    bk: &B,
+    mut futs: Vec<TreapFut<B, K>>,
+    mode: Mode,
+) -> TreapFut<B, K>
+where
+    Treap<B, K>: Val,
+    TreapFut<B, K>: Val,
+    TreapWr<B, K>: Send,
+    B::Fut<bool>: Val,
+    B::Wr<bool>: Send,
+{
+    match futs.len() {
+        0 => bk.input(Treap::Leaf),
+        1 => futs.pop().expect("len checked"),
+        n => {
+            let right = futs.split_off(n / 2);
+            let l = union_many(bk, futs, mode);
+            let r = union_many(bk, right, mode);
+            let (p, f) = bk.cell();
+            bk.fork(move |bk| union(bk, l, r, p, mode));
+            f
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +674,44 @@ mod tests {
             i.to_sorted_vec(),
             (0..100).filter(|k| k % 3 == 0).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn union_many_matches_sequential_fold() {
+        // Overlapping batches, duplicate keys across batches with
+        // *different* priorities: the union tree must resolve every
+        // duplicate to the max-priority entry, same as the left fold.
+        let batches: Vec<Vec<Entry<i64>>> = (0..5)
+            .map(|b| {
+                (0..40)
+                    .map(|i| {
+                        let k = (7 * i + b) % 60;
+                        (k, splitmix64((k as u64) << 8 | b as u64))
+                    })
+                    .collect()
+            })
+            .collect();
+        for take in [0usize, 1, 2, 3, 5] {
+            let got = Seq::run(|bk| {
+                let futs: Vec<_> = batches[..take]
+                    .iter()
+                    .map(|b| bk.input(Treap::from_entries(bk, b)))
+                    .collect();
+                let f = union_many(bk, futs, Mode::Pipelined);
+                Treap::<Seq, i64>::expect(&f)
+            });
+            assert!(got.check_invariants(), "take={take}");
+            let mut want: Option<Box<PlainTreap<i64>>> = None;
+            for b in &batches[..take] {
+                want = PlainTreap::union(want, PlainTreap::from_entries(b));
+            }
+            assert_eq!(
+                got.to_sorted_vec(),
+                PlainTreap::to_sorted_vec(&want),
+                "take={take}"
+            );
+            assert_eq!(got.height(), PlainTreap::height(&want), "take={take}");
+        }
     }
 
     #[test]

@@ -83,6 +83,14 @@ pub fn diff<K: RKey>(
     pf_algs::treap::diff(wk, a, b, out, Mode::Pipelined);
 }
 
+/// Collapse `k` batch treap futures into one with a balanced **union
+/// tree** (⌈lg k⌉ levels of pairwise [`union`]s, each pipelining into the
+/// next): the apply plan for a coalescing ingress queue — see
+/// [`pf_algs::treap::union_many`]. `k = 0` yields a ready `Leaf`.
+pub fn union_many<K: RKey>(wk: &Worker, futs: Vec<FutRead<RTreap<K>>>) -> FutRead<RTreap<K>> {
+    pf_algs::treap::union_many(wk, futs, Mode::Pipelined)
+}
+
 /// `intersect(a, b)` in CPS: keys in both treaps (dual of [`diff`]).
 pub fn intersect<K: RKey>(
     wk: &Worker,

@@ -209,6 +209,40 @@ pub struct RunStats {
     pub suspensions: u64,
     /// Tasks obtained by stealing from a sibling worker.
     pub steals: u64,
+    /// Wall-clock time of the session, measured by the client from the
+    /// root push to the quiescence signal. This is the *one* duration a
+    /// service or benchmark should report throughput from (see
+    /// [`RunStats::ops_per_sec`]) instead of re-deriving it from its own
+    /// clock around the `run` call.
+    pub elapsed: Duration,
+}
+
+impl RunStats {
+    /// Sustained throughput of this session for a caller-defined notion
+    /// of "operation" (keys applied, requests served, …): `ops` divided
+    /// by [`RunStats::elapsed`]. Returns 0.0 for a zero-length session
+    /// (sub-resolution runs) rather than dividing by zero.
+    pub fn ops_per_sec(&self, ops: u64) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold another session's counters and elapsed time into this one —
+    /// the accumulation a service doing many sessions wants for a
+    /// whole-run report. `elapsed` adds (total busy time), so the sum's
+    /// [`RunStats::ops_per_sec`] is throughput over time actually spent
+    /// in sessions.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.tasks_executed += other.tasks_executed;
+        self.spawns += other.spawns;
+        self.suspensions += other.suspensions;
+        self.steals += other.steals;
+        self.elapsed += other.elapsed;
+    }
 }
 
 /// Why the current session is aborting; filed in the abort slot by
@@ -650,10 +684,12 @@ impl Runtime {
         }
         *lock(&shared.done) = false;
         shared.live.store(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         shared.injector.push(Task::new(root));
         shared.notify(1);
 
         self.wait_session(sid, &opts);
+        let elapsed = started.elapsed();
 
         // Disarm the slot; a reason filed before this point wins even
         // over a clean finish (its filer already raised `aborting`, so
@@ -691,7 +727,10 @@ impl Runtime {
         }
 
         debug_assert_eq!(shared.live.load(Ordering::SeqCst), 0);
-        let mut out = RunStats::default();
+        let mut out = RunStats {
+            elapsed,
+            ..RunStats::default()
+        };
         for s in &shared.stats {
             out.tasks_executed += s.tasks_executed.load(Ordering::Relaxed);
             out.spawns += s.spawns.load(Ordering::Relaxed);

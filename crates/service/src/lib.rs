@@ -1,0 +1,77 @@
+//! # pf-service — a sharded, coalescing ordered-set service core
+//!
+//! This crate turns the repo's engines into a *service*: the thing a
+//! front end (or a benchmark driver) hands requests to and gets a
+//! continuously updated, snapshot-readable key set back from. It is the
+//! paper's composition story — independent operations whose futures
+//! compose into one pipeline — promoted from an example replay
+//! (`examples/set_server.rs` before PR 6) to a reusable concurrent core.
+//!
+//! The request path is a four-stage pipeline:
+//!
+//! ```text
+//!   ingress ──► coalesce ──► shard sessions ──► pipelined apply
+//!   (queue      (dedup,       (try_run_session   (batch N+1 splits
+//!    per         wave          per window,        against batch N's
+//!    shard)      merging,      fault-contained)   unresolved root)
+//!                union tree)
+//! ```
+//!
+//! * **Ingress + coalescing** ([`coalesce()`]): requests land in a
+//!   per-shard queue; a run of consecutive small inserts collapses into
+//!   one multi-insert *wave* (the 2-6 tree's m-keys-in-one-wave plan,
+//!   realized here on treaps because the shard root must also support
+//!   deletes), and consecutive pre-batched updates against the same
+//!   shard root collapse into one **union tree**
+//!   ([`pf_rt_algs::rtreap::union_many`]) instead of k sequential root
+//!   unions.
+//! * **Key-range sharding** ([`shard::ShardMap`]): S independent shards,
+//!   each with its own persistent treap root, apply their waves in
+//!   fault-contained sessions ([`pf_rt::Runtime::try_run_session`]) on
+//!   one shared worker pool. The pool serializes session *execution*;
+//!   shard concurrency overlaps everything outside the session — batch
+//!   treap construction, coalescing, commit bookkeeping — with the
+//!   sessions of other shards, and a failed shard degrades alone.
+//! * **Snapshot reads** ([`SetService::contains`]): readers walk the
+//!   shard's last *committed* root — quiescence guarantees every cell in
+//!   it is written — so reads never block on writes and cost O(lg n)
+//!   with zero synchronization beyond one root clone.
+//! * **Cross-batch pipelining** ([`ApplyMode::Pipelined`]): inside one
+//!   session a *window* of waves is chained through unresolved future
+//!   cells — wave N+1's `union` touches wave N's still-being-written
+//!   output root, so its splits start the moment N's root node exists
+//!   instead of waiting for N's whole tree at a barrier. The barriered
+//!   fallback ([`ApplyMode::Barriered`]: one wave per session) is kept
+//!   for A/B measurement; `bench_pr6` freezes the comparison as
+//!   `results/BENCH_PR6.json`.
+//!
+//! Failure is a per-wave outcome, not a process event: a wave that
+//! panics, wedges past the deadline, or stalls degrades — the shard keeps
+//! its previous committed root (an `Arc` clone) and keeps serving. A
+//! failed *pipelined window* is replayed wave-by-wave in barriered mode,
+//! so only the genuinely faulty wave is dropped and the final state is
+//! identical to what barriered application would have produced (pinned
+//! by the `equivalence` test).
+//!
+//! ```
+//! use pf_service::{Request, ServiceConfig, SetService, ShardMap};
+//!
+//! let svc = SetService::new(ShardMap::uniform(4, 0, 1_000_000), ServiceConfig::default());
+//! svc.submit(Request::insert(vec![(17, 0xfeed), (93_417, 0xbeef)]));
+//! let report = svc.pump(); // apply everything queued, on this thread
+//! assert_eq!(report.degraded, 0);
+//! assert!(svc.contains(&17) && !svc.contains(&18));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod request;
+pub mod service;
+pub mod shard;
+
+pub use coalesce::{coalesce, CoalescePolicy, Wave};
+pub use request::{Entry, Fault, OpKind, Request};
+pub use service::{ApplyMode, DrainReport, ServiceConfig, SetService, WaveOutcome};
+pub use shard::ShardMap;

@@ -1,0 +1,479 @@
+//! The service core: per-shard ingress queues feeding coalesced waves
+//! into fault-contained apply sessions, with cross-batch pipelining
+//! inside each session window.
+//!
+//! See the crate docs for the architecture. The one invariant everything
+//! here leans on: a shard's *committed* root only ever comes out of a
+//! session that reached quiescence, so every future cell reachable from
+//! it is written — snapshot readers walk it lock-free (after one root
+//! clone) and the next session's unions may touch its cells at will
+//! (touching a written cell is always legal; linearity only restricts
+//! touches of unwritten ones).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use pf_rt::{cell, ready, FutRead, RunStats, Runtime, Session, SessionError, Worker};
+use pf_rt_algs::rtreap::{diff, union, union_many, RTreap, RtTreap};
+use pf_rt_algs::RKey;
+
+use crate::coalesce::{coalesce, CoalescePolicy, Wave};
+use crate::request::{Fault, OpKind, Request};
+use crate::shard::ShardMap;
+
+/// How a window of waves is applied to a shard root.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// One session per **window** of up to [`ServiceConfig::window`]
+    /// waves, chained through unresolved future cells: wave N+1's union
+    /// touches wave N's still-being-written output root, so its splits
+    /// begin as soon as N's root node exists — the paper's composition
+    /// story as a throughput feature. A failed window is replayed
+    /// wave-by-wave in barriered mode, so only the faulty wave degrades.
+    Pipelined,
+    /// One session per wave: every wave waits for its predecessor's full
+    /// quiescence (the barrier the paper's futures exist to remove).
+    /// Kept as the A/B baseline `bench_pr6` measures against.
+    Barriered,
+}
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads of the shared apply pool
+    /// ([`Runtime::shared`]`(threads)`).
+    pub threads: usize,
+    /// Max waves chained into one pipelined session (ignored in
+    /// [`ApplyMode::Barriered`]).
+    pub window: usize,
+    /// Apply mode (pipelined by default; barriered for A/B runs).
+    pub mode: ApplyMode,
+    /// Per-session deadline: a wave (or window) that exceeds it aborts
+    /// and degrades instead of wedging the shard.
+    pub deadline: Option<Duration>,
+    /// Coalescer tuning.
+    pub policy: CoalescePolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 4,
+            window: 8,
+            mode: ApplyMode::Pipelined,
+            deadline: Some(Duration::from_secs(10)),
+            policy: CoalescePolicy::default(),
+        }
+    }
+}
+
+/// The fate of one coalesced wave.
+#[derive(Clone, Debug)]
+pub struct WaveOutcome {
+    /// Shard the wave applied to.
+    pub shard: usize,
+    /// Insert or delete.
+    pub kind: OpKind,
+    /// Tags of the requests coalesced into the wave (see
+    /// [`Request::tagged`]); a wave serves or degrades atomically, so
+    /// these tags share one fate.
+    pub tags: Vec<u64>,
+    /// Total keys in the wave.
+    pub keys: usize,
+    /// Did the wave commit? `false` means the shard kept its previous
+    /// root for this wave (degraded).
+    pub served: bool,
+    /// The session error that degraded the wave, rendered.
+    pub error: Option<String>,
+    /// Apply latency: the elapsed time of the session that decided this
+    /// wave's fate (shared by every wave of a pipelined window; from
+    /// [`RunStats::elapsed`], the same source the benchmark reports).
+    pub latency: Duration,
+    /// Served by the wave-by-wave replay of a failed pipelined window
+    /// rather than by its original window session.
+    pub replayed: bool,
+}
+
+/// Aggregated result of draining pending requests.
+#[derive(Clone, Debug, Default)]
+pub struct DrainReport {
+    /// Per-wave outcomes, in commit order per shard.
+    pub outcomes: Vec<WaveOutcome>,
+    /// Session statistics accumulated over every *successful* session,
+    /// including elapsed busy time — so
+    /// `stats.ops_per_sec(keys_applied)` is the service's in-session
+    /// throughput from the same [`RunStats`] source the benchmark uses.
+    pub stats: RunStats,
+    /// Sessions run, including failed ones and replays.
+    pub sessions: u64,
+    /// Keys committed by served waves.
+    pub keys_applied: u64,
+    /// Waves that committed.
+    pub served: u64,
+    /// Waves dropped because their session failed.
+    pub degraded: u64,
+}
+
+impl DrainReport {
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: DrainReport) {
+        self.outcomes.extend(other.outcomes);
+        self.stats.accumulate(&other.stats);
+        self.sessions += other.sessions;
+        self.keys_applied += other.keys_applied;
+        self.served += other.served;
+        self.degraded += other.degraded;
+    }
+}
+
+/// One shard: its ingress queue and committed root. The root mutex is
+/// held only for a clone (readers, session setup) or a store (commit) —
+/// never across a session.
+struct Shard<K: 'static> {
+    ingress: Mutex<Vec<Request<K>>>,
+    root: Mutex<RTreap<K>>,
+}
+
+/// The apply plan of one wave: its group treaps, pre-built outside the
+/// session (input marshalling), plus what to do with them.
+struct WavePlan<K: 'static> {
+    kind: OpKind,
+    fault: Fault,
+    treaps: Vec<RTreap<K>>,
+}
+
+impl<K: 'static> Clone for WavePlan<K> {
+    fn clone(&self) -> Self {
+        WavePlan {
+            kind: self.kind,
+            fault: self.fault,
+            treaps: self.treaps.clone(), // Arc-shallow
+        }
+    }
+}
+
+/// Ignore mutex poisoning: the guarded values (a request vector, a
+/// committed root) are valid at every step, and a panicking shard thread
+/// must not wedge its siblings.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A sharded, coalescing ordered-set service (crate docs).
+pub struct SetService<K: RKey> {
+    rt: Arc<Runtime>,
+    map: ShardMap<K>,
+    shards: Vec<Shard<K>>,
+    cfg: ServiceConfig,
+}
+
+impl<K: RKey> SetService<K> {
+    /// A service over `map`'s shards on the process-wide shared pool
+    /// with `cfg.threads` workers.
+    pub fn new(map: ShardMap<K>, cfg: ServiceConfig) -> Self {
+        Self::with_runtime(Runtime::shared(cfg.threads), map, cfg)
+    }
+
+    /// A service on a caller-owned runtime (its width wins over
+    /// `cfg.threads`).
+    pub fn with_runtime(rt: Arc<Runtime>, map: ShardMap<K>, cfg: ServiceConfig) -> Self {
+        let shards = (0..map.shards())
+            .map(|_| Shard {
+                ingress: Mutex::new(Vec::new()),
+                root: Mutex::new(RTreap::Leaf),
+            })
+            .collect();
+        SetService {
+            rt,
+            map,
+            shards,
+            cfg,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Enqueue a request: its entries are split by key range and land in
+    /// each owning shard's ingress queue (the fault tag and request tag
+    /// travel with every sub-request). An empty request is elided here —
+    /// it is a no-op on the key set.
+    pub fn submit(&self, req: Request<K>) {
+        if req.entries.is_empty() {
+            return;
+        }
+        let Request {
+            kind,
+            entries,
+            fault,
+            tag,
+        } = req;
+        for (i, part) in self.map.split(entries).into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            lock(&self.shards[i].ingress).push(Request {
+                kind,
+                entries: part,
+                fault,
+                tag,
+            });
+        }
+    }
+
+    /// Snapshot membership read: walks the owning shard's last committed
+    /// root. Costs one root clone plus an O(lg n) walk of written cells;
+    /// never blocks on in-flight writes (which build a *new* root — the
+    /// committed one is immutable). Reads-your-writes only after the
+    /// write's wave commits: this is a snapshot consistency model, by
+    /// design.
+    pub fn contains(&self, key: &K) -> bool {
+        let root = self.snapshot(self.map.shard_of(key));
+        let mut cur = root;
+        loop {
+            match cur {
+                RTreap::Leaf => return false,
+                RTreap::Node(n) => {
+                    if *key == n.key {
+                        return true;
+                    }
+                    let child = if *key < n.key { &n.left } else { &n.right };
+                    cur = child.peek().expect("committed root with unwritten cell");
+                }
+            }
+        }
+    }
+
+    /// The shard's committed root (an `Arc`-shallow clone).
+    pub fn snapshot(&self, shard: usize) -> RTreap<K> {
+        lock(&self.shards[shard].root).clone()
+    }
+
+    /// Sorted keys of one shard's committed root (post-run inspection;
+    /// O(n)).
+    pub fn shard_keys(&self, shard: usize) -> Vec<K> {
+        self.snapshot(shard).to_sorted_vec()
+    }
+
+    /// Apply everything queued, shard by shard, on the calling thread —
+    /// the deterministic path tests and single-threaded replays use.
+    pub fn pump(&self) -> DrainReport {
+        let mut out = DrainReport::default();
+        for i in 0..self.shards.len() {
+            out.merge(self.apply_pending(i));
+        }
+        out
+    }
+
+    /// Concurrent open-loop drain: one apply thread per shard pulls from
+    /// its ingress queue while the calling thread feeds `requests` in —
+    /// arrival is a pipeline stage overlapping coalescing, batch-treap
+    /// construction, and other shards' sessions (session *execution*
+    /// itself is serialized by the pool). Returns when every submitted
+    /// request has been applied or degraded.
+    pub fn drive<I>(&self, requests: I) -> DrainReport
+    where
+        I: IntoIterator<Item = Request<K>>,
+    {
+        let closed = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|i| {
+                    let closed = &closed;
+                    s.spawn(move || {
+                        let mut rep = DrainReport::default();
+                        loop {
+                            let got = self.apply_pending(i);
+                            let idle = got.sessions == 0 && got.outcomes.is_empty();
+                            rep.merge(got);
+                            if !idle {
+                                continue;
+                            }
+                            if closed.load(Ordering::Acquire) {
+                                // Final sweep: the close flag is set
+                                // after the last submit, so one more
+                                // drain observes everything.
+                                rep.merge(self.apply_pending(i));
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                        rep
+                    })
+                })
+                .collect();
+            for req in requests {
+                self.submit(req);
+            }
+            closed.store(true, Ordering::Release);
+            let mut out = DrainReport::default();
+            for h in handles {
+                out.merge(h.join().expect("shard apply thread panicked"));
+            }
+            out
+        })
+    }
+
+    /// Drain one shard's pending requests: coalesce into waves, chop
+    /// into windows, apply each window in a fault-contained session.
+    fn apply_pending(&self, shard: usize) -> DrainReport {
+        let pending = std::mem::take(&mut *lock(&self.shards[shard].ingress));
+        let mut report = DrainReport::default();
+        if pending.is_empty() {
+            return report;
+        }
+        let waves = coalesce(pending, &self.cfg.policy);
+        let window = match self.cfg.mode {
+            ApplyMode::Pipelined => self.cfg.window.max(1),
+            ApplyMode::Barriered => 1,
+        };
+        for chunk in waves.chunks(window) {
+            self.apply_window(shard, chunk, &mut report);
+        }
+        report
+    }
+
+    /// Apply one window of waves. On window failure with more than one
+    /// wave, fall back to wave-by-wave barriered replay so only the
+    /// faulty wave degrades — keeping pipelined and barriered end states
+    /// identical (the equivalence test pins this).
+    fn apply_window(&self, shard: usize, waves: &[Wave<K>], report: &mut DrainReport) {
+        let plans: Vec<WavePlan<K>> = waves
+            .iter()
+            .map(|w| WavePlan {
+                kind: w.kind,
+                fault: w.fault,
+                treaps: w
+                    .groups
+                    .iter()
+                    .map(|g| RTreap::from_entries_ready(g))
+                    .collect(),
+            })
+            .collect();
+        let root = self.snapshot(shard);
+        report.sessions += 1;
+        match self.run_window_session(root, plans.clone()) {
+            Ok((new_root, stats)) => {
+                *lock(&self.shards[shard].root) = new_root;
+                for w in waves {
+                    report.record(outcome(shard, w, true, None, stats.elapsed, false));
+                }
+                report.stats.accumulate(&stats);
+            }
+            Err((err, took)) if waves.len() == 1 => {
+                report.record(outcome(shard, &waves[0], false, Some(&err), took, false));
+            }
+            Err(_) => {
+                // Replay: one wave per session, committing the healthy
+                // ones in order; the shard root advances past each.
+                for (w, plan) in waves.iter().zip(plans) {
+                    let root = self.snapshot(shard);
+                    report.sessions += 1;
+                    match self.run_window_session(root, vec![plan]) {
+                        Ok((new_root, stats)) => {
+                            *lock(&self.shards[shard].root) = new_root;
+                            report.record(outcome(shard, w, true, None, stats.elapsed, true));
+                            report.stats.accumulate(&stats);
+                        }
+                        Err((err, took)) => {
+                            report.record(outcome(shard, w, false, Some(&err), took, true));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One apply session: chain every wave of the window through
+    /// unresolved result cells (cross-batch pipelining), then read the
+    /// final root out. Each wave's groups collapse through a balanced
+    /// union tree before touching the chain. On failure the caller gets
+    /// the error plus the session's wall-clock cost; the pool is already
+    /// clean (aborted sessions poison their cells and drop their
+    /// continuations) and the pre-session root is untouched — every cell
+    /// reachable from it was written before this session began, so the
+    /// poison pass cannot reach it.
+    #[allow(clippy::type_complexity)]
+    fn run_window_session(
+        &self,
+        root: RTreap<K>,
+        plans: Vec<WavePlan<K>>,
+    ) -> Result<(RTreap<K>, RunStats), (SessionError, Duration)> {
+        let (op, of) = cell();
+        let mut sess = Session::new();
+        if let Some(d) = self.cfg.deadline {
+            sess = sess.deadline(d);
+        }
+        let started = Instant::now();
+        let stats = self
+            .rt
+            .try_run_session(sess, move |wk: &Worker| {
+                let mut state: FutRead<RTreap<K>> = ready(root);
+                for plan in plans {
+                    match plan.fault {
+                        Fault::Panic => {
+                            wk.spawn(|_| panic!("injected fault: malformed request payload"))
+                        }
+                        Fault::Wedge => wk.spawn(|wk| {
+                            while !wk.cancelled() {
+                                std::hint::spin_loop();
+                            }
+                        }),
+                        Fault::None => {}
+                    }
+                    let futs = plan.treaps.into_iter().map(ready).collect();
+                    let batch = union_many(wk, futs);
+                    let (p, f) = cell();
+                    match plan.kind {
+                        OpKind::Insert => union(wk, state, batch, p),
+                        OpKind::Delete => diff(wk, state, batch, p),
+                    }
+                    state = f;
+                }
+                state.touch(wk, move |v, wk| op.fulfill(wk, v));
+            })
+            .map_err(|e| (e, started.elapsed()))?;
+        // Quiescence ⇒ the final chain cell is written.
+        Ok((of.expect(), stats))
+    }
+}
+
+impl DrainReport {
+    fn record(&mut self, o: WaveOutcome) {
+        if o.served {
+            self.served += 1;
+            self.keys_applied += o.keys as u64;
+        } else {
+            self.degraded += 1;
+        }
+        self.outcomes.push(o);
+    }
+}
+
+fn outcome<K>(
+    shard: usize,
+    w: &Wave<K>,
+    served: bool,
+    err: Option<&SessionError>,
+    latency: Duration,
+    replayed: bool,
+) -> WaveOutcome {
+    WaveOutcome {
+        shard,
+        kind: w.kind,
+        tags: w.tags.clone(),
+        keys: w.keys(),
+        served,
+        error: err.map(|e| e.to_string()),
+        latency,
+        replayed,
+    }
+}

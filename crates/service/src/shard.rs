@@ -1,0 +1,119 @@
+//! Key-range sharding: a sorted boundary vector partitions the key space
+//! into S contiguous ranges, each owned by one shard with its own treap
+//! root, ingress queue, and failure domain.
+//!
+//! Range partitioning (rather than hashing) keeps each shard an ordered
+//! set in its own right — range scans and ordered dumps stay local — and
+//! makes `shard_of` one branch-free `partition_point` over a vector that
+//! fits in a cache line for any realistic S.
+
+use crate::request::Entry;
+
+/// A partition of the key space into `bounds.len() + 1` contiguous
+/// ranges: shard `i` owns keys in `[bounds[i-1], bounds[i])` (first and
+/// last ranges unbounded below/above).
+#[derive(Clone, Debug)]
+pub struct ShardMap<K> {
+    bounds: Vec<K>,
+}
+
+impl<K: Ord + Clone> ShardMap<K> {
+    /// A map with the given ascending shard boundaries. One shard when
+    /// `bounds` is empty.
+    ///
+    /// # Panics
+    /// If `bounds` is not strictly ascending.
+    pub fn new(bounds: Vec<K>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "shard bounds must be strictly ascending"
+        );
+        ShardMap { bounds }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() + 1
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &K) -> usize {
+        self.bounds.partition_point(|b| b <= key)
+    }
+
+    /// Split a mixed-key entry batch into one (possibly empty) sub-batch
+    /// per shard, preserving arrival order within each.
+    pub fn split(&self, entries: Vec<Entry<K>>) -> Vec<Vec<Entry<K>>> {
+        let mut out: Vec<Vec<Entry<K>>> = (0..self.shards()).map(|_| Vec::new()).collect();
+        for e in entries {
+            out[self.shard_of(&e.0)].push(e);
+        }
+        out
+    }
+}
+
+impl ShardMap<i64> {
+    /// `shards` equal-width ranges over `[lo, hi)` — the right default
+    /// for a uniformly drawn integer key space (the benchmark's synthetic
+    /// load). Keys outside `[lo, hi)` still route (to the edge shards).
+    pub fn uniform(shards: usize, lo: i64, hi: i64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(lo < hi, "empty key range");
+        let width = ((hi - lo) as i128 / shards as i128).max(1);
+        let bounds = (1..shards as i128)
+            .map(|i| (lo as i128 + i * width) as i64)
+            .take_while(|b| *b < hi)
+            .collect();
+        ShardMap { bounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_respects_bounds() {
+        let m = ShardMap::new(vec![10, 20]);
+        assert_eq!(m.shards(), 3);
+        assert_eq!(m.shard_of(&-5), 0);
+        assert_eq!(m.shard_of(&9), 0);
+        assert_eq!(m.shard_of(&10), 1);
+        assert_eq!(m.shard_of(&19), 1);
+        assert_eq!(m.shard_of(&20), 2);
+        assert_eq!(m.shard_of(&1000), 2);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let m = ShardMap::uniform(4, 0, 1000);
+        assert_eq!(m.shards(), 4);
+        for k in [0i64, 249, 250, 999, -3, 5000] {
+            let s = m.shard_of(&k);
+            assert!(s < 4, "key {k} routed to shard {s}");
+        }
+        assert_eq!(m.shard_of(&0), 0);
+        assert_eq!(m.shard_of(&999), 3);
+    }
+
+    #[test]
+    fn split_preserves_order_per_shard() {
+        let m = ShardMap::new(vec![100]);
+        let parts = m.split(vec![(5, 1), (200, 2), (7, 3), (150, 4)]);
+        assert_eq!(parts[0], vec![(5, 1), (7, 3)]);
+        assert_eq!(parts[1], vec![(200, 2), (150, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = ShardMap::new(vec![20, 10]);
+    }
+
+    #[test]
+    fn single_shard_uniform() {
+        let m = ShardMap::uniform(1, 0, 10);
+        assert_eq!(m.shards(), 1);
+        assert_eq!(m.shard_of(&7), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Mode-equivalence test: applying one seeded workload in pipelined and
+//! barriered mode must leave every shard with the identical final key
+//! set — including when injected faults degrade waves — and both must
+//! match a sequential `BTreeSet` oracle replayed from the per-wave
+//! outcomes.
+//!
+//! This is the safety half of the PR-6 claim: cross-batch pipelining
+//! (and its wave-by-wave replay of a failed window) is purely a
+//! scheduling change, never a semantic one.
+
+use std::collections::{BTreeSet, HashSet};
+use std::time::Duration;
+
+use pf_service::{
+    ApplyMode, DrainReport, Fault, OpKind, Request, ServiceConfig, SetService, ShardMap,
+};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+const KEYSPACE: i64 = 100_000;
+const SHARDS: usize = 4;
+const PANIC_TAG: u64 = 13;
+const WEDGE_TAG: u64 = 29;
+
+/// A seeded mixed workload: small insert runs, pre-batched bulk inserts,
+/// deletes of previously inserted keys, and two poison pills (a panic
+/// and a wedge) at fixed tags.
+fn workload(seed: u64) -> Vec<Request<i64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut reqs = Vec::new();
+    let mut live: Vec<i64> = Vec::new();
+    for tag in 0..40u64 {
+        let req = if tag == PANIC_TAG {
+            let batch: Vec<(i64, u64)> = (0..50)
+                .map(|_| (rng.gen_range(0..KEYSPACE), rng.gen()))
+                .collect();
+            Request::insert(batch).faulty(Fault::Panic)
+        } else if tag == WEDGE_TAG {
+            let batch: Vec<(i64, u64)> = (0..50)
+                .map(|_| (rng.gen_range(0..KEYSPACE), rng.gen()))
+                .collect();
+            Request::insert(batch).faulty(Fault::Wedge)
+        } else {
+            match rng.gen_range(0..10) {
+                // Small insert run material.
+                0..=4 => {
+                    let batch: Vec<(i64, u64)> = (0..rng.gen_range(1..12))
+                        .map(|_| (rng.gen_range(0..KEYSPACE), rng.gen()))
+                        .collect();
+                    live.extend(batch.iter().map(|e| e.0));
+                    Request::insert(batch)
+                }
+                // Pre-batched bulk insert (lands as its own union group).
+                5..=7 => {
+                    let batch: Vec<(i64, u64)> = (0..rng.gen_range(100..300))
+                        .map(|_| (rng.gen_range(0..KEYSPACE), rng.gen()))
+                        .collect();
+                    live.extend(batch.iter().map(|e| e.0));
+                    Request::insert(batch)
+                }
+                // Delete a sample of keys inserted so far (plus misses).
+                _ => {
+                    let batch: Vec<(i64, u64)> = (0..rng.gen_range(10..60))
+                        .map(|_| {
+                            if !live.is_empty() && rng.gen_bool(0.7) {
+                                (live[rng.gen_range(0..live.len())], 0)
+                            } else {
+                                (rng.gen_range(0..KEYSPACE), 0)
+                            }
+                        })
+                        .collect();
+                    Request::delete(batch)
+                }
+            }
+        };
+        reqs.push(req.tagged(tag));
+    }
+    reqs
+}
+
+/// Run the workload in one mode; return the final per-shard key sets,
+/// the served (shard, tag) pairs, and the drain report.
+#[allow(clippy::type_complexity)]
+fn run(mode: ApplyMode) -> (Vec<Vec<i64>>, HashSet<(usize, u64)>, DrainReport) {
+    let cfg = ServiceConfig {
+        threads: 2,
+        mode,
+        // Short deadline so the wedged wave degrades quickly.
+        deadline: Some(Duration::from_millis(400)),
+        ..ServiceConfig::default()
+    };
+    let svc = SetService::new(ShardMap::uniform(SHARDS, 0, KEYSPACE), cfg);
+    for req in workload(42) {
+        svc.submit(req);
+    }
+    let report = svc.pump();
+    let keys = (0..SHARDS).map(|i| svc.shard_keys(i)).collect();
+    let served = report
+        .outcomes
+        .iter()
+        .filter(|o| o.served)
+        .flat_map(|o| o.tags.iter().map(move |t| (o.shard, *t)))
+        .collect();
+    (keys, served, report)
+}
+
+/// Sequential oracle: split each request with the same shard map and
+/// apply its sub-batch to a per-shard `BTreeSet` iff that (shard, tag)
+/// was served.
+fn oracle(served: &HashSet<(usize, u64)>) -> Vec<Vec<i64>> {
+    let map = ShardMap::uniform(SHARDS, 0, KEYSPACE);
+    let mut sets: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); SHARDS];
+    for req in workload(42) {
+        for (shard, part) in map.split(req.entries).into_iter().enumerate() {
+            if part.is_empty() || !served.contains(&(shard, req.tag)) {
+                continue;
+            }
+            match req.kind {
+                OpKind::Insert => sets[shard].extend(part.into_iter().map(|e| e.0)),
+                OpKind::Delete => {
+                    for (k, _) in part {
+                        sets[shard].remove(&k);
+                    }
+                }
+            }
+        }
+    }
+    sets.into_iter().map(|s| s.into_iter().collect()).collect()
+}
+
+#[test]
+fn pipelined_and_barriered_agree_with_oracle_under_faults() {
+    let (keys_p, served_p, report_p) = run(ApplyMode::Pipelined);
+    let (keys_b, served_b, report_b) = run(ApplyMode::Barriered);
+
+    // Both modes degrade exactly the same requests: the two poison
+    // pills, in every shard their keys landed in.
+    assert_eq!(served_p, served_b, "modes served different request sets");
+    for report in [&report_p, &report_b] {
+        assert!(report.degraded > 0, "poison pills should degrade waves");
+        for o in &report.outcomes {
+            let poisoned = o.tags.contains(&PANIC_TAG) || o.tags.contains(&WEDGE_TAG);
+            assert_eq!(
+                o.served, !poisoned,
+                "wave fate must track fault injection exactly: {o:?}"
+            );
+        }
+    }
+
+    // The failed pipelined windows were replayed wave-by-wave, and the
+    // healthy replayed waves committed.
+    assert!(
+        report_p.outcomes.iter().any(|o| o.replayed && o.served),
+        "pipelined mode should recover healthy waves via replay"
+    );
+    assert!(!report_b.outcomes.iter().any(|o| o.replayed));
+
+    // Identical final key sets per shard, and both match the oracle.
+    let expect = oracle(&served_p);
+    for i in 0..SHARDS {
+        assert_eq!(keys_p[i], keys_b[i], "shard {i} diverged between modes");
+        assert_eq!(keys_p[i], expect[i], "shard {i} diverged from oracle");
+        assert!(!keys_p[i].is_empty(), "shard {i} ended empty — weak test");
+    }
+}
+
+#[test]
+fn healthy_drive_matches_pump() {
+    // The concurrent drive() path and the sequential pump() path agree
+    // on a fault-free workload.
+    let reqs: Vec<Request<i64>> = workload(7)
+        .into_iter()
+        .map(|r| r.faulty(Fault::None))
+        .collect();
+
+    let cfg = ServiceConfig {
+        threads: 2,
+        ..ServiceConfig::default()
+    };
+    let svc_a = SetService::new(ShardMap::uniform(SHARDS, 0, KEYSPACE), cfg);
+    let report_a = svc_a.drive(reqs.clone());
+    assert_eq!(report_a.degraded, 0);
+
+    let svc_b = SetService::new(ShardMap::uniform(SHARDS, 0, KEYSPACE), cfg);
+    for r in reqs {
+        svc_b.submit(r);
+    }
+    let report_b = svc_b.pump();
+    assert_eq!(report_b.degraded, 0);
+
+    for i in 0..SHARDS {
+        assert_eq!(svc_a.shard_keys(i), svc_b.shard_keys(i));
+    }
+    assert_eq!(report_a.keys_applied, report_b.keys_applied);
+}

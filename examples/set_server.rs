@@ -1,78 +1,71 @@
-//! set_server: an ordered-set service doing bulk updates with parallel
-//! treaps — the "dynamic dictionary" workload that motivates §3.2–3.3.
+//! set_server: the "dynamic dictionary" workload of §3.2–3.3, now served
+//! by the `pf-service` crate — a sharded, coalescing set service with
+//! cross-batch pipelining — instead of a hand-rolled per-batch loop.
 //!
 //! A server holds a large keyset (e.g. active session ids). Batches of
-//! inserts and deletes arrive; each batch is applied as one treap `union`
-//! or `diff`, so a whole batch costs O(lg n + lg m) depth instead of m
-//! sequential root-to-leaf walks. The example replays a synthetic day of
-//! traffic on the real runtime, validating every state against a
-//! `BTreeSet` oracle.
+//! inserts and deletes arrive tagged with request ids; the service splits
+//! them by key range across shards, coalesces each shard's run into apply
+//! waves, and chains windows of waves through unresolved future cells in
+//! one fault-contained session (`ApplyMode::Pipelined`). The example
+//! replays a synthetic day of traffic through the concurrent `drive()`
+//! path and validates the outcome three ways:
 //!
-//! This replay also exercises the **failure model**: every batch runs in
-//! a fault-contained session ([`Runtime::try_run_session`] via
-//! [`try_apply_batch`]) under a per-batch deadline. The traffic includes
-//! an empty batch, a batch with duplicate keys, a batch whose handler
-//! panics, and a batch that wedges (and trips its deadline). A failed
-//! batch is reported as *degraded* and the server keeps serving from the
-//! previous root — treap nodes are shared, so keeping the old root costs
-//! one `Arc` clone, and the abort machinery poisons the dead session's
-//! cells instead of leaking its suspended continuations.
+//! 1. **Key-set oracle** — every shard's final key set must equal a
+//!    `BTreeSet` replay of exactly the served requests.
+//! 2. **Shape oracle** — every shard's parallel treap must have the same
+//!    height as a *sequential* `PlainTreap` replay of the same coalesced
+//!    waves (same priorities, same tie-break ⇒ identical shape).
+//! 3. **Failure model** — the traffic carries an empty batch (elided at
+//!    ingress), a duplicate-key batch (deduplicated by the coalescer), a
+//!    poison-pill batch whose session panics, and a batch that wedges
+//!    until its deadline. Exactly the two faulty requests must degrade —
+//!    in every shard their keys landed in — while the shards keep serving
+//!    from their previous committed roots.
 //!
 //! Run with: `cargo run --release -p pf-examples --bin set_server`
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::time::Duration;
 
 use pf_examples::banner;
-use pf_rt::{cell, ready, Runtime, Session, SessionError};
-use pf_rt_algs::drivers::try_apply_batch;
-use pf_rt_algs::rtreap::{diff as rt_diff, union as rt_union, RTreap, RtTreap};
+use pf_service::{
+    coalesce, ApplyMode, CoalescePolicy, Fault, OpKind, Request, ServiceConfig, SetService,
+    ShardMap,
+};
 use pf_trees::seq::{Entry, PlainTreap};
 use rand::prelude::*;
 use rand::rngs::SmallRng;
 
-/// Generous ceiling for a healthy batch; only a wedged one gets near it.
-const BATCH_DEADLINE: Duration = Duration::from_secs(10);
-/// Tight ceiling used for the deliberately wedged batch.
-const WEDGED_DEADLINE: Duration = Duration::from_millis(5);
+const KEYSPACE: i64 = 1_000_000;
+const SHARDS: usize = 4;
+/// Tags of the spliced-in misbehaving traffic (by final position).
+const EMPTY_TAG: u64 = 6;
+const PANIC_TAG: u64 = 8;
+const WEDGE_TAG: u64 = 11;
 
-#[derive(Clone, Copy, PartialEq)]
-enum Fault {
-    /// Healthy request.
-    None,
-    /// The batch handler panics mid-flight (a poison-pill request).
-    Panic,
-    /// The batch handler wedges until cancelled: trips the deadline.
-    Wedge,
-}
-
-struct Batch {
-    delete: bool,
-    entries: Vec<Entry<i64>>,
-    fault: Fault,
-}
-
-fn synthesize_traffic(rounds: usize, seed: u64) -> Vec<Batch> {
+/// A synthetic day of traffic: bulk insert rounds growing the live set,
+/// periodic deletes of ~20% of it, plus spliced-in misbehavior — an
+/// empty batch, a duplicate-carrying batch (round 4: a client retried),
+/// a poison pill, and a wedger. Tags are final positions, so outcomes
+/// trace back to requests.
+fn synthesize_traffic(rounds: usize, seed: u64) -> Vec<Request<i64>> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut live: Vec<i64> = Vec::new();
-    let mut batches = Vec::new();
+    let mut reqs = Vec::new();
     for r in 0..rounds {
         if r % 3 == 2 && live.len() > 200 {
             // Delete a random ~20% of the live keys.
             live.shuffle(&mut rng);
             let k = live.len() / 5;
             let dead: Vec<Entry<i64>> = live.drain(..k).map(|k| (k, rng.gen())).collect();
-            batches.push(Batch {
-                delete: true,
-                entries: dead,
-                fault: Fault::None,
-            });
+            reqs.push(Request::delete(dead));
         } else {
             let m = rng.gen_range(200..800);
             let mut fresh: Vec<Entry<i64>> = (0..m)
-                .map(|_| (rng.gen_range(0..1_000_000), rng.gen::<u64>()))
+                .map(|_| (rng.gen_range(0..KEYSPACE), rng.gen::<u64>()))
                 .collect();
-            // Round 4: a client retried — the batch carries duplicates.
+            // Round 4: a client retried — the batch carries duplicates,
+            // which the coalescer's sanitize pass drops (keep-first).
             if r == 4 {
                 let dups: Vec<Entry<i64>> = fresh.iter().take(m / 4).copied().collect();
                 fresh.extend(dups);
@@ -80,189 +73,199 @@ fn synthesize_traffic(rounds: usize, seed: u64) -> Vec<Batch> {
             live.extend(fresh.iter().map(|e| e.0));
             live.sort_unstable();
             live.dedup();
-            batches.push(Batch {
-                delete: false,
-                entries: fresh,
-                fault: Fault::None,
-            });
+            reqs.push(Request::insert(fresh));
         }
     }
-    // Splice in the misbehaving traffic at fixed points: an empty batch,
-    // a poison-pill batch, and a wedged batch. The faulty batches carry
-    // real entries that must NOT reach the served state.
-    batches.insert(
-        6,
-        Batch {
-            delete: false,
-            entries: Vec::new(),
-            fault: Fault::None,
-        },
-    );
+    // Splice in the misbehaving traffic at fixed points. The faulty
+    // batches carry real entries that must NOT reach the served state.
+    reqs.insert(EMPTY_TAG as usize, Request::insert(Vec::new()));
     let pill: Vec<Entry<i64>> = (0..300)
-        .map(|_| (rng.gen_range(0..1_000_000), rng.gen()))
+        .map(|_| (rng.gen_range(0..KEYSPACE), rng.gen()))
         .collect();
-    batches.insert(
-        8,
-        Batch {
-            delete: false,
-            entries: pill,
-            fault: Fault::Panic,
-        },
+    reqs.insert(
+        PANIC_TAG as usize,
+        Request::insert(pill).faulty(Fault::Panic),
     );
     let slow: Vec<Entry<i64>> = (0..300)
-        .map(|_| (rng.gen_range(0..1_000_000), rng.gen()))
+        .map(|_| (rng.gen_range(0..KEYSPACE), rng.gen()))
         .collect();
-    batches.insert(
-        11,
-        Batch {
-            delete: false,
-            entries: slow,
-            fault: Fault::Wedge,
-        },
+    reqs.insert(
+        WEDGE_TAG as usize,
+        Request::insert(slow).faulty(Fault::Wedge),
     );
-    batches
+    reqs.into_iter()
+        .enumerate()
+        .map(|(i, r)| r.tagged(i as u64))
+        .collect()
 }
 
-/// Like [`try_apply_batch`], but the session also runs the batch's
-/// injected misbehavior — a panicking task or one that spins until the
-/// session is cancelled (which the deadline eventually does).
-fn apply_with_fault(
-    rt: &Runtime,
-    state: RTreap<i64>,
-    batch: RTreap<i64>,
-    delete: bool,
-    fault: Fault,
-    deadline: Duration,
-) -> Result<RTreap<i64>, SessionError> {
-    let (fs, fb) = (ready(state), ready(batch));
-    let (op, of) = cell();
-    rt.try_run_session(Session::new().deadline(deadline), move |wk| {
-        match fault {
-            Fault::Panic => wk.spawn(|_| panic!("injected fault: malformed request payload")),
-            Fault::Wedge => wk.spawn(|wk| {
-                while !wk.cancelled() {
-                    std::hint::spin_loop();
-                }
-            }),
-            Fault::None => {}
+/// The sub-request stream one shard sees: each request's entries
+/// restricted to the shard's key range (empties dropped, tag and fault
+/// preserved) — the same split `SetService::submit` performs.
+fn shard_stream(reqs: &[Request<i64>], map: &ShardMap<i64>, shard: usize) -> Vec<Request<i64>> {
+    reqs.iter()
+        .filter_map(|r| {
+            let mut parts = map.split(r.entries.clone());
+            let entries = std::mem::take(&mut parts[shard]);
+            if entries.is_empty() {
+                None
+            } else {
+                Some(Request {
+                    kind: r.kind,
+                    entries,
+                    fault: r.fault,
+                    tag: r.tag,
+                })
+            }
+        })
+        .collect()
+}
+
+/// Sequential shape oracle: replay one shard's *served* coalesced waves
+/// on a `PlainTreap`. Wave groups fold through `union` — associative on
+/// the final entry set (max-priority wins per key) — so this walks the
+/// exact entry stream the parallel union tree applied.
+fn replay_shard_plain(
+    stream: Vec<Request<i64>>,
+    shard: usize,
+    served: &HashSet<(usize, u64)>,
+    policy: &CoalescePolicy,
+) -> Option<Box<PlainTreap<i64>>> {
+    let mut state: Option<Box<PlainTreap<i64>>> = None;
+    for wave in coalesce(stream, policy) {
+        if !served.contains(&(shard, wave.tags[0])) {
+            continue; // a wave serves or degrades atomically
         }
-        if delete {
-            rt_diff(wk, fs, fb, op)
-        } else {
-            rt_union(wk, fs, fb, op)
-        }
-    })?;
-    Ok(of.expect())
+        let batch = wave
+            .groups
+            .iter()
+            .map(|g| PlainTreap::from_entries(g))
+            .fold(None, PlainTreap::union);
+        state = match wave.kind {
+            OpKind::Insert => PlainTreap::union(state, batch),
+            OpKind::Delete => PlainTreap::diff(state, batch),
+        };
+    }
+    state
 }
 
 fn main() {
-    let batches = synthesize_traffic(12, 2026);
-    let total = batches.len();
+    let traffic = synthesize_traffic(12, 2026);
+    let total = traffic.len();
 
-    banner("replaying batched updates on the real runtime (4 workers)");
-    // One persistent pool for the whole replay: a long-lived service keeps
-    // its workers warm instead of spawning threads per batch — including
-    // across batches that fail (the pool survives contained aborts).
-    let rt = Runtime::new(4);
-    let mut state = RTreap::<i64>::Leaf;
-    let mut oracle: BTreeSet<i64> = BTreeSet::new();
-    let mut seq_state: Option<Box<PlainTreap<i64>>> = None;
-    let mut degraded = 0usize;
+    banner("driving batched updates through pf-service (4 shards, pipelined)");
+    let cfg = ServiceConfig {
+        threads: 4,
+        window: 4,
+        mode: ApplyMode::Pipelined,
+        // Generous for healthy waves; the wedged one trips it.
+        deadline: Some(Duration::from_millis(500)),
+        policy: CoalescePolicy::default(),
+    };
+    let map = ShardMap::uniform(SHARDS, 0, KEYSPACE);
+    let svc = SetService::new(map.clone(), cfg);
 
-    for (i, batch) in batches.into_iter().enumerate() {
-        let kind = if batch.delete { "delete" } else { "insert" };
-        // Sanitize the request: sort and drop duplicate keys (keep-first,
-        // matching `PlainTreap::from_entries`, whose duplicate inserts are
-        // no-ops — so the dedup is cosmetic for reporting, not load-bearing).
-        let mut entries = batch.entries;
-        let raw = entries.len();
-        entries.sort_by_key(|e| e.0);
-        entries.dedup_by_key(|e| e.0);
-        if entries.len() < raw {
-            println!(
-                "batch {i:>2} {kind:>6} dropped {} duplicate key(s)",
-                raw - entries.len()
-            );
-        }
+    // The concurrent open-loop path: one apply thread per shard drains
+    // its ingress while the main thread feeds requests in.
+    let report = svc.drive(traffic.clone());
 
-        let bt = RTreap::from_entries_ready(&entries);
-        let res = match batch.fault {
-            Fault::None => {
-                try_apply_batch(&rt, state.clone(), bt, batch.delete, Some(BATCH_DEADLINE))
-            }
-            f @ Fault::Panic => {
-                apply_with_fault(&rt, state.clone(), bt, batch.delete, f, BATCH_DEADLINE)
-            }
-            f @ Fault::Wedge => {
-                apply_with_fault(&rt, state.clone(), bt, batch.delete, f, WEDGED_DEADLINE)
-            }
+    for o in &report.outcomes {
+        let kind = if o.kind == OpKind::Insert {
+            "insert"
+        } else {
+            "delete"
         };
-
-        match res {
-            Ok(next) => {
-                // Commit: advance the oracle and the sequential reference
-                // only for batches that actually served.
-                if batch.delete {
-                    for e in &entries {
-                        oracle.remove(&e.0);
-                    }
-                    seq_state = PlainTreap::diff(seq_state, PlainTreap::from_entries(&entries));
-                } else {
-                    oracle.extend(entries.iter().map(|e| e.0));
-                    seq_state = PlainTreap::union(seq_state, PlainTreap::from_entries(&entries));
-                }
-                state = next;
-                let keys = state.to_sorted_vec();
-                assert_eq!(
-                    keys,
-                    oracle.iter().copied().collect::<Vec<_>>(),
-                    "batch {i} diverged from the oracle"
-                );
-                assert!(
-                    state.check_invariants(),
-                    "treap invariants broken at batch {i}"
-                );
-                println!(
-                    "batch {i:>2} {kind:>6} {:>4} keys -> live set {:>6} keys, treap height {:>2}",
-                    entries.len(),
-                    keys.len(),
-                    state.height()
-                );
-            }
-            Err(e) => {
-                // Degrade: keep the previous root; the dead session's
-                // suspended continuations were poisoned and dropped, not
-                // leaked, and the pool is immediately reusable.
-                degraded += 1;
-                println!("batch {i:>2} {kind:>6} DEGRADED (kept previous root): {e}");
-                assert!(
-                    batch.fault != Fault::None,
-                    "healthy batch {i} failed unexpectedly: {e}"
-                );
-                assert_eq!(
-                    state.to_sorted_vec(),
-                    oracle.iter().copied().collect::<Vec<_>>(),
-                    "served state changed across a degraded batch {i}"
-                );
-            }
-        }
+        let fate = if o.served { "served" } else { "DEGRADED" };
+        let via = if o.replayed { " (via replay)" } else { "" };
+        println!(
+            "shard {} {kind:>6} wave tags {:?} {:>4} keys -> {fate}{via} in {:?}",
+            o.shard, o.tags, o.keys, o.latency
+        );
     }
 
-    // Exactly the two injected faults degraded; everything else served.
+    // 3. Failure model: exactly the two faulty requests degraded, in
+    // every shard their keys landed in; the empty batch never produced
+    // a wave at all (elided at ingress).
+    let degraded_tags: BTreeSet<u64> = report
+        .outcomes
+        .iter()
+        .filter(|o| !o.served)
+        .flat_map(|o| o.tags.iter().copied())
+        .collect();
     assert_eq!(
-        degraded, 2,
+        degraded_tags,
+        BTreeSet::from([PANIC_TAG, WEDGE_TAG]),
         "expected exactly the injected faults to degrade"
     );
-    // The parallel state matches the sequential treap shape exactly
-    // (same priorities, same tie-break rule).
-    assert_eq!(
-        state.height(),
-        PlainTreap::height(&seq_state),
-        "parallel and sequential treaps must have identical shape"
+    assert!(
+        !report.outcomes.iter().any(|o| o.tags.contains(&EMPTY_TAG)),
+        "the empty batch should be elided, not applied"
     );
+
+    let served: HashSet<(usize, u64)> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.served)
+        .flat_map(|o| o.tags.iter().map(move |t| (o.shard, *t)))
+        .collect();
+
+    for shard in 0..SHARDS {
+        let stream = shard_stream(&traffic, &map, shard);
+
+        // 1. Key-set oracle: BTreeSet replay of the served requests.
+        let mut oracle: BTreeSet<i64> = BTreeSet::new();
+        for r in &stream {
+            if !served.contains(&(shard, r.tag)) {
+                continue;
+            }
+            match r.kind {
+                OpKind::Insert => oracle.extend(r.entries.iter().map(|e| e.0)),
+                OpKind::Delete => {
+                    for e in &r.entries {
+                        oracle.remove(&e.0);
+                    }
+                }
+            }
+        }
+        let keys = svc.shard_keys(shard);
+        assert_eq!(
+            keys,
+            oracle.iter().copied().collect::<Vec<_>>(),
+            "shard {shard} diverged from the BTreeSet oracle"
+        );
+        assert!(
+            svc.snapshot(shard).check_invariants(),
+            "treap invariants broken in shard {shard}"
+        );
+
+        // 2. Shape oracle: the parallel root matches a sequential
+        // PlainTreap replay of the same coalesced waves exactly.
+        let plain = replay_shard_plain(stream, shard, &served, &cfg.policy);
+        assert_eq!(
+            svc.snapshot(shard).height(),
+            PlainTreap::height(&plain),
+            "shard {shard}: parallel and sequential treaps must have identical shape"
+        );
+
+        // Snapshot reads come straight off the committed root.
+        for k in keys.iter().take(3) {
+            assert!(svc.contains(k));
+        }
+        println!(
+            "shard {shard}: {:>6} keys, height {:>2} — matches BTreeSet and PlainTreap replay",
+            keys.len(),
+            svc.snapshot(shard).height()
+        );
+    }
+
     println!(
-        "\n{}/{total} batches served, {degraded} degraded; all states verified against \
-         BTreeSet and sequential treap. done.",
-        total - degraded
+        "\n{total} requests -> {}/{} waves served ({} degraded) across {} sessions; \
+         {} keys applied, in-session throughput {:.0} ops/s. all shards verified. done.",
+        report.served,
+        report.served + report.degraded,
+        report.degraded,
+        report.sessions,
+        report.keys_applied,
+        report.stats.ops_per_sec(report.keys_applied)
     );
 }
