@@ -1,0 +1,290 @@
+//! PR 7 evidence harness: scheduler hot-path cost with the tracing layer
+//! compiled **out** (the default build — must match PR 6-era numbers)
+//! versus compiled **in** (`--features trace`).
+//!
+//! The variant is detected from the build itself (`cfg!(feature =
+//! "trace")`), so the same binary name produces either half:
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin bench_pr7                    # untraced half
+//! cargo run --release -p pf-bench --features trace --bin bench_pr7   # traced half
+//! ```
+//!
+//! Each half writes `results/bench_pr7_{untraced|traced}.json`; when both
+//! exist the run merges them into `results/BENCH_PR7.json` with a
+//! `traced/untraced` overhead ratio per metric. The metrics are the PR 1
+//! scheduler microbenchmarks (repeated no-op runs, spawn fan-out
+//! throughput, spawn burst, both cell orderings) plus the 50k treap
+//! union — the paths that gained trace hooks.
+//!
+//! Usage: `bench_pr7 [ci]` — `ci` shrinks reps/sizes for the CI smoke.
+
+use std::time::{Duration, Instant};
+
+use pf_rt::{cell, Runtime, Worker};
+use pf_rt_algs::drivers::{best_of, time_union_rt};
+use pf_trees::workloads::union_entries;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn time(mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+fn repeated_run_us(threads: usize, reps: u32) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let dt = time(|| {
+        for _ in 0..reps {
+            rt.run(|_| {});
+        }
+    });
+    dt.as_secs_f64() * 1e6 / reps as f64
+}
+
+fn spawn_tree(wk: &Worker, depth: usize) {
+    if depth > 0 {
+        wk.spawn(move |wk| spawn_tree(wk, depth - 1));
+        wk.spawn(move |wk| spawn_tree(wk, depth - 1));
+    }
+}
+
+fn spawn_throughput_mops(threads: usize, depth: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let tasks = (1u64 << (depth + 1)) - 1;
+    let dt = best_of(reps, || time(|| rt.run(move |wk| spawn_tree(wk, depth))));
+    tasks as f64 / dt.as_secs_f64() / 1e6
+}
+
+fn spawn_burst_mops(threads: usize, n: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let dt = best_of(reps, || {
+        time(|| {
+            rt.run(move |wk| {
+                for _ in 0..n {
+                    wk.spawn(|_| {});
+                }
+            })
+        })
+    });
+    n as f64 / dt.as_secs_f64() / 1e6
+}
+
+fn cell_write_then_touch_us(n: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(1);
+    rt.run(|_| {});
+    let dt = best_of(reps, || {
+        time(|| {
+            rt.run(move |wk| {
+                for i in 0..n {
+                    let (w, r) = cell::<usize>();
+                    w.fulfill(wk, i);
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                }
+            })
+        })
+    });
+    dt.as_secs_f64() * 1e6
+}
+
+fn cell_touch_then_write_us(n: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(1);
+    rt.run(|_| {});
+    let dt = best_of(reps, || {
+        time(|| {
+            rt.run(move |wk| {
+                for i in 0..n {
+                    let (w, r) = cell::<usize>();
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                    w.fulfill(wk, i);
+                }
+            })
+        })
+    });
+    dt.as_secs_f64() * 1e6
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Read the `"metrics"` section back out of one half's JSON (our own
+/// fixed `"key": value,` line format — no general JSON parser needed).
+fn read_metrics(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    let mut in_metrics = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("\"metrics\"") {
+            in_metrics = true;
+            continue;
+        }
+        if !in_metrics {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        let (k, v) = line.split_once(':')?;
+        let k = k.trim().trim_matches('"').to_string();
+        let v: f64 = v.trim().trim_end_matches(',').parse().ok()?;
+        out.push((k, v));
+    }
+    Some(out)
+}
+
+/// Merge both halves into the frozen `BENCH_PR7.json`: every shared
+/// metric with its untraced value, traced value, and the ratio. For the
+/// `_us` metrics a ratio > 1 is overhead; for the `_mops` throughputs a
+/// ratio < 1 is.
+fn merge(ncpu: usize, note: &str) -> bool {
+    let (Some(off), Some(on)) = (
+        read_metrics("results/bench_pr7_untraced.json"),
+        read_metrics("results/bench_pr7_traced.json"),
+    ) else {
+        return false;
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"label\": \"pr7_trace_overhead\",\n");
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str(&format!("  \"note\": \"{note}\",\n"));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v_off)) in off.iter().enumerate() {
+        let v_on = on
+            .iter()
+            .find(|(k2, _)| k2 == k)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN);
+        let ratio = if *v_off != 0.0 {
+            v_on / v_off
+        } else {
+            f64::NAN
+        };
+        let comma = if i + 1 == off.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{k}\": {{ \"untraced\": {v_off:.3}, \"traced\": {v_on:.3}, \
+             \"ratio\": {ratio:.3} }}{comma}\n"
+        ));
+        println!("{k:<40} off {v_off:>10.3}  on {v_on:>10.3}  ratio {ratio:>6.3}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("results/BENCH_PR7.json", &json).expect("write merged json");
+    true
+}
+
+fn main() {
+    let variant = if cfg!(feature = "trace") {
+        "traced"
+    } else {
+        "untraced"
+    };
+    let arg = std::env::args().nth(1);
+    let ci = matches!(arg.as_deref(), Some("ci") | Some("--ci"));
+    let (run_reps, bo, depth, burst, ncells, union_n): (u32, usize, usize, usize, usize, usize) =
+        if ci {
+            (50, 2, 12, 10_000, 2_000, 4_000)
+        } else {
+            (400, 5, 17, 100_000, 10_000, 50_000)
+        };
+
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    println!(
+        "bench_pr7 variant: {variant} (trace feature {})\n",
+        on_off()
+    );
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, v: f64| {
+        println!("{name:<40} {v:>12.3}");
+        entries.push((name, v));
+    };
+
+    for t in THREADS {
+        push(
+            format!("repeated_run_noop_t{t}_us"),
+            repeated_run_us(t, run_reps),
+        );
+    }
+    for t in THREADS {
+        push(
+            format!("spawn_tree_throughput_t{t}_mops"),
+            spawn_throughput_mops(t, depth, bo),
+        );
+    }
+    push("spawn_burst_t1_mops".into(), spawn_burst_mops(1, burst, bo));
+    push(
+        "lockfree_write_then_touch_10k_us".into(),
+        cell_write_then_touch_us(ncells, bo),
+    );
+    push(
+        "lockfree_touch_then_write_10k_us".into(),
+        cell_touch_then_write_us(ncells, bo),
+    );
+    let (ea, eb) = union_entries(union_n, union_n, 5);
+    for t in THREADS {
+        let dt = best_of(3, || time_union_rt(&ea, &eb, t));
+        push(format!("time_union_rt_50k_t{t}_ms"), dt.as_secs_f64() * 1e3);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"pr7_{variant}\",\n"));
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{k}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = format!("results/bench_pr7_{variant}.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!("\nwrote {path}");
+
+    let note = "PR1 scheduler microbenchmarks + 50k treap union, identical driver built \
+                with and without --features trace; ratio = traced/untraced (for _us \
+                metrics >1 is overhead, for _mops throughputs <1 is)";
+    if merge(ncpu, note) {
+        println!("wrote results/BENCH_PR7.json (merged both variants)");
+    } else {
+        println!("run the other variant to produce results/BENCH_PR7.json");
+    }
+}
+
+fn on_off() -> &'static str {
+    if cfg!(feature = "trace") {
+        "on"
+    } else {
+        "off"
+    }
+}

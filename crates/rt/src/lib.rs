@@ -67,9 +67,16 @@ pub mod rounds;
 pub mod scheduler;
 pub mod sync;
 pub mod task;
+pub mod trace;
 
 pub use cell::{cell, ready, FutRead, FutWrite};
+
 pub use error::{CancelToken, PoisonInfo, Session, SessionError, StallReport, StuckCell};
+/// The trace data layer (`--features trace` only): event kinds, session
+/// timelines, summaries, and the Perfetto export. Re-exported so users
+/// of a traced runtime need not depend on `pf-trace` directly.
+#[cfg(feature = "trace")]
+pub use pf_trace::{SessionTrace, TraceEvent, TraceKind, TraceStats, WorkerSummary, WorkerTrace};
 pub use rounds::PoolRounds;
 pub use scheduler::{RunStats, Runtime, Worker};
 

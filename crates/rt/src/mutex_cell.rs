@@ -90,6 +90,7 @@ pub fn mx_cell<T>() -> (MxWrite<T>, MxRead<T>) {
 impl<T: Clone + Send + 'static> MxWrite<T> {
     /// Write the value and reactivate every suspended continuation.
     pub fn fulfill(self, worker: &Worker, value: T) {
+        crate::trace::fulfill(worker, Arc::as_ptr(&self.inner) as *const () as usize);
         let waiters = {
             let mut g = self.inner.state.lock().unwrap();
             if let State::Poisoned(info) = &*g {
@@ -133,6 +134,7 @@ impl<T: Clone + Send + 'static> MxRead<T> {
                 }
                 State::Empty(ws) => {
                     worker.note_suspend();
+                    crate::trace::suspend(worker, Arc::as_ptr(&self.inner) as *const () as usize);
                     // First suspension: register for poisoning on abort
                     // (one registry entry covers all of a cell's waiters).
                     if ws.is_empty() {

@@ -199,7 +199,11 @@ impl WorkerStats {
 }
 
 /// Execution statistics of one [`Runtime::run_stats`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `Copy` except under `--features trace`, where the optional
+/// [`RunStats::trace`] summary carries per-worker vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(not(feature = "trace"), derive(Copy))]
 pub struct RunStats {
     /// Closures executed (root + spawned tasks + reactivated waiters).
     pub tasks_executed: u64,
@@ -215,6 +219,13 @@ pub struct RunStats {
     /// [`RunStats::ops_per_sec`]) instead of re-deriving it from its own
     /// clock around the `run` call.
     pub elapsed: Duration,
+    /// The session's scheduler-behavior summary (per-worker steal,
+    /// suspension, execution, and park/unpark counts), built from exact
+    /// per-lane counters at the session rendezvous. Only present when
+    /// tracing is compiled in — see `src/trace.rs`. The full event
+    /// timeline is one [`Runtime::take_last_trace`] call away.
+    #[cfg(feature = "trace")]
+    pub trace: Option<pf_trace::TraceStats>,
 }
 
 impl RunStats {
@@ -242,6 +253,12 @@ impl RunStats {
         self.suspensions += other.suspensions;
         self.steals += other.steals;
         self.elapsed += other.elapsed;
+        #[cfg(feature = "trace")]
+        match (&mut self.trace, &other.trace) {
+            (Some(a), Some(b)) => a.merge(b),
+            (t @ None, Some(b)) => *t = Some(b.clone()),
+            _ => {}
+        }
     }
 }
 
@@ -346,6 +363,9 @@ pub(crate) struct Shared {
     /// Session-over flag + condvar the client blocks on.
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// Per-lane event rings + exact counters (see `src/trace.rs`).
+    #[cfg(feature = "trace")]
+    pub(crate) trace: crate::trace::PoolTrace,
 }
 
 /// Ignore mutex poisoning: every guarded invariant here is re-established
@@ -451,6 +471,7 @@ fn worker_loop(wk: &Worker) {
         if let Some(task) = wk.find_task() {
             idle = 0;
             wk.stats().add_tasks(1);
+            crate::trace::exec(wk);
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 // Chaos seam: with `--cfg pf_chaos` this may panic before
                 // the task body, modeling a fault at any task boundary.
@@ -489,7 +510,9 @@ fn worker_loop(wk: &Worker) {
                 idle = 0;
                 continue;
             }
+            crate::trace::park(wk);
             crate::sync::thread::park();
+            crate::trace::unpark(wk);
             // A claiming producer already cleared our bit; clearing again
             // is harmless and also covers spurious unparks.
             shared.sleepers.fetch_and(!bit, Ordering::SeqCst);
@@ -511,6 +534,10 @@ pub struct Runtime {
     session: Mutex<()>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     nthreads: usize,
+    /// The most recent session's full event timeline, parked here at the
+    /// session rendezvous for [`Runtime::take_last_trace`].
+    #[cfg(feature = "trace")]
+    last_trace: Mutex<Option<pf_trace::SessionTrace>>,
 }
 
 impl Runtime {
@@ -538,6 +565,8 @@ impl Runtime {
             abort: Mutex::new(AbortSlot::default()),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
+            #[cfg(feature = "trace")]
+            trace: crate::trace::PoolTrace::new(nthreads),
         });
         let handles: Vec<JoinHandle<()>> = locals
             .into_iter()
@@ -564,7 +593,20 @@ impl Runtime {
             session: Mutex::new(()),
             handles: Mutex::new(handles),
             nthreads,
+            #[cfg(feature = "trace")]
+            last_trace: Mutex::new(None),
         }
+    }
+
+    /// Take the most recent session's full event timeline (tracing builds
+    /// only). `None` until a session has run, or after the trace was
+    /// already taken. Available for failed sessions too — the poison
+    /// events an abort records are often exactly what a post-mortem
+    /// needs — whereas the summary on [`RunStats`] only travels with
+    /// successful sessions.
+    #[cfg(feature = "trace")]
+    pub fn take_last_trace(&self) -> Option<pf_trace::SessionTrace> {
+        lock(&self.last_trace).take()
     }
 
     /// The process-wide default runtime, sized to the available
@@ -684,6 +726,10 @@ impl Runtime {
         }
         *lock(&shared.done) = false;
         shared.live.store(1, Ordering::Relaxed);
+        // Discard idle-gap events (workers park/unpark between sessions)
+        // and stamp the session start on the pool's trace clock.
+        #[cfg(feature = "trace")]
+        let trace_start = shared.trace.clear();
         let started = std::time::Instant::now();
         shared.injector.push(Task::new(root));
         shared.notify(1);
@@ -709,6 +755,14 @@ impl Runtime {
                 reason: SessionError::describe_reason(&reason),
             });
             let stuck = self.finish_abort(&ctx);
+            // Drain *after* the abort cleanup so its poison events are in
+            // the timeline. No RunStats travels on this path; the trace
+            // is reachable through `take_last_trace`.
+            #[cfg(feature = "trace")]
+            {
+                let (session_trace, _) = shared.trace.drain(sid, trace_start);
+                *lock(&self.last_trace) = Some(session_trace);
+            }
             return Err(match reason {
                 AbortReason::Panic(payload) => SessionError::Panicked {
                     session: sid,
@@ -736,6 +790,12 @@ impl Runtime {
             out.spawns += s.spawns.load(Ordering::Relaxed);
             out.suspensions += s.suspensions.load(Ordering::Relaxed);
             out.steals += s.steals.load(Ordering::Relaxed);
+        }
+        #[cfg(feature = "trace")]
+        {
+            let (session_trace, summary) = shared.trace.drain(sid, trace_start);
+            *lock(&self.last_trace) = Some(session_trace);
+            out.trace = Some(summary);
         }
         Ok(out)
     }
@@ -835,6 +895,7 @@ impl Runtime {
             for weak in unsafe { reg.take() } {
                 if let Some(cell) = weak.upgrade() {
                     if let Some(desc) = cell.poison(ctx) {
+                        crate::trace::poison(shared, desc.addr);
                         stuck.push(desc);
                     }
                 }

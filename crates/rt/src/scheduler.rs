@@ -76,6 +76,7 @@ impl Worker {
     pub fn spawn(&self, f: impl FnOnce(&Worker) + Send + 'static) {
         self.shared.live.fetch_add(1, Ordering::Relaxed);
         self.stats().add_spawns(1);
+        crate::trace::spawn(self, 1);
         self.local.push(Task::new(f));
         self.notify_push(1);
     }
@@ -92,6 +93,7 @@ impl Worker {
     ) {
         self.shared.live.fetch_add(2, Ordering::Relaxed);
         self.stats().add_spawns(2);
+        crate::trace::spawn(self, 2);
         self.local.push(Task::new(f));
         self.local.push(Task::new(g));
         self.notify_push(2);
@@ -101,13 +103,17 @@ impl Worker {
     pub(crate) fn spawn_boxed(&self, f: Box<dyn FnOnce(&Worker) + Send>) {
         self.shared.live.fetch_add(1, Ordering::Relaxed);
         self.stats().add_spawns(1);
+        crate::trace::spawn(self, 1);
         self.local.push(Task::from_boxed(f));
         self.notify_push(1);
     }
 
     /// Enqueue a task whose liveness unit already exists (a reactivated
-    /// waiter — its unit was added by [`Worker::note_suspend`]).
+    /// waiter — its unit was added by [`Worker::note_suspend`]). This is
+    /// the resume point of every suspended continuation, for both cell
+    /// flavors — hence the trace hook.
     pub(crate) fn enqueue_transferred(&self, t: Task) {
+        crate::trace::resume(self);
         self.local.push(t);
         self.notify_push(1);
     }
@@ -216,6 +222,7 @@ impl Worker {
                 match self.shared.stealers[v].steal() {
                     Steal::Success(t) => {
                         self.stats().add_steals(1);
+                        crate::trace::steal(self, v);
                         return Some(t);
                     }
                     Steal::Retry => continue,

@@ -1,0 +1,263 @@
+//! Runtime event tracing (`--features trace`): the pool-side half of
+//! [`pf_trace`].
+//!
+//! # What is recorded
+//!
+//! Every scheduler transition of interest —
+//! `{spawn, steal, exec, suspend, resume, fulfill, poison, park, unpark}`
+//! — is recorded into the executing worker's *lane* with a monotonic
+//! nanosecond timestamp (one clock per pool, captured at pool creation,
+//! so lanes share a timeline). The client thread owns one extra lane for
+//! the events it records single-threadedly during an abort (cell
+//! poisoning at the abort rendezvous).
+//!
+//! Each lane holds two things:
+//!
+//! * a fixed-capacity [`pf_trace::TraceRing`] ([`RING_CAP`] events) —
+//!   the timeline for [`pf_trace::SessionTrace::to_chrome_trace`]. When
+//!   a session produces more events than the ring holds, the **oldest**
+//!   are overwritten and the drop count says so; the export is a
+//!   truncated-but-honest newest-events window;
+//! * an exact per-kind counter array — the source of
+//!   [`pf_trace::TraceStats`]. Counters never drop, so the summaries a
+//!   test asserts on (steal counts, suspension counts, executed tasks)
+//!   are exact even for sessions far larger than the ring.
+//!
+//! # Drain protocol
+//!
+//! Lanes are cleared by the client at **session start** (the pool is
+//! quiescent; stale park/unpark events from the idle gap between
+//! sessions are discarded) and drained at the **session rendezvous**
+//! into a [`pf_trace::SessionTrace`] — on the abort path *after*
+//! `finish_abort`, so the client's poison events are included. Each lane
+//! is a `Mutex<…>` padded to its own cache line: the owner's push is an
+//! uncontended lock (the client only takes it at clear/drain, when the
+//! workers are provably not recording — but the mutex makes the idle
+//! loop's park/unpark events, which are recorded *outside* any session,
+//! sound rather than merely phase-separated).
+//!
+//! # Cost
+//!
+//! With the feature **off** (the default) every hook below compiles to
+//! an empty `#[inline(always)]` function — no branch, no atomic, no
+//! field in `Shared`; `results/BENCH_PR7.json` pins the no-regression
+//! claim. With the feature **on**, a hook is one uncontended lock plus a
+//! counter bump and a ring push (~a few tens of nanoseconds); the same
+//! benchmark records the overhead honestly.
+//!
+//! Incompatible with `--cfg pf_check`: the model checker virtualizes
+//! the sync layer and has no clock, so real `Instant` timestamps (and
+//! real std mutexes on the lanes) would order nothing the checker can
+//! see.
+
+#[cfg(all(feature = "trace", pf_check))]
+compile_error!(
+    "feature \"trace\" is incompatible with --cfg pf_check: the model checker's \
+     virtual clock cannot order real timestamps (same rule as pf_chaos)"
+);
+
+#[cfg(feature = "trace")]
+pub(crate) use imp::PoolTrace;
+
+/// Per-lane ring capacity, in events. Sized so every behavioral test and
+/// typical service session fits without wraparound (a 2^11-node tree
+/// session records a few thousand events per worker); larger sessions
+/// keep their newest [`RING_CAP`] events per lane and report the drops.
+#[cfg(feature = "trace")]
+pub(crate) const RING_CAP: usize = 1 << 14;
+
+#[cfg(feature = "trace")]
+mod imp {
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    use pf_trace::{
+        SessionTrace, TraceEvent, TraceKind, TraceRing, TraceStats, WorkerSummary, WorkerTrace,
+        KIND_COUNT,
+    };
+
+    use crate::pool::lock;
+
+    /// One worker's (or the client's) event lane, padded so the owner's
+    /// pushes never share a cache line with a sibling's.
+    #[repr(align(128))]
+    struct Lane(Mutex<LaneState>);
+
+    struct LaneState {
+        ring: TraceRing,
+        /// Exact per-kind counts — the rings drop, these never do.
+        counts: [u64; KIND_COUNT],
+    }
+
+    /// The pool's trace state: one lane per worker plus a final client
+    /// lane, sharing one monotonic clock.
+    pub(crate) struct PoolTrace {
+        epoch: Instant,
+        lanes: Vec<Lane>,
+    }
+
+    impl PoolTrace {
+        pub(crate) fn new(nthreads: usize) -> PoolTrace {
+            PoolTrace {
+                epoch: Instant::now(),
+                lanes: (0..nthreads + 1)
+                    .map(|_| {
+                        Lane(Mutex::new(LaneState {
+                            ring: TraceRing::new(super::RING_CAP),
+                            counts: [0; KIND_COUNT],
+                        }))
+                    })
+                    .collect(),
+            }
+        }
+
+        /// Nanoseconds since the pool epoch.
+        #[inline]
+        pub(crate) fn now_ns(&self) -> u64 {
+            self.epoch.elapsed().as_nanos() as u64
+        }
+
+        /// Record `n` events of `kind` on `lane` (one timestamp draw).
+        #[inline]
+        pub(crate) fn record(&self, lane: usize, kind: TraceKind, arg: u64, n: u64) {
+            let ts_ns = self.now_ns();
+            let mut g = lock(&self.lanes[lane].0);
+            g.counts[kind as usize] += n;
+            for _ in 0..n {
+                g.ring.push(TraceEvent { ts_ns, kind, arg });
+            }
+        }
+
+        /// The client lane's index (abort-time poison events).
+        #[inline]
+        pub(crate) fn client_lane(&self) -> usize {
+            self.lanes.len() - 1
+        }
+
+        /// Discard every lane's events and counts (session start, pool
+        /// quiescent) and return the new session's start timestamp.
+        pub(crate) fn clear(&self) -> u64 {
+            for lane in &self.lanes {
+                let mut g = lock(&lane.0);
+                g.ring.clear();
+                g.counts = [0; KIND_COUNT];
+            }
+            self.now_ns()
+        }
+
+        /// Drain every lane into the session's trace and its exact
+        /// summary (session rendezvous; on the abort path, after
+        /// `finish_abort` so poison events are included).
+        pub(crate) fn drain(&self, session: u64, start_ns: u64) -> (SessionTrace, TraceStats) {
+            let mut take = |lane: &Lane| {
+                let mut g = lock(&lane.0);
+                let (events, dropped) = g.ring.drain();
+                let counts = std::mem::replace(&mut g.counts, [0; KIND_COUNT]);
+                (
+                    WorkerTrace { events, dropped },
+                    WorkerSummary { counts, dropped },
+                )
+            };
+            let n = self.client_lane();
+            let (workers, per_worker): (Vec<_>, Vec<_>) =
+                self.lanes[..n].iter().map(&mut take).unzip();
+            let (client_tr, client_sum) = take(&self.lanes[n]);
+            (
+                SessionTrace {
+                    session,
+                    start_ns,
+                    workers,
+                    client: client_tr,
+                },
+                TraceStats {
+                    session,
+                    per_worker,
+                    client: client_sum,
+                },
+            )
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+#[inline]
+fn record(wk: &crate::scheduler::Worker, kind: pf_trace::TraceKind, arg: u64, n: u64) {
+    wk.shared().trace.record(wk.index(), kind, arg, n);
+}
+
+// ---- hook points (no-ops when the feature is off) -----------------------
+//
+// Placement mirrors the `WorkerStats` counters exactly, so the summed
+// trace counts reconcile with `RunStats` (pinned by tests/trace.rs):
+// Exec beside `add_tasks`, Spawn beside `add_spawns`, Steal beside
+// `add_steals`, and Suspend only on the *committed* suspension path (the
+// raced touch that un-notes its suspension records nothing).
+
+/// `n` tasks spawned by `wk` (`spawn2` records two).
+#[inline(always)]
+pub(crate) fn spawn(_wk: &crate::scheduler::Worker, _n: u64) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Spawn, 0, _n);
+}
+
+/// `wk` stole a task from worker `_victim`.
+#[inline(always)]
+pub(crate) fn steal(_wk: &crate::scheduler::Worker, _victim: usize) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Steal, _victim as u64, 1);
+}
+
+/// `wk` is about to execute a task body.
+#[inline(always)]
+pub(crate) fn exec(_wk: &crate::scheduler::Worker) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Exec, 0, 1);
+}
+
+/// A touch on `wk` committed a suspension into the cell at `_addr`.
+#[inline(always)]
+pub(crate) fn suspend(_wk: &crate::scheduler::Worker, _addr: usize) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Suspend, _addr as u64, 1);
+}
+
+/// A write on `wk` reactivated a suspended continuation.
+#[inline(always)]
+pub(crate) fn resume(_wk: &crate::scheduler::Worker) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Resume, 0, 1);
+}
+
+/// `wk` wrote the future cell at `_addr`.
+#[inline(always)]
+pub(crate) fn fulfill(_wk: &crate::scheduler::Worker, _addr: usize) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Fulfill, _addr as u64, 1);
+}
+
+/// `wk` found no work and is about to park its thread.
+#[inline(always)]
+pub(crate) fn park(_wk: &crate::scheduler::Worker) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Park, 0, 1);
+}
+
+/// `wk`'s park returned.
+#[inline(always)]
+pub(crate) fn unpark(_wk: &crate::scheduler::Worker) {
+    #[cfg(feature = "trace")]
+    record(_wk, pf_trace::TraceKind::Unpark, 0, 1);
+}
+
+/// The abort cleanup poisoned the cell at `_addr` (client lane: the
+/// poison pass runs single-threadedly at the abort rendezvous).
+#[inline(always)]
+pub(crate) fn poison(_shared: &crate::pool::Shared, _addr: usize) {
+    #[cfg(feature = "trace")]
+    _shared.trace.record(
+        _shared.trace.client_lane(),
+        pf_trace::TraceKind::Poison,
+        _addr as u64,
+        1,
+    );
+}

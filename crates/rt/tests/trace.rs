@@ -1,0 +1,221 @@
+//! Behavioral scheduler tests over the tracing layer (`--features trace`).
+//!
+//! Until this suite, tests could only assert *end-state* values (cells
+//! hold the right numbers) and aggregate counters. `TraceStats` lets them
+//! assert scheduler *behavior*: that a single-threaded session cannot
+//! steal, that a fork-heavy session on a wide pool does, that
+//! touch-before-fulfill produces matched suspend/resume pairs, and that
+//! an aborted session poisons exactly the cells its `StallReport` names.
+//! The reconciliation test at the bottom pins the trace counts to the
+//! independent `WorkerStats` counters across 100 seeded random workloads.
+
+#![cfg(feature = "trace")]
+
+use pf_rt::{cell, Runtime, Session, SessionError, TraceKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn fork_tree(wk: &pf_rt::Worker, depth: usize) {
+    if depth > 0 {
+        wk.spawn2(
+            move |wk| fork_tree(wk, depth - 1),
+            move |wk| fork_tree(wk, depth - 1),
+        );
+    }
+}
+
+#[test]
+fn single_worker_records_zero_steals() {
+    let rt = Runtime::new(1);
+    let stats = rt.run_stats(|wk| fork_tree(wk, 8));
+    let trace = stats.trace.as_ref().expect("traced build attaches stats");
+    assert_eq!(trace.steals(), 0, "a lone worker has nobody to steal from");
+    assert_eq!(trace.steals(), stats.steals);
+    assert_eq!(trace.per_worker.len(), 1);
+    // Everything ran on worker 0.
+    assert_eq!(trace.per_worker[0].executed(), stats.tasks_executed);
+}
+
+#[test]
+fn fork_heavy_session_steals_on_a_wide_pool() {
+    // Stealing is how tasks reach workers 1..4 at all (the injector only
+    // ever holds the root), so a fan-out of thousands of yielding tasks
+    // engages it reliably; the retry loop absorbs pathological schedules.
+    let rt = Runtime::new(4);
+    let mut last = 0;
+    for _ in 0..20 {
+        let stats = rt.run_stats(|wk| {
+            for _ in 0..4000 {
+                wk.spawn(|_| std::thread::yield_now());
+            }
+        });
+        let trace = stats.trace.as_ref().unwrap();
+        assert_eq!(trace.steals(), stats.steals, "trace and counter agree");
+        last = trace.steals();
+        if last > 0 {
+            return;
+        }
+    }
+    panic!("no steal in 20 fork-heavy sessions at t=4 (last trace: {last})");
+}
+
+#[test]
+fn touch_before_fulfill_records_suspend_resume_pairs() {
+    // One worker makes the order deterministic: the root touches every
+    // cell before any fulfiller task runs, so each of the N touches
+    // suspends and each write resumes exactly one waiter.
+    const N: usize = 25;
+    let rt = Runtime::new(1);
+    let stats = rt.run_stats(|wk| {
+        for i in 0..N {
+            let (w, r) = cell::<usize>();
+            r.touch(wk, move |v, _| assert_eq!(v, i));
+            wk.spawn(move |wk| w.fulfill(wk, i));
+        }
+    });
+    let trace = stats.trace.as_ref().unwrap();
+    assert_eq!(trace.suspends(), N as u64);
+    assert_eq!(trace.resumes(), N as u64, "every suspension was resumed");
+    assert_eq!(trace.suspends(), stats.suspensions);
+    assert_eq!(trace.total(TraceKind::Fulfill), N as u64);
+    assert_eq!(trace.poisons(), 0, "healthy session poisons nothing");
+}
+
+#[test]
+fn write_before_touch_records_no_suspension() {
+    let rt = Runtime::new(1);
+    let stats = rt.run_stats(|wk| {
+        let (w, r) = cell::<u32>();
+        w.fulfill(wk, 7);
+        r.touch(wk, |v, _| assert_eq!(v, 7));
+    });
+    let trace = stats.trace.as_ref().unwrap();
+    assert_eq!(trace.suspends(), 0);
+    assert_eq!(trace.resumes(), 0);
+    assert_eq!(trace.total(TraceKind::Fulfill), 1);
+}
+
+#[test]
+fn stalled_session_records_poison_per_stuck_cell() {
+    // Three touches of cells nobody will ever write wedge the session;
+    // the watchdog aborts it and the cleanup must poison exactly the
+    // cells the StallReport names — with one client-lane Poison event
+    // (carrying the cell address) for each.
+    let rt = Runtime::new(2);
+    let err = rt
+        .try_run_session(Session::new(), |wk| {
+            for _ in 0..3 {
+                let (w, r) = cell::<u32>();
+                r.touch(wk, |_, _| {});
+                std::mem::forget(w); // never fulfilled, never dropped early
+            }
+        })
+        .expect_err("a never-written touch must stall the session");
+    let report = match err {
+        SessionError::Stalled { report, .. } => report,
+        other => panic!("expected Stalled, got {other}"),
+    };
+    assert_eq!(report.stuck.len(), 3);
+    let trace = rt
+        .take_last_trace()
+        .expect("aborted sessions leave their timeline behind");
+    let stats = trace.stats();
+    assert_eq!(
+        stats.poisons(),
+        report.stuck.len() as u64,
+        "one poison event per stuck cell"
+    );
+    // The poison events carry the stuck cells' addresses.
+    let mut traced: Vec<u64> = trace
+        .client
+        .events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Poison)
+        .map(|e| e.arg)
+        .collect();
+    let mut reported: Vec<u64> = report.stuck.iter().map(|c| c.addr as u64).collect();
+    traced.sort_unstable();
+    reported.sort_unstable();
+    assert_eq!(traced, reported);
+    assert_eq!(stats.suspends(), 3, "the suspensions that wedged the pool");
+}
+
+#[test]
+fn timeline_is_exported_and_consumed_once() {
+    let rt = Runtime::new(2);
+    let stats = rt.run_stats(|wk| {
+        let (w, r) = cell::<u32>();
+        r.touch(wk, |_, _| {});
+        wk.spawn(move |wk| w.fulfill(wk, 1));
+    });
+    let trace = rt.take_last_trace().expect("timeline available");
+    assert_eq!(trace.session, stats.trace.as_ref().unwrap().session);
+    assert!(trace.events() > 0);
+    let json = trace.to_chrome_trace();
+    assert!(json.contains("\"name\":\"exec\""));
+    assert!(json.contains("\"name\":\"suspend\""));
+    assert!(rt.take_last_trace().is_none(), "take consumes");
+}
+
+#[test]
+fn accumulate_merges_trace_summaries() {
+    let rt = Runtime::new(2);
+    let mut total = pf_rt::RunStats::default();
+    for _ in 0..3 {
+        total.accumulate(&rt.run_stats(|wk| fork_tree(wk, 6)));
+    }
+    let trace = total.trace.as_ref().expect("merge keeps the summary");
+    assert_eq!(trace.executed(), total.tasks_executed);
+    assert_eq!(trace.spawns(), total.spawns);
+}
+
+/// Satellite 4: across 100 seeded random workloads (mixed fan-out,
+/// cells touched and fulfilled in random order, random pool widths),
+/// the per-worker trace counts must reconcile exactly with the
+/// independently-maintained `WorkerStats` counters aggregated in
+/// `RunStats` — executed, spawns, suspensions, and steals alike.
+#[test]
+fn trace_counts_reconcile_with_run_stats_over_seeded_workloads() {
+    let mut rng = SmallRng::seed_from_u64(0x7ACE_5EED);
+    for iter in 0..100 {
+        let threads = rng.gen_range(1..5usize);
+        let plain: usize = rng.gen_range(0..120);
+        let cells: usize = rng.gen_range(0..24);
+        let touch_first: bool = rng.gen();
+        let rt = Runtime::shared(threads);
+        let stats = rt.run_stats(move |wk| {
+            for _ in 0..plain {
+                wk.spawn(|_| {});
+            }
+            for i in 0..cells {
+                let (w, r) = cell::<usize>();
+                if touch_first {
+                    r.touch(wk, move |v, _| assert_eq!(v, i));
+                    wk.spawn(move |wk| w.fulfill(wk, i));
+                } else {
+                    wk.spawn(move |wk| w.fulfill(wk, i));
+                    wk.spawn(move |wk| r.touch(wk, move |v, _| assert_eq!(v, i)));
+                }
+            }
+        });
+        let trace = stats.trace.as_ref().expect("traced build");
+        let executed: u64 = trace.per_worker.iter().map(|w| w.executed()).sum();
+        assert_eq!(
+            executed, stats.tasks_executed,
+            "iter {iter}: per-worker exec events vs RunStats.tasks_executed"
+        );
+        assert_eq!(trace.spawns(), stats.spawns, "iter {iter}: spawns");
+        assert_eq!(
+            trace.suspends(),
+            stats.suspensions,
+            "iter {iter}: committed suspensions (raced touches un-note)"
+        );
+        assert_eq!(trace.steals(), stats.steals, "iter {iter}: steals");
+        assert_eq!(
+            trace.resumes(),
+            trace.suspends(),
+            "iter {iter}: every suspension in a finished session resumed"
+        );
+        assert_eq!(trace.dropped(), 0, "iter {iter}: workloads fit the ring");
+    }
+}
