@@ -104,6 +104,7 @@ fn run_one(reqs: &[Request<i64>], threads: usize, mode: ApplyMode, keyspace: i64
         mode,
         deadline: Some(Duration::from_secs(60)),
         policy: CoalescePolicy::default(),
+        ..ServiceConfig::default()
     };
     let svc = SetService::new(ShardMap::uniform(SHARDS, 0, keyspace), cfg);
     let stop = AtomicBool::new(false);

@@ -1,0 +1,316 @@
+//! PR 8 evidence harness: the pluggable-policy dispatch must not cost
+//! the default hot path anything.
+//!
+//! Two sections:
+//!
+//! 1. **Default-policy A/B** — the exact PR 7 metric set (repeated no-op
+//!    runs, spawn fan-out throughput, spawn burst, both cell orderings,
+//!    50k treap union) re-measured on the policy-dispatching scheduler
+//!    under [`SchedPolicy::default`]. Workload sizes are identical to
+//!    `bench_pr7`, so each metric is compared against the frozen
+//!    `results/bench_pr7_untraced.json` baseline captured before the
+//!    dispatch existed; `ratio` ≈ 1.0 is the no-regression claim.
+//!
+//! 2. **Per-policy wall-clock** — the 50k union at t=4 under every point
+//!    of [`SchedPolicy::matrix`], each reported against the default
+//!    policy's value (per-policy *curves* with exact steal/suspend
+//!    counts are E21's job; this section only shows no policy is
+//!    pathologically slow).
+//!
+//! Writes `results/bench_pr8.json` (raw) and `results/BENCH_PR8.json`
+//! (with baselines and ratios).
+//!
+//! Usage: `bench_pr8 [ci]` — `ci` shrinks reps/sizes for the CI smoke
+//! (baseline ratios are only meaningful when both runs used the same
+//! mode on the same machine).
+
+use std::time::{Duration, Instant};
+
+use pf_rt::{cell, Runtime, SchedPolicy, Worker};
+use pf_rt_algs::drivers::{best_of, time_union_rt};
+use pf_trees::workloads::union_entries;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn time(mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+fn repeated_run_us(threads: usize, reps: u32) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let dt = time(|| {
+        for _ in 0..reps {
+            rt.run(|_| {});
+        }
+    });
+    dt.as_secs_f64() * 1e6 / reps as f64
+}
+
+fn spawn_tree(wk: &Worker, depth: usize) {
+    if depth > 0 {
+        wk.spawn(move |wk| spawn_tree(wk, depth - 1));
+        wk.spawn(move |wk| spawn_tree(wk, depth - 1));
+    }
+}
+
+fn spawn_throughput_mops(threads: usize, depth: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let tasks = (1u64 << (depth + 1)) - 1;
+    let dt = best_of(reps, || time(|| rt.run(move |wk| spawn_tree(wk, depth))));
+    tasks as f64 / dt.as_secs_f64() / 1e6
+}
+
+fn spawn_burst_mops(threads: usize, n: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(threads);
+    rt.run(|_| {});
+    let dt = best_of(reps, || {
+        time(|| {
+            rt.run(move |wk| {
+                for _ in 0..n {
+                    wk.spawn(|_| {});
+                }
+            })
+        })
+    });
+    n as f64 / dt.as_secs_f64() / 1e6
+}
+
+fn cell_write_then_touch_us(n: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(1);
+    rt.run(|_| {});
+    let dt = best_of(reps, || {
+        time(|| {
+            rt.run(move |wk| {
+                for i in 0..n {
+                    let (w, r) = cell::<usize>();
+                    w.fulfill(wk, i);
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                }
+            })
+        })
+    });
+    dt.as_secs_f64() * 1e6
+}
+
+fn cell_touch_then_write_us(n: usize, reps: usize) -> f64 {
+    let rt = Runtime::new(1);
+    rt.run(|_| {});
+    let dt = best_of(reps, || {
+        time(|| {
+            rt.run(move |wk| {
+                for i in 0..n {
+                    let (w, r) = cell::<usize>();
+                    r.touch(wk, |v, _| {
+                        std::hint::black_box(v);
+                    });
+                    w.fulfill(wk, i);
+                }
+            })
+        })
+    });
+    dt.as_secs_f64() * 1e6
+}
+
+/// The 50k union on a pool built with an explicit policy (section 2).
+fn union_policy_ms(
+    ea: &[pf_trees::seq::Entry<i64>],
+    eb: &[pf_trees::seq::Entry<i64>],
+    threads: usize,
+    policy: SchedPolicy,
+    reps: usize,
+) -> f64 {
+    use pf_rt_algs::rtreap::{union, RTreap, RtTreap};
+    let rt = Runtime::with_policy(threads, policy);
+    rt.run(|_| {});
+    let dt = best_of(reps, || {
+        let ta = RTreap::from_entries_ready(ea);
+        let tb = RTreap::from_entries_ready(eb);
+        let (op, of) = cell();
+        let (fa, fb) = (pf_rt::ready(ta), pf_rt::ready(tb));
+        let t0 = Instant::now();
+        rt.run(move |wk| union(wk, fa, fb, op));
+        let d = t0.elapsed();
+        assert!(of.expect().to_sorted_vec().len() >= ea.len().max(eb.len()));
+        d
+    });
+    dt.as_secs_f64() * 1e3
+}
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Read the `"metrics"` section back out of a flat-format results file
+/// (the fixed `"key": value,` line format both PR 7 halves and our raw
+/// file use — no general JSON parser needed).
+fn read_metrics(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    let mut in_metrics = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with("\"metrics\"") {
+            in_metrics = true;
+            continue;
+        }
+        if !in_metrics {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        let (k, v) = line.split_once(':')?;
+        let k = k.trim().trim_matches('"').to_string();
+        let v: f64 = v.trim().trim_end_matches(',').parse().ok()?;
+        out.push((k, v));
+    }
+    Some(out)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let ci = matches!(arg.as_deref(), Some("ci") | Some("--ci"));
+    let (run_reps, bo, depth, burst, ncells, union_n): (u32, usize, usize, usize, usize, usize) =
+        if ci {
+            (50, 2, 12, 10_000, 2_000, 4_000)
+        } else {
+            (400, 5, 17, 100_000, 10_000, 50_000)
+        };
+
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    println!(
+        "bench_pr8: policy-dispatch hot path, default = {}\n",
+        SchedPolicy::default().label()
+    );
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, v: f64| {
+        println!("{name:<52} {v:>12.3}");
+        entries.push((name, v));
+    };
+
+    // Section 1: the PR 7 metric set under the default policy.
+    for t in THREADS {
+        push(
+            format!("repeated_run_noop_t{t}_us"),
+            repeated_run_us(t, run_reps),
+        );
+    }
+    for t in THREADS {
+        push(
+            format!("spawn_tree_throughput_t{t}_mops"),
+            spawn_throughput_mops(t, depth, bo),
+        );
+    }
+    push("spawn_burst_t1_mops".into(), spawn_burst_mops(1, burst, bo));
+    push(
+        "lockfree_write_then_touch_10k_us".into(),
+        cell_write_then_touch_us(ncells, bo),
+    );
+    push(
+        "lockfree_touch_then_write_10k_us".into(),
+        cell_touch_then_write_us(ncells, bo),
+    );
+    let (ea, eb) = union_entries(union_n, union_n, 5);
+    for t in THREADS {
+        let dt = best_of(3, || time_union_rt(&ea, &eb, t));
+        push(format!("time_union_rt_50k_t{t}_ms"), dt.as_secs_f64() * 1e3);
+    }
+
+    // Section 2: every policy on the t=4 union.
+    println!();
+    for policy in SchedPolicy::matrix() {
+        push(
+            format!("policy_union_t4__{}_ms", policy.label()),
+            union_policy_ms(&ea, &eb, 4, policy, 3),
+        );
+    }
+
+    // Raw file (flat metrics, same format as the PR 7 halves).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"label\": \"pr8_default_policy\",\n");
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{k}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/bench_pr8.json", &json).expect("write raw json");
+    println!("\nwrote results/bench_pr8.json");
+
+    // Merged file: each PR 7-shared metric against the frozen pre-dispatch
+    // baseline; each policy metric against this run's default policy.
+    let baseline = read_metrics("results/bench_pr7_untraced.json");
+    if baseline.is_none() {
+        println!(
+            "results/bench_pr7_untraced.json missing: BENCH_PR8.json will carry \
+             NaN baselines (run bench_pr7 first for the A/B)"
+        );
+    }
+    let baseline = baseline.unwrap_or_default();
+    let default_union_t4 = entries
+        .iter()
+        .find(|(k, _)| *k == format!("policy_union_t4__{}_ms", SchedPolicy::default().label()))
+        .map(|(_, v)| *v)
+        .unwrap_or(f64::NAN);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"label\": \"pr8_policy_dispatch\",\n");
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str(
+        "  \"note\": \"pr8 = policy-dispatching scheduler under the default policy; \
+         baseline = frozen pre-dispatch bench_pr7_untraced.json for shared metrics, \
+         this run's default-policy union for policy_* metrics; ratio = pr8/baseline \
+         (for _us/_ms metrics >1 is regression, for _mops throughputs <1 is)\",\n",
+    );
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let base = if k.starts_with("policy_union_t4__") {
+            default_union_t4
+        } else {
+            baseline
+                .iter()
+                .find(|(k2, _)| k2 == k)
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
+        };
+        let ratio = if base != 0.0 { v / base } else { f64::NAN };
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{k}\": {{ \"pr8\": {v:.3}, \"baseline\": {base:.3}, \
+             \"ratio\": {ratio:.3} }}{comma}\n"
+        ));
+        println!("{k:<52} pr8 {v:>10.3}  base {base:>10.3}  ratio {ratio:>6.3}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("results/BENCH_PR8.json", &json).expect("write merged json");
+    println!("wrote results/BENCH_PR8.json");
+}

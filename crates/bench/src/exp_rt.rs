@@ -362,6 +362,7 @@ pub fn e20_trace_vs_model(lg_n: u32, threads: &[usize], reps: usize) -> Vec<Tabl
                     p: th,
                     steal_latency: 3,
                     seed: 0xFEED + th as u64,
+                    ..StealConfig::default()
                 },
             );
             let (mut steals, mut suspends, mut execs, mut parks) = (0f64, 0f64, 0f64, 0f64);
@@ -391,6 +392,145 @@ pub fn e20_trace_vs_model(lg_n: u32, threads: &[usize], reps: usize) -> Vec<Tabl
         out.push(t);
     }
     out
+}
+
+/// One traced union session under an explicit scheduling policy,
+/// returning (wall-clock, stats). Tree construction is outside the
+/// timed region — E21 measures the scheduler, not the workload setup.
+#[cfg(feature = "trace")]
+fn policy_union_run(
+    ea: &[pf_trees::seq::Entry<i64>],
+    eb: &[pf_trees::seq::Entry<i64>],
+    rt: &Runtime,
+    policy: pf_rt::SchedPolicy,
+) -> (Duration, pf_rt::RunStats) {
+    use pf_rt::Session;
+    use pf_rt_algs::rtreap::{union, RTreap, RtTreap};
+    let ta = RTreap::from_entries_ready(ea);
+    let tb = RTreap::from_entries_ready(eb);
+    let (op, of) = cell();
+    let (fa, fb) = (pf_rt::ready(ta), pf_rt::ready(tb));
+    let t0 = Instant::now();
+    let stats = rt
+        .try_run_session(Session::new().policy(policy), move |wk| {
+            union(wk, fa, fb, op)
+        })
+        .expect("union session completes under every policy");
+    let dt = t0.elapsed();
+    assert!(of.expect().to_sorted_vec().len() >= ea.len().max(eb.len()));
+    (dt, stats)
+}
+
+/// One traced 2-6 bulk-insert session under an explicit policy (E21).
+#[cfg(feature = "trace")]
+fn policy_insert_run(
+    initial: &[i64],
+    newk: &[i64],
+    rt: &Runtime,
+    policy: pf_rt::SchedPolicy,
+) -> (Duration, pf_rt::RunStats) {
+    use pf_rt::Session;
+    use pf_rt_algs::rtwosix::{insert_many, RTsTree, RtTsTree};
+    let t = RTsTree::from_sorted_ready(initial);
+    let ft = pf_rt::ready(t);
+    let (op, of) = cell();
+    let keys = newk.to_vec();
+    let t0 = Instant::now();
+    let stats = rt
+        .try_run_session(Session::new().policy(policy), move |wk| {
+            let f = insert_many(wk, &keys, ft);
+            f.touch(wk, move |tv, wk| op.fulfill(wk, tv));
+        })
+        .expect("insert session completes under every policy");
+    let dt = t0.elapsed();
+    assert!(of.expect().to_sorted_vec().len() >= initial.len());
+    (dt, stats)
+}
+
+/// E21 — the E12 scaling sweep extended to per-policy curves: every
+/// point of [`pf_rt::SchedPolicy::matrix`] (2 steal × 2 victim × 3
+/// resume × 2 spawn-order = 24 policies) measured at each thread count
+/// on the two E20 DAGs (treap union, 2-6 bulk insert). Per point the
+/// table reports best-of-`reps` wall-clock plus mean steal and suspend
+/// counts straight from the exact [`pf_rt::TraceStats`] counters; the
+/// deviations column is the `steals + suspends` proxy for the paper's
+/// schedule deviations (each steal and each suspension is a point where
+/// the parallel execution departed from the serial one).
+///
+/// What to look for: t=1 rows have zero steals everywhere (policy
+/// cannot matter for victims that do not exist); steal-half rows move
+/// the same task count in fewer episodes, so their deviations track the
+/// steal-one rows while wall-clock stays flat; inline resume trades
+/// suspension parks for stack depth; mailbox resume shifts resumes onto
+/// the cell-owning worker without changing totals.
+#[cfg(feature = "trace")]
+pub fn e21_policy_sweep(lg_n: u32, threads: &[usize], reps: usize) -> Vec<Table> {
+    use pf_rt::SchedPolicy;
+
+    let n = 1usize << lg_n;
+    let (ea, eb) = union_entries(n, n, 11);
+    let initial = sorted_keys(n, 2);
+    let m = (n / 16).max(4);
+    let newk: Vec<i64> = (0..m as i64).map(|i| 2 * i + 1).collect();
+
+    let headers = [
+        "policy",
+        "threads",
+        "time (ms)",
+        "steals",
+        "suspends",
+        "deviations",
+    ];
+    let mut tu = Table::new(
+        format!("E21a treap union per-policy scaling, n = m = {n} (best of {reps})"),
+        &headers,
+    );
+    let mut ti = Table::new(
+        format!("E21b 2-6 bulk insert per-policy scaling, n = {n}, m = {m} (best of {reps})"),
+        &headers,
+    );
+    for policy in SchedPolicy::matrix() {
+        for &th in threads {
+            let rt = Runtime::with_policy(th, policy);
+            let mut best = Duration::MAX;
+            let (mut steals, mut susp) = (0u64, 0u64);
+            for _ in 0..reps {
+                let (dt, stats) = policy_union_run(&ea, &eb, &rt, policy);
+                best = best.min(dt);
+                let ts = stats.trace.as_ref().expect("traced build");
+                steals += ts.steals();
+                susp += ts.suspends();
+            }
+            let r = reps as u64;
+            tu.row(vec![
+                policy.label(),
+                u(th as u64),
+                ms(best),
+                f2(steals as f64 / r as f64),
+                f2(susp as f64 / r as f64),
+                f2((steals + susp) as f64 / r as f64),
+            ]);
+
+            let mut best = Duration::MAX;
+            let (mut steals, mut susp) = (0u64, 0u64);
+            for _ in 0..reps {
+                let (dt, stats) = policy_insert_run(&initial, &newk, &rt, policy);
+                best = best.min(dt);
+                let ts = stats.trace.as_ref().expect("traced build");
+                steals += ts.steals();
+                susp += ts.suspends();
+            }
+            ti.row(vec![
+                policy.label(),
+                u(th as u64),
+                ms(best),
+                f2(steals as f64 / reps as f64),
+                f2(susp as f64 / reps as f64),
+                f2((steals + susp) as f64 / reps as f64),
+            ]);
+        }
+    }
+    vec![tu, ti]
 }
 
 /// Consistency check used by E12: the runtime and the cost model compute

@@ -44,7 +44,7 @@
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
-use crate::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 use crate::error::{PoisonInfo, PoisonTarget, StuckCell};
 use crate::scheduler::Worker;
@@ -83,6 +83,12 @@ struct Inner<T> {
     state: AtomicU8,
     value: UnsafeCell<Option<T>>,
     waiter: UnsafeCell<Option<Waiter>>,
+    /// Index of the worker whose touch suspended here — the resume
+    /// target under the mailbox policy. Written (Relaxed) by the toucher
+    /// before its release CAS to WAITING publishes it; read (Relaxed) by
+    /// the writer only after its AcqRel swap observed WAITING, so the
+    /// CAS/swap pair orders the accesses.
+    owner: AtomicUsize,
     /// Why the cell was poisoned; written before the release transition
     /// to POISONED, read only after an acquire load of POISONED.
     poison: UnsafeCell<Option<Arc<PoisonInfo>>>,
@@ -165,6 +171,7 @@ pub fn cell<T>() -> (FutWrite<T>, FutRead<T>) {
         state: AtomicU8::new(EMPTY),
         value: UnsafeCell::new(None),
         waiter: UnsafeCell::new(None),
+        owner: AtomicUsize::new(0),
         poison: UnsafeCell::new(None),
     });
     (
@@ -182,6 +189,7 @@ pub fn ready<T>(value: T) -> FutRead<T> {
             state: AtomicU8::new(FULL),
             value: UnsafeCell::new(Some(value)),
             waiter: UnsafeCell::new(None),
+            owner: AtomicUsize::new(0),
             poison: UnsafeCell::new(None),
         }),
     }
@@ -210,8 +218,11 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
                 // value write above happens-before that read through the
                 // deque push/steal pair that delivers the task. Its
                 // liveness unit was added by `note_suspend`, so this is a
-                // transfer, not a spawn.
-                worker.enqueue_transferred(Task::from_boxed(waiter));
+                // transfer, not a spawn. Where it lands — fulfiller's
+                // deque, inline, or the suspender's mailbox — is the
+                // session's resume-placement policy.
+                let owner = self.inner.owner.load(Ordering::Relaxed);
+                worker.resume_transferred(Task::from_boxed(waiter), owner);
             }
             POISONED => {
                 // Restore the terminal state (the swap clobbered it),
@@ -300,6 +311,9 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                 // SAFETY: slot owned by the (sole) toucher until the CAS
                 // below publishes it.
                 unsafe { *self.inner.waiter.get() = Some(waiter) };
+                // Record who is suspending (mailbox resume target);
+                // published by the CAS below together with the waiter.
+                self.inner.owner.store(worker.index(), Ordering::Relaxed);
                 worker.note_suspend();
                 match self.inner.state.compare_exchange(
                     EMPTY,

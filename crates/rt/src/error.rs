@@ -254,6 +254,7 @@ pub(crate) trait PoisonTarget: Send + Sync {
 pub struct Session {
     pub(crate) deadline: Option<Duration>,
     pub(crate) cancel: Option<CancelToken>,
+    pub(crate) policy: Option<crate::SchedPolicy>,
 }
 
 impl Session {
@@ -279,6 +280,15 @@ impl Session {
     /// with [`SessionError::Cancelled`] from any thread.
     pub fn cancel_token(mut self, t: &CancelToken) -> Self {
         self.cancel = Some(t.clone());
+        self
+    }
+
+    /// Run this session under `policy` instead of the runtime's default
+    /// scheduling policy (see [`SchedPolicy`](crate::SchedPolicy)). The
+    /// policy is fixed for the whole session; it is installed at session
+    /// start, while the pool is quiescent.
+    pub fn policy(mut self, p: crate::SchedPolicy) -> Self {
+        self.policy = Some(p);
         self
     }
 }

@@ -62,6 +62,7 @@ pub mod chaos;
 pub mod deque;
 pub mod error;
 pub mod mutex_cell;
+pub mod policy;
 pub mod pool;
 pub mod rounds;
 pub mod scheduler;
@@ -77,6 +78,8 @@ pub use error::{CancelToken, PoisonInfo, Session, SessionError, StallReport, Stu
 /// of a traced runtime need not depend on `pf-trace` directly.
 #[cfg(feature = "trace")]
 pub use pf_trace::{SessionTrace, TraceEvent, TraceKind, TraceStats, WorkerSummary, WorkerTrace};
+pub use policy::{ResumePlace, SchedPolicy, SpawnOrder, StealKind, VictimSelect};
+pub use pool::RuntimeBuilder;
 pub use rounds::PoolRounds;
 pub use scheduler::{RunStats, Runtime, Worker};
 

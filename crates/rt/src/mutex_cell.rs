@@ -19,7 +19,9 @@ use crate::task::Task;
 type Waiter = Box<dyn FnOnce(&Worker) + Send>;
 
 enum State<T> {
-    Empty(Vec<Waiter>),
+    /// Unwritten; each suspended waiter is paired with the index of the
+    /// worker whose touch suspended it (the mailbox resume target).
+    Empty(Vec<(usize, Waiter)>),
     Full(T),
     /// The cell's session aborted with waiters suspended here; they were
     /// dropped at the abort rendezvous (same failure model as the
@@ -39,7 +41,7 @@ impl<T: Send> PoisonTarget for Inner<T> {
                 let waiters = std::mem::take(ws);
                 *g = State::Poisoned(Arc::clone(ctx));
                 drop(g);
-                for w in waiters {
+                for (_, w) in waiters {
                     // A destructor panic must not wedge the abort cleanup.
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(w)));
                 }
@@ -110,9 +112,10 @@ impl<T: Clone + Send + 'static> MxWrite<T> {
         // Waiter hand-off: each box was allocated at touch time and is
         // enqueued as-is (no re-boxing, no per-waiter clone here — the
         // waiter clones the value out of the cell when it runs). Each
-        // waiter's liveness unit was added by `note_suspend`.
-        for w in waiters {
-            worker.enqueue_transferred(Task::from_boxed(w));
+        // waiter's liveness unit was added by `note_suspend`; placement
+        // is the session's resume policy, per waiter.
+        for (owner, w) in waiters {
+            worker.resume_transferred(Task::from_boxed(w), owner);
         }
     }
 }
@@ -142,13 +145,16 @@ impl<T: Clone + Send + 'static> MxRead<T> {
                         worker.register_suspend(weak);
                     }
                     let inner = Arc::clone(&self.inner);
-                    ws.push(Box::new(move |wk: &Worker| {
-                        let v = match &*inner.state.lock().unwrap() {
-                            State::Full(v) => v.clone(),
-                            _ => unreachable!("waiter ran before write"),
-                        };
-                        cont(v, wk);
-                    }));
+                    ws.push((
+                        worker.index(),
+                        Box::new(move |wk: &Worker| {
+                            let v = match &*inner.state.lock().unwrap() {
+                                State::Full(v) => v.clone(),
+                                _ => unreachable!("waiter ran before write"),
+                            };
+                            cont(v, wk);
+                        }),
+                    ));
                     return;
                 }
             }

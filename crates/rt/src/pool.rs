@@ -116,6 +116,7 @@ use crate::sync::thread::{JoinHandle, Thread};
 use crate::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::deque::{deque, Injector, Steal, Stealer};
+use crate::policy::SchedPolicy;
 use crate::scheduler::Worker;
 use crate::task::Task;
 
@@ -338,6 +339,22 @@ impl SuspendRegistry {
 pub(crate) struct Shared {
     pub(crate) injector: Injector<Task>,
     pub(crate) stealers: Vec<Stealer<Task>>,
+    /// Per-worker resume mailboxes for [`ResumePlace::Mailbox`]: a
+    /// fulfill hands the woken continuation to the worker that
+    /// *suspended* it. Mailbox tasks are never stolen (locality is the
+    /// point); quiescence still holds because a resume is a liveness
+    /// *transfer* and every mailbox is covered by `work_available`, the
+    /// watchdog, and the abort drain. Always allocated (an `Injector`
+    /// is two machine words plus an empty `VecDeque`) so a per-session
+    /// policy switch needs no reallocation.
+    ///
+    /// [`ResumePlace::Mailbox`]: crate::ResumePlace::Mailbox
+    pub(crate) mailboxes: Vec<Injector<Task>>,
+    /// The session's packed [`SchedPolicy`] (see `policy.rs`). Written
+    /// only at session start, while the pool is quiescent; `Relaxed`
+    /// loads on the per-task path (the injector push + notify fence
+    /// publish it to every worker before any task runs).
+    pub(crate) policy: AtomicUsize,
     pub(crate) live: AtomicUsize,
     pub(crate) stats: Vec<WorkerStats>,
     /// Per-worker suspend registries, indexed like `stealers`.
@@ -397,6 +414,33 @@ impl Shared {
                 budget -= 1;
             }
         }
+    }
+
+    /// Wake worker `index` specifically, if it is parked. Same producer
+    /// contract as [`Shared::notify`]: call **after** the corresponding
+    /// push (here: into `mailboxes[index]`), so the fence orders the
+    /// push before the mask read. Claiming the bit keeps the wake
+    /// exactly-once against concurrent producers; if the bit is clear
+    /// the worker is awake and its pre-park re-check (which covers the
+    /// mailbox) will find the task.
+    pub(crate) fn notify_worker(&self, index: usize) {
+        crate::chaos::maybe_delay();
+        fence(Ordering::SeqCst);
+        let bit = 1u64 << index;
+        if self.sleepers.load(Ordering::Relaxed) & bit != 0
+            && self.sleepers.fetch_and(!bit, Ordering::SeqCst) & bit != 0
+        {
+            if let Some(threads) = self.threads.get() {
+                threads[index].unpark();
+            }
+        }
+    }
+
+    /// The session's scheduling policy (unpacked per call; the load is
+    /// `Relaxed` and the unpack is a handful of byte compares).
+    #[inline]
+    pub(crate) fn policy(&self) -> SchedPolicy {
+        SchedPolicy::unpack(self.policy.load(Ordering::Relaxed) as u32)
     }
 
     fn unpark_all(&self) {
@@ -534,16 +578,74 @@ pub struct Runtime {
     session: Mutex<()>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     nthreads: usize,
+    /// Policy for sessions that do not carry a [`Session::policy`]
+    /// override.
+    default_policy: SchedPolicy,
     /// The most recent session's full event timeline, parked here at the
     /// session rendezvous for [`Runtime::take_last_trace`].
     #[cfg(feature = "trace")]
     last_trace: Mutex<Option<pf_trace::SessionTrace>>,
 }
 
+/// Configures a [`Runtime`] beyond its thread count: the default
+/// [`SchedPolicy`] and (in tracing builds) the per-worker trace ring
+/// capacity. Obtained from [`Runtime::builder`].
+pub struct RuntimeBuilder {
+    nthreads: usize,
+    policy: SchedPolicy,
+    // Present in every build so builder chains compile with or without
+    // the feature; only read when tracing is compiled in.
+    #[cfg_attr(not(feature = "trace"), allow(dead_code))]
+    trace_ring_cap: usize,
+}
+
+impl RuntimeBuilder {
+    /// Default scheduling policy for every session on this runtime
+    /// (overridable per session with [`Session::policy`]).
+    pub fn policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Per-worker trace ring capacity in events (tracing builds only;
+    /// default 2^14 = 16384). Exact `TraceStats` counters never drop
+    /// regardless of this value — it bounds only the event *timeline*,
+    /// whose drop count the Perfetto export metadata reports.
+    pub fn trace_ring_cap(mut self, cap: usize) -> Self {
+        self.trace_ring_cap = cap.max(1);
+        self
+    }
+
+    /// Spawn the pool.
+    pub fn build(self) -> Runtime {
+        Runtime::build(self)
+    }
+}
+
 impl Runtime {
     /// A runtime with `nthreads` persistent workers
     /// (`1 ..= `[`MAX_WORKERS`]).
     pub fn new(nthreads: usize) -> Self {
+        Self::builder(nthreads).build()
+    }
+
+    /// A [`RuntimeBuilder`] for `nthreads` workers with the default
+    /// policy and trace ring capacity.
+    pub fn builder(nthreads: usize) -> RuntimeBuilder {
+        RuntimeBuilder {
+            nthreads,
+            policy: SchedPolicy::default(),
+            trace_ring_cap: crate::trace::DEFAULT_RING_CAP,
+        }
+    }
+
+    /// Shorthand: a runtime whose every session defaults to `policy`.
+    pub fn with_policy(nthreads: usize, policy: SchedPolicy) -> Self {
+        Self::builder(nthreads).policy(policy).build()
+    }
+
+    fn build(b: RuntimeBuilder) -> Self {
+        let nthreads = b.nthreads;
         assert!(
             (1..=MAX_WORKERS).contains(&nthreads),
             "nthreads must be in 1..={MAX_WORKERS}, got {nthreads}"
@@ -553,6 +655,8 @@ impl Runtime {
         let shared = Arc::new(Shared {
             injector: Injector::new(),
             stealers,
+            mailboxes: (0..nthreads).map(|_| Injector::new()).collect(),
+            policy: AtomicUsize::new(b.policy.pack() as usize),
             live: AtomicUsize::new(0),
             stats: (0..nthreads).map(|_| WorkerStats::default()).collect(),
             suspended: (0..nthreads).map(|_| SuspendRegistry::new()).collect(),
@@ -566,7 +670,7 @@ impl Runtime {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             #[cfg(feature = "trace")]
-            trace: crate::trace::PoolTrace::new(nthreads),
+            trace: crate::trace::PoolTrace::new(nthreads, b.trace_ring_cap),
         });
         let handles: Vec<JoinHandle<()>> = locals
             .into_iter()
@@ -593,9 +697,16 @@ impl Runtime {
             session: Mutex::new(()),
             handles: Mutex::new(handles),
             nthreads,
+            default_policy: b.policy,
             #[cfg(feature = "trace")]
             last_trace: Mutex::new(None),
         }
+    }
+
+    /// The policy sessions run under when no per-session override is
+    /// given.
+    pub fn default_policy(&self) -> SchedPolicy {
+        self.default_policy
     }
 
     /// Take the most recent session's full event timeline (tracing builds
@@ -724,6 +835,13 @@ impl Runtime {
             // SAFETY: pool quiescent between sessions; session mutex held.
             drop(unsafe { reg.take() });
         }
+        // The session's scheduling policy: the per-session override
+        // wins over the runtime default. Stored while quiescent; the
+        // injector push below publishes it with everything else.
+        let policy = opts.policy.unwrap_or(self.default_policy);
+        shared
+            .policy
+            .store(policy.pack() as usize, Ordering::Relaxed);
         *lock(&shared.done) = false;
         shared.live.store(1, Ordering::Relaxed);
         // Discard idle-gap events (workers park/unpark between sessions)
@@ -760,7 +878,7 @@ impl Runtime {
             // is reachable through `take_last_trace`.
             #[cfg(feature = "trace")]
             {
-                let (session_trace, _) = shared.trace.drain(sid, trace_start);
+                let (session_trace, _) = shared.trace.drain(sid, trace_start, &policy.label());
                 *lock(&self.last_trace) = Some(session_trace);
             }
             return Err(match reason {
@@ -793,7 +911,7 @@ impl Runtime {
         }
         #[cfg(feature = "trace")]
         {
-            let (session_trace, summary) = shared.trace.drain(sid, trace_start);
+            let (session_trace, summary) = shared.trace.drain(sid, trace_start, &policy.label());
             *lock(&self.last_trace) = Some(session_trace);
             out.trace = Some(summary);
         }
@@ -884,6 +1002,14 @@ impl Runtime {
                 }
             }
         }
+        // Resume mailboxes may hold transferred continuations too
+        // (mailbox resume policy); they carry live units like any queued
+        // task and must be dropped with the rest.
+        for mb in &shared.mailboxes {
+            while let Some(task) = mb.pop() {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
+            }
+        }
         // Poison every cell that still holds a suspended continuation:
         // the continuation is dropped here (zero leaks — each waiter box
         // owns an `Arc` cycle back to its cell that only this pass can
@@ -956,8 +1082,9 @@ impl Watchdog {
         if self.stable < WATCHDOG_STABLE {
             return None;
         }
-        let queues_empty =
-            shared.injector.is_empty() && shared.stealers.iter().all(|s| s.is_empty());
+        let queues_empty = shared.injector.is_empty()
+            && shared.stealers.iter().all(|s| s.is_empty())
+            && shared.mailboxes.iter().all(|m| m.is_empty());
         if queues_empty {
             return Some(live);
         }

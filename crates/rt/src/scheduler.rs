@@ -18,8 +18,9 @@ use std::sync::{Arc, Weak};
 
 use crate::sync::atomic::Ordering;
 
-use crate::deque::{LocalQueue, Steal};
+use crate::deque::{LocalQueue, Steal, MAX_STEAL_BATCH};
 use crate::error::PoisonTarget;
+use crate::policy::{ResumePlace, SchedPolicy, SpawnOrder, StealKind, VictimSelect};
 use crate::pool::{Shared, WorkerStats};
 use crate::task::Task;
 
@@ -37,6 +38,9 @@ pub struct Worker {
     index: usize,
     inline_depth: Cell<usize>,
     steal_seed: Cell<u64>,
+    /// Last victim a steal succeeded against (own index = none yet);
+    /// consulted first under [`VictimSelect::LastVictimFirst`].
+    last_victim: Cell<usize>,
 }
 
 impl Worker {
@@ -47,7 +51,15 @@ impl Worker {
             index,
             inline_depth: Cell::new(0),
             steal_seed: Cell::new(0x9E3779B97F4A7C15 ^ (index as u64) << 7),
+            last_victim: Cell::new(index),
         }
+    }
+
+    /// The scheduling policy of the current session (one `Relaxed` load
+    /// plus a few byte compares; see `policy.rs`).
+    #[inline]
+    pub fn policy(&self) -> SchedPolicy {
+        self.shared.policy()
     }
 
     #[inline]
@@ -73,7 +85,28 @@ impl Worker {
     /// Spawn `f` as a new task (a future fork). The paper charges this
     /// constant time: one deque push, with an allocation only when the
     /// closure exceeds the inline [`Task`] payload.
+    ///
+    /// Under [`SpawnOrder::ChildFirst`] the child runs *inline*, right
+    /// now, and the caller continues when it returns (work-first,
+    /// depth-guarded like every inline path). The accounting is kept
+    /// identical to the push path — the child still counts as one spawn
+    /// and one executed task — so `RunStats`/trace totals are policy-
+    /// independent; only the `live` counter skips its round-trip (the
+    /// child runs inside the caller's liveness unit).
     pub fn spawn(&self, f: impl FnOnce(&Worker) + Send + 'static) {
+        if self.policy().spawn == SpawnOrder::ChildFirst {
+            let d = self.inline_depth.get();
+            if d < MAX_INLINE_DEPTH {
+                self.stats().add_spawns(1);
+                crate::trace::spawn(self, 1);
+                self.stats().add_tasks(1);
+                crate::trace::exec(self);
+                self.inline_depth.set(d + 1);
+                f(self);
+                self.inline_depth.set(d);
+                return;
+            }
+        }
         self.shared.live.fetch_add(1, Ordering::Relaxed);
         self.stats().add_spawns(1);
         crate::trace::spawn(self, 1);
@@ -86,11 +119,31 @@ impl Worker {
     /// node. Equivalent to two [`Worker::spawn`] calls ( `g` is pushed
     /// last, so a LIFO owner pops it first) but with a single
     /// `fetch_add(2)` on the shared live counter.
+    ///
+    /// Under [`SpawnOrder::ChildFirst`], `f` is pushed (one stealable
+    /// child per fork, preserving the paper's parallelism) and `g` runs
+    /// inline first — the same order a LIFO owner would pop.
     pub fn spawn2(
         &self,
         f: impl FnOnce(&Worker) + Send + 'static,
         g: impl FnOnce(&Worker) + Send + 'static,
     ) {
+        if self.policy().spawn == SpawnOrder::ChildFirst {
+            let d = self.inline_depth.get();
+            if d < MAX_INLINE_DEPTH {
+                self.shared.live.fetch_add(1, Ordering::Relaxed);
+                self.stats().add_spawns(2);
+                crate::trace::spawn(self, 2);
+                self.local.push(Task::new(f));
+                self.notify_push(1);
+                self.stats().add_tasks(1);
+                crate::trace::exec(self);
+                self.inline_depth.set(d + 1);
+                g(self);
+                self.inline_depth.set(d);
+                return;
+            }
+        }
         self.shared.live.fetch_add(2, Ordering::Relaxed);
         self.stats().add_spawns(2);
         crate::trace::spawn(self, 2);
@@ -116,6 +169,52 @@ impl Worker {
         crate::trace::resume(self);
         self.local.push(t);
         self.notify_push(1);
+    }
+
+    /// Policy-dispatched resume of a reactivated waiter: the fulfill
+    /// side of every suspended touch routes through here. `owner` is the
+    /// index of the worker that *suspended* the continuation (recorded
+    /// by the touch; meaningful only under [`ResumePlace::Mailbox`]).
+    ///
+    /// * [`ResumePlace::FulfillerDeque`] — push onto the fulfiller's own
+    ///   deque (the default, [`Worker::enqueue_transferred`]).
+    /// * [`ResumePlace::Inline`] — run the waiter right now inside the
+    ///   fulfilling task (depth-guarded; falls back to the deque). Its
+    ///   liveness unit is retired here, which cannot end the session
+    ///   early: the fulfilling task still holds its own unit.
+    /// * [`ResumePlace::Mailbox`] — hand it to `owner`'s mailbox and
+    ///   wake that worker. Mailbox tasks are never stolen; the owner
+    ///   polls its mailbox in `find_task` (and in the pre-park re-check,
+    ///   which makes the handoff lost-wakeup-free by the same fence
+    ///   argument as `notify`).
+    pub(crate) fn resume_transferred(&self, t: Task, owner: usize) {
+        match self.policy().resume {
+            ResumePlace::FulfillerDeque => self.enqueue_transferred(t),
+            ResumePlace::Inline => {
+                let d = self.inline_depth.get();
+                if d < MAX_INLINE_DEPTH {
+                    crate::trace::resume(self);
+                    self.stats().add_tasks(1);
+                    crate::trace::exec(self);
+                    self.inline_depth.set(d + 1);
+                    t.run(self);
+                    self.inline_depth.set(d);
+                    self.shared.task_done();
+                } else {
+                    self.enqueue_transferred(t);
+                }
+            }
+            ResumePlace::Mailbox => {
+                crate::trace::resume(self);
+                self.shared.mailboxes[owner].push(t);
+                if owner == self.index {
+                    // Our own mailbox: we are running, so `find_task`
+                    // will see it — no wake needed.
+                } else {
+                    self.shared.notify_worker(owner);
+                }
+            }
+        }
     }
 
     /// Account a continuation that is being suspended into a future cell.
@@ -195,11 +294,31 @@ impl Worker {
         if let Some(t) = self.local.pop() {
             return Some(t);
         }
-        // Injector, then siblings, starting from a pseudo-random victim.
+        let policy = self.policy();
+        // Continuations handed to us by a mailbox resume are next after
+        // our own deque: they are ours alone (never stolen) and their
+        // working set is the locality the policy exists to exploit.
+        if policy.resume == ResumePlace::Mailbox {
+            if let Some(t) = self.shared.mailboxes[self.index].pop() {
+                return Some(t);
+            }
+        }
+        // Injector, then siblings.
         if let Some(t) = self.shared.injector.pop() {
             return Some(t);
         }
         let n = self.shared.stealers.len();
+        // A productive victim tends to stay productive: retry it before
+        // sweeping (chaos may veto the shortcut like any steal attempt).
+        if policy.victim == VictimSelect::LastVictimFirst {
+            let lv = self.last_victim.get();
+            if lv != self.index && !crate::chaos::steal_denied() {
+                if let Some(t) = self.try_steal(lv, policy.steal) {
+                    return Some(t);
+                }
+            }
+        }
+        // Full sweep from a pseudo-random start.
         let mut seed = self.steal_seed.get();
         seed = seed
             .wrapping_mul(6364136223846793005)
@@ -218,26 +337,60 @@ impl Worker {
             if crate::chaos::steal_denied() {
                 continue;
             }
-            loop {
-                match self.shared.stealers[v].steal() {
-                    Steal::Success(t) => {
-                        self.stats().add_steals(1);
-                        crate::trace::steal(self, v);
-                        return Some(t);
-                    }
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
-                }
+            if let Some(t) = self.try_steal(v, policy.steal) {
+                return Some(t);
             }
         }
         None
+    }
+
+    /// One steal attempt against victim `v`, retrying CAS races until
+    /// the victim is observed empty. Steal-half claims up to
+    /// [`MAX_STEAL_BATCH`] tasks — the first is returned, the extras
+    /// land in our own deque (and become visible to *other* thieves, so
+    /// they are advertised with a notify). The steals counter and trace
+    /// both record the number of tasks moved, so `RunStats::steals`
+    /// keeps meaning "tasks obtained by stealing" under every policy.
+    fn try_steal(&self, v: usize, kind: StealKind) -> Option<Task> {
+        loop {
+            let got = match kind {
+                StealKind::One => match self.shared.stealers[v].steal() {
+                    Steal::Success(t) => Some((t, 0)),
+                    Steal::Retry => continue,
+                    Steal::Empty => None,
+                },
+                StealKind::Half => {
+                    match self.shared.stealers[v].steal_half_into(&self.local, MAX_STEAL_BATCH) {
+                        Steal::Success((t, extra)) => Some((t, extra)),
+                        Steal::Retry => continue,
+                        Steal::Empty => None,
+                    }
+                }
+            };
+            return match got {
+                Some((t, extra)) => {
+                    self.stats().add_steals(1 + extra as u64);
+                    crate::trace::steal(self, v, 1 + extra as u64);
+                    self.last_victim.set(v);
+                    if extra > 0 {
+                        self.notify_push(extra);
+                    }
+                    Some(t)
+                }
+                None => None,
+            };
+        }
     }
 
     // Unused under the seeded lost-wakeup mutation (its only caller is
     // the sleeper re-check that the mutation removes).
     #[cfg_attr(pf_check_lost_wakeup, allow(dead_code))]
     pub(crate) fn work_available(&self) -> bool {
+        // The own mailbox is checked *unconditionally* — not gated on
+        // the policy — so the pre-park re-check can never miss a task a
+        // racing policy read would hide. Off-policy it is always empty.
         !self.local.is_empty()
+            || !self.shared.mailboxes[self.index].is_empty()
             || !self.shared.injector.is_empty()
             || self
                 .shared

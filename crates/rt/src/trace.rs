@@ -59,12 +59,16 @@ compile_error!(
 #[cfg(feature = "trace")]
 pub(crate) use imp::PoolTrace;
 
-/// Per-lane ring capacity, in events. Sized so every behavioral test and
-/// typical service session fits without wraparound (a 2^11-node tree
-/// session records a few thousand events per worker); larger sessions
-/// keep their newest [`RING_CAP`] events per lane and report the drops.
-#[cfg(feature = "trace")]
-pub(crate) const RING_CAP: usize = 1 << 14;
+/// Default per-lane ring capacity, in events — overridable per runtime
+/// with [`RuntimeBuilder::trace_ring_cap`]. Sized so every behavioral
+/// test and typical service session fits without wraparound (a
+/// 2^11-node tree session records a few thousand events per worker);
+/// larger sessions keep their newest `cap` events per lane and report
+/// the drops (also surfaced in the Perfetto export metadata). Present
+/// in every build so the builder's default needs no cfg.
+///
+/// [`RuntimeBuilder::trace_ring_cap`]: crate::RuntimeBuilder::trace_ring_cap
+pub(crate) const DEFAULT_RING_CAP: usize = 1 << 14;
 
 #[cfg(feature = "trace")]
 mod imp {
@@ -94,20 +98,24 @@ mod imp {
     pub(crate) struct PoolTrace {
         epoch: Instant,
         lanes: Vec<Lane>,
+        /// Per-lane ring capacity (builder knob); reported in exported
+        /// timelines so a truncated trace is self-describing.
+        ring_cap: usize,
     }
 
     impl PoolTrace {
-        pub(crate) fn new(nthreads: usize) -> PoolTrace {
+        pub(crate) fn new(nthreads: usize, ring_cap: usize) -> PoolTrace {
             PoolTrace {
                 epoch: Instant::now(),
                 lanes: (0..nthreads + 1)
                     .map(|_| {
                         Lane(Mutex::new(LaneState {
-                            ring: TraceRing::new(super::RING_CAP),
+                            ring: TraceRing::new(ring_cap),
                             counts: [0; KIND_COUNT],
                         }))
                     })
                     .collect(),
+                ring_cap,
             }
         }
 
@@ -147,8 +155,14 @@ mod imp {
 
         /// Drain every lane into the session's trace and its exact
         /// summary (session rendezvous; on the abort path, after
-        /// `finish_abort` so poison events are included).
-        pub(crate) fn drain(&self, session: u64, start_ns: u64) -> (SessionTrace, TraceStats) {
+        /// `finish_abort` so poison events are included), tagged with
+        /// the session's scheduling-policy label.
+        pub(crate) fn drain(
+            &self,
+            session: u64,
+            start_ns: u64,
+            policy: &str,
+        ) -> (SessionTrace, TraceStats) {
             let mut take = |lane: &Lane| {
                 let mut g = lock(&lane.0);
                 let (events, dropped) = g.ring.drain();
@@ -166,11 +180,14 @@ mod imp {
                 SessionTrace {
                     session,
                     start_ns,
+                    policy: policy.to_string(),
+                    ring_capacity: self.ring_cap,
                     workers,
                     client: client_tr,
                 },
                 TraceStats {
                     session,
+                    policy: policy.to_string(),
                     per_worker,
                     client: client_sum,
                 },
@@ -200,11 +217,14 @@ pub(crate) fn spawn(_wk: &crate::scheduler::Worker, _n: u64) {
     record(_wk, pf_trace::TraceKind::Spawn, 0, _n);
 }
 
-/// `wk` stole a task from worker `_victim`.
+/// `wk` stole `_n` tasks from worker `_victim` in one episode (1 under
+/// steal-one; up to the batch cap under steal-half). Records `_n` Steal
+/// events so the exact counts keep reconciling with
+/// `RunStats::steals` = tasks obtained by stealing.
 #[inline(always)]
-pub(crate) fn steal(_wk: &crate::scheduler::Worker, _victim: usize) {
+pub(crate) fn steal(_wk: &crate::scheduler::Worker, _victim: usize, _n: u64) {
     #[cfg(feature = "trace")]
-    record(_wk, pf_trace::TraceKind::Steal, _victim as u64, 1);
+    record(_wk, pf_trace::TraceKind::Steal, _victim as u64, _n);
 }
 
 /// `wk` is about to execute a task body.

@@ -9,7 +9,7 @@
 #![cfg(pf_chaos)]
 
 use pf_rt::chaos::{injected_panics, install, ChaosConfig};
-use pf_rt::{cell, Runtime, SessionError, Worker};
+use pf_rt::{cell, Runtime, SchedPolicy, SessionError, StealKind, VictimSelect, Worker};
 
 /// A pipelined computation with real suspensions: a chain of cells where
 /// each stage touches the previous cell and fulfills the next, with every
@@ -77,10 +77,73 @@ fn seeded_chaos_sessions_fail_contained_or_complete() {
     assert!(failed > 0, "chaos rates never fired");
     assert!(completed > 0, "chaos rates never let a session finish");
 
-    // Disarm and prove the pool is clean: 50 quiet runs, zero failures.
+    // Phase 2 (PR 8): the batched steal path under denial. Steal-half
+    // claims up to MAX_STEAL_BATCH tasks per episode, and last-victim-
+    // first re-aims at the productive deque — both behind the same
+    // `steal_denied` seam. A denied batch must be all-or-nothing: the
+    // fan-out below piles thousands of tasks onto the root's deque, so a
+    // torn batch (task lost or duplicated across the denial) shows up as
+    // a hang (caught by try_run never returning — the suite would time
+    // out) or a wrong chain sum.
+    let half = Runtime::with_policy(
+        4,
+        SchedPolicy {
+            steal: StealKind::Half,
+            victim: VictimSelect::LastVictimFirst,
+            ..SchedPolicy::default()
+        },
+    );
+    let mut failed = 0usize;
+    let mut completed = 0usize;
+    for seed in 0..120u64 {
+        install(Some(ChaosConfig {
+            seed: 0xBA7C4 ^ seed.rotate_left(17),
+            // Low panic rate: the fan-out below visits ~200 injection
+            // points per seed, so ~0.3% per point still fails roughly
+            // half the seeds while letting the other half finish.
+            panic_per_10k: 30,
+            delay_per_10k: 300,
+            delay_spins: 200,
+            // Deny roughly a third of steal attempts: batches are
+            // constantly interrupted mid-drain and retried elsewhere.
+            steal_fail_per_10k: 3300,
+        }));
+        let before = injected_panics();
+        let res = half.try_run(|wk| {
+            for _ in 0..128 {
+                wk.spawn(|_| std::hint::black_box(()));
+            }
+        });
+        let res = res.and_then(|_| chained_sum(&half, 24));
+        let injected = injected_panics() > before;
+        match res {
+            Ok(v) => {
+                assert_eq!(v, 24, "seed {seed}: steal-half chain sum");
+                completed += 1;
+            }
+            Err(e) => {
+                assert!(
+                    injected,
+                    "seed {seed}: steal-half failed w/o injection: {e}"
+                );
+                assert!(
+                    e.panic_message().is_some_and(|m| m.contains("pf-chaos")),
+                    "seed {seed}: unexpected steal-half error {e}"
+                );
+                failed += 1;
+            }
+        }
+    }
+    assert!(failed > 0, "steal-half chaos rates never fired");
+    assert!(completed > 0, "steal-half sessions never finished");
+
+    // Disarm and prove both pools are clean: 50 quiet runs each, zero
+    // failures.
     install(None);
     for i in 0..50u64 {
         let v = chained_sum(&rt, 8).expect("clean run after chaos disarm");
         assert_eq!(v, 8, "iteration {i}");
+        let v = chained_sum(&half, 8).expect("clean steal-half run after disarm");
+        assert_eq!(v, 8, "steal-half iteration {i}");
     }
 }

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use pf_rt::{cell, ready, FutRead, RunStats, Runtime, Session, SessionError, Worker};
+use pf_rt::{cell, ready, FutRead, RunStats, Runtime, SchedPolicy, Session, SessionError, Worker};
 use pf_rt_algs::rtreap::{diff, union, union_many, RTreap, RtTreap};
 use pf_rt_algs::RKey;
 
@@ -54,6 +54,9 @@ pub struct ServiceConfig {
     pub deadline: Option<Duration>,
     /// Coalescer tuning.
     pub policy: CoalescePolicy,
+    /// Scheduling policy the apply sessions run under (threaded to
+    /// [`Session::policy`] for every window and replay session).
+    pub sched: SchedPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -64,6 +67,7 @@ impl Default for ServiceConfig {
             mode: ApplyMode::Pipelined,
             deadline: Some(Duration::from_secs(10)),
             policy: CoalescePolicy::default(),
+            sched: SchedPolicy::default(),
         }
     }
 }
@@ -93,6 +97,14 @@ pub struct WaveOutcome {
     /// Served by the wave-by-wave replay of a failed pipelined window
     /// rather than by its original window session.
     pub replayed: bool,
+    /// The full event timeline of the failed session that degraded this
+    /// wave (`trace` feature only), taken from
+    /// [`Runtime::take_last_trace`] at degrade time — a degraded wave
+    /// ships with its own diagnosis. `None` for served waves (and for
+    /// degraded waves when another session raced the pool's last-trace
+    /// slot on a shared runtime).
+    #[cfg(feature = "trace")]
+    pub trace: Option<Arc<pf_rt::SessionTrace>>,
 }
 
 /// Aggregated result of draining pending requests.
@@ -113,6 +125,13 @@ pub struct DrainReport {
     pub served: u64,
     /// Waves dropped because their session failed.
     pub degraded: u64,
+    /// Full event timelines of failed *window* sessions (`trace` feature
+    /// only): one entry per pipelined window whose session failed and was
+    /// replayed wave-by-wave, captured before the replay sessions
+    /// overwrite the pool's last-trace slot — so the window's diagnosis
+    /// travels with the report even when every replayed wave then serves.
+    #[cfg(feature = "trace")]
+    pub window_traces: Vec<Arc<pf_rt::SessionTrace>>,
 }
 
 impl DrainReport {
@@ -124,6 +143,8 @@ impl DrainReport {
         self.keys_applied += other.keys_applied;
         self.served += other.served;
         self.degraded += other.degraded;
+        #[cfg(feature = "trace")]
+        self.window_traces.extend(other.window_traces);
     }
 }
 
@@ -369,9 +390,16 @@ impl<K: RKey> SetService<K> {
                 report.stats.accumulate(&stats);
             }
             Err((err, took)) if waves.len() == 1 => {
-                report.record(outcome(shard, &waves[0], false, Some(&err), took, false));
+                let o = outcome(shard, &waves[0], false, Some(&err), took, false);
+                report.record(self.attach_failed_trace(o));
             }
             Err(_) => {
+                // The failed window's timeline, captured before the
+                // replay sessions overwrite the pool's last-trace slot.
+                #[cfg(feature = "trace")]
+                report
+                    .window_traces
+                    .extend(self.rt.take_last_trace().map(Arc::new));
                 // Replay: one wave per session, committing the healthy
                 // ones in order; the shard root advances past each.
                 for (w, plan) in waves.iter().zip(plans) {
@@ -384,7 +412,8 @@ impl<K: RKey> SetService<K> {
                             report.stats.accumulate(&stats);
                         }
                         Err((err, took)) => {
-                            report.record(outcome(shard, w, false, Some(&err), took, true));
+                            let o = outcome(shard, w, false, Some(&err), took, true);
+                            report.record(self.attach_failed_trace(o));
                         }
                     }
                 }
@@ -408,7 +437,7 @@ impl<K: RKey> SetService<K> {
         plans: Vec<WavePlan<K>>,
     ) -> Result<(RTreap<K>, RunStats), (SessionError, Duration)> {
         let (op, of) = cell();
-        let mut sess = Session::new();
+        let mut sess = Session::new().policy(self.cfg.sched);
         if let Some(d) = self.cfg.deadline {
             sess = sess.deadline(d);
         }
@@ -444,6 +473,17 @@ impl<K: RKey> SetService<K> {
         // Quiescence ⇒ the final chain cell is written.
         Ok((of.expect(), stats))
     }
+
+    /// Attach the pool's last session timeline — the failed session that
+    /// degraded `o` — to the outcome. No-op without the `trace` feature.
+    #[cfg_attr(not(feature = "trace"), allow(unused_mut, clippy::unused_self))]
+    fn attach_failed_trace(&self, mut o: WaveOutcome) -> WaveOutcome {
+        #[cfg(feature = "trace")]
+        {
+            o.trace = self.rt.take_last_trace().map(Arc::new);
+        }
+        o
+    }
 }
 
 impl DrainReport {
@@ -475,5 +515,7 @@ fn outcome<K>(
         error: err.map(|e| e.to_string()),
         latency,
         replayed,
+        #[cfg(feature = "trace")]
+        trace: None,
     }
 }

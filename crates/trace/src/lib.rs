@@ -236,6 +236,15 @@ pub struct SessionTrace {
     /// Session start, in nanoseconds since the pool epoch — the zero
     /// point of the Chrome-trace export.
     pub start_ns: u64,
+    /// Label of the scheduling policy the session ran under (e.g.
+    /// `"one-sweep-deque-parent"`), so per-policy timelines stay
+    /// distinguishable after export. Empty when the recorder predates
+    /// policy tagging.
+    pub policy: String,
+    /// Per-lane ring capacity the recorder used — together with the
+    /// per-lane drop counts this makes a truncated timeline
+    /// self-describing.
+    pub ring_capacity: usize,
     /// Per-worker lanes, indexed by worker.
     pub workers: Vec<WorkerTrace>,
     /// Events recorded by the client thread (abort-time poisoning).
@@ -257,16 +266,20 @@ impl SessionTrace {
     pub fn stats(&self) -> TraceStats {
         TraceStats {
             session: self.session,
+            policy: self.policy.clone(),
             per_worker: self.workers.iter().map(|w| w.summary()).collect(),
             client: self.client.summary(),
         }
     }
 
-    /// Render as Chrome-trace JSON (the "JSON Array Format" both
+    /// Render as Chrome-trace JSON (the "JSON Object Format" both
     /// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) open
     /// directly): one instant event per [`TraceEvent`], one timeline row
     /// (`tid`) per worker plus one for the client lane, timestamps in
-    /// microseconds relative to the session start.
+    /// microseconds relative to the session start. A trailing
+    /// `"metadata"` object carries the session's scheduling-policy
+    /// label, the ring capacity, and the total drop count, so a
+    /// truncated export is self-describing.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::with_capacity(64 * (self.events() + self.workers.len() + 2));
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
@@ -305,7 +318,15 @@ impl SessionTrace {
         for ev in &self.client.events {
             emit(client_tid, ev);
         }
-        out.push_str("\n]}\n");
+        // The policy label is machine-generated ([a-z-] only), so it
+        // needs no JSON escaping.
+        out.push_str(&format!(
+            "\n],\"metadata\":{{\"policy\":\"{}\",\"ringCapacity\":{},\
+             \"droppedEvents\":{}}}}}\n",
+            self.policy,
+            self.ring_capacity,
+            self.dropped()
+        ));
         out
     }
 }
@@ -379,6 +400,10 @@ impl WorkerSummary {
 pub struct TraceStats {
     /// Session id of the (first) summarized session.
     pub session: u64,
+    /// Scheduling-policy label of the (first) summarized session —
+    /// per-policy summaries come free when sweeping policies. Empty
+    /// when the recorder predates policy tagging.
+    pub policy: String,
     /// One summary per worker, indexed by worker.
     pub per_worker: Vec<WorkerSummary>,
     /// The client lane's summary (abort-time poison events).
@@ -439,7 +464,8 @@ impl TraceStats {
 
     /// Fold another summary into this one, lane by lane (a service
     /// accumulating per-session stats over a whole run). Keeps `self`'s
-    /// session id; lane counts are added, extra lanes appended.
+    /// session id and policy label; lane counts are added, extra lanes
+    /// appended.
     pub fn merge(&mut self, other: &TraceStats) {
         if self.per_worker.len() < other.per_worker.len() {
             self.per_worker
@@ -546,6 +572,8 @@ mod tests {
         let tr = SessionTrace {
             session: 7,
             start_ns: 100,
+            policy: "one-sweep-deque-parent".to_string(),
+            ring_capacity: 16,
             workers: vec![
                 WorkerTrace {
                     events: vec![
@@ -573,6 +601,7 @@ mod tests {
         };
         let s = tr.stats();
         assert_eq!(s.session, 7);
+        assert_eq!(s.policy, "one-sweep-deque-parent");
         assert_eq!(s.per_worker.len(), 2);
         assert_eq!(s.per_worker[0].executed(), 2);
         assert_eq!(s.per_worker[0].steals(), 1);
@@ -592,6 +621,7 @@ mod tests {
     fn stats_merge_adds_lanes_elementwise() {
         let mut a = TraceStats {
             session: 1,
+            policy: "one-sweep-deque-parent".to_string(),
             per_worker: vec![WorkerSummary {
                 counts: {
                     let mut c = [0; KIND_COUNT];
@@ -604,6 +634,7 @@ mod tests {
         };
         let b = TraceStats {
             session: 2,
+            policy: "half-lastv-mailbox-child".to_string(),
             per_worker: vec![
                 WorkerSummary {
                     counts: {
@@ -620,6 +651,10 @@ mod tests {
         };
         a.merge(&b);
         assert_eq!(a.session, 1, "merge keeps the first session id");
+        assert_eq!(
+            a.policy, "one-sweep-deque-parent",
+            "merge keeps the first policy label"
+        );
         assert_eq!(a.per_worker.len(), 2, "extra lanes are appended");
         assert_eq!(a.per_worker[0].executed(), 5);
         assert_eq!(a.per_worker[0].steals(), 1);
@@ -631,12 +666,14 @@ mod tests {
         let tr = SessionTrace {
             session: 3,
             start_ns: 1_000,
+            policy: "one-sweep-deque-parent".to_string(),
+            ring_capacity: 1 << 14,
             workers: vec![WorkerTrace {
                 events: vec![
                     ev(1_500, TraceKind::Exec, 0),
                     ev(2_500, TraceKind::Steal, 1),
                 ],
-                dropped: 0,
+                dropped: 5,
             }],
             client: WorkerTrace {
                 events: vec![ev(3_000, TraceKind::Poison, 42)],
@@ -660,10 +697,17 @@ mod tests {
         // Thread-name metadata for the worker and the client lanes.
         assert!(json.contains("\"name\":\"worker 0\""));
         assert!(json.contains("\"name\":\"client\""));
+        // The trailing metadata object makes the export self-describing.
+        assert!(json.contains(
+            "\"metadata\":{\"policy\":\"one-sweep-deque-parent\",\
+             \"ringCapacity\":16384,\"droppedEvents\":5}"
+        ));
         // A timestamp before the session start clamps to zero.
         let early = SessionTrace {
             session: 1,
             start_ns: 10_000,
+            policy: String::new(),
+            ring_capacity: 4,
             workers: vec![WorkerTrace {
                 events: vec![ev(5_000, TraceKind::Park, 0)],
                 dropped: 0,

@@ -161,6 +161,7 @@ fn main() {
         // Generous for healthy waves; the wedged one trips it.
         deadline: Some(Duration::from_millis(500)),
         policy: CoalescePolicy::default(),
+        ..ServiceConfig::default()
     };
     let map = ShardMap::uniform(SHARDS, 0, KEYSPACE);
     let svc = SetService::new(map.clone(), cfg);

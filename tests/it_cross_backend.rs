@@ -307,6 +307,74 @@ fn seq_oracle_rejects_touch_before_write() {
     });
 }
 
+/// PR 8 pin: every scheduling policy (the full 24-combination matrix of
+/// steal granularity × victim selection × resume placement × spawn
+/// order) yields bit-identical algorithm results — keys *and*
+/// deterministic tree shape — and identical policy-independent
+/// accounting on the tri-backend suite's treap-union and mergesort
+/// workloads. "Policy-independent accounting" is `spawns` (a spawned
+/// task is counted once whether pushed or run inline) plus the liveness
+/// identity `tasks_executed - suspensions == spawns + 1`; raw executed
+/// counts legitimately vary across policies because whether a touch
+/// suspends depends on the schedule.
+#[test]
+fn every_sched_policy_is_result_identical_across_the_suite() {
+    use pf_rt::SchedPolicy;
+    // Union reference (sequential oracle).
+    let a = entries((0..400).map(|i| 3 * i));
+    let b = entries((0..400).map(|i| 2 * i));
+    let pu = PlainTreap::union(PlainTreap::from_entries(&a), PlainTreap::from_entries(&b));
+    let union_keys = PlainTreap::to_sorted_vec(&pu);
+    let union_height = PlainTreap::height(&pu);
+    // Mergesort reference (cost-model shape).
+    let keys = shuffled_keys(300, 77);
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    let (mroot, _) = pf_trees::mergesort::run_msort(&keys, Mode::Pipelined);
+    let msort_height = mroot.get().height();
+
+    for threads in [1usize, 4] {
+        let mut union_spawns: Option<u64> = None;
+        let mut msort_spawns: Option<u64> = None;
+        for policy in SchedPolicy::matrix() {
+            let rt = Runtime::with_policy(threads, policy);
+            let label = policy.label();
+
+            let (op, of) = cell();
+            let (ta, tb) = (
+                ready(RTreap::from_entries_ready(&a)),
+                ready(RTreap::from_entries_ready(&b)),
+            );
+            let stats = rt.run_stats(move |wk| rt_union(wk, ta, tb, op));
+            let t = of.expect();
+            assert_eq!(t.to_sorted_vec(), union_keys, "union {label} t={threads}");
+            assert_eq!(t.height(), union_height, "union {label} t={threads}");
+            let s = *union_spawns.get_or_insert(stats.spawns);
+            assert_eq!(stats.spawns, s, "union {label} t={threads}: spawns");
+            assert_eq!(
+                stats.tasks_executed - stats.suspensions,
+                stats.spawns + 1,
+                "union {label} t={threads}: liveness identity"
+            );
+
+            let keys = keys.clone();
+            let (op, of) = cell();
+            let stats =
+                rt.run_stats(move |wk| pf_algs::mergesort::msort(wk, keys, op, Mode::Pipelined));
+            let t = of.expect();
+            assert_eq!(t.to_sorted_vec(), sorted, "msort {label} t={threads}");
+            assert_eq!(t.height(), msort_height, "msort {label} t={threads}");
+            let s = *msort_spawns.get_or_insert(stats.spawns);
+            assert_eq!(stats.spawns, s, "msort {label} t={threads}: spawns");
+            assert_eq!(
+                stats.tasks_executed - stats.suspensions,
+                stats.spawns + 1,
+                "msort {label} t={threads}: liveness identity"
+            );
+        }
+    }
+}
+
 #[test]
 fn repeated_rt_runs_are_deterministic_in_value() {
     // Scheduling is nondeterministic; results must not be.
