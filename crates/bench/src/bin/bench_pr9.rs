@@ -1,0 +1,206 @@
+//! PR 9 evidence harness: the PR-6 open-loop service A/B re-measured on
+//! the session-table runtime, where the per-shard apply sessions
+//! genuinely co-execute on one worker pool.
+//!
+//! Through PR 8 the pool ran one session at a time: `drive()`'s apply
+//! threads could overlap coalescing and treap construction, but session
+//! *execution* serialized on a pool-wide session lock, so shard
+//! parallelism stopped at the session boundary. The session table gives
+//! every `try_run_session` caller its own slot; this harness re-runs the
+//! identical workload and reports the same metrics so the two result
+//! files compare directly:
+//!
+//! * `..._kops` — sustained update throughput, committed keys per
+//!   wall-clock second of the drive (thousands/s), now from
+//!   [`DrainReport::keys_per_sec_wall`] — the wall-window variant added
+//!   for concurrent sessions (summed per-session busy time would double
+//!   count overlapping sessions);
+//! * `..._p50_ms` / `..._p99_ms` — per-wave commit latency percentiles
+//!   from [`pf_rt::RunStats::elapsed`], unchanged;
+//! * `svc_reads_t{t}_kops` — concurrent snapshot reads per second
+//!   sustained during the pipelined run, unchanged.
+//!
+//! Usage: `bench_pr9` — writes `results/BENCH_PR9.json` and prints the
+//! metrics. `bench_pr9 ci` (or `--ci`) shrinks sizes for the CI smoke.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use pf_service::{ApplyMode, CoalescePolicy, Request, ServiceConfig, SetService, ShardMap};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+const SHARDS: usize = 4;
+const WINDOW: usize = 8;
+
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The PR-6 trace, verbatim (same seed, same mix), so the two result
+/// files measure the same load.
+fn trace(requests: usize, keyspace: i64, seed: u64) -> Vec<Request<i64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..requests)
+        .map(|i| {
+            let m = if rng.gen_bool(0.75) {
+                rng.gen_range(1..32)
+            } else {
+                rng.gen_range(64..256)
+            };
+            let entries: Vec<(i64, u64)> = (0..m)
+                .map(|_| (rng.gen_range(0..keyspace), rng.gen()))
+                .collect();
+            let req = if rng.gen_bool(0.3) {
+                Request::delete(entries)
+            } else {
+                Request::insert(entries)
+            };
+            req.tagged(i as u64)
+        })
+        .collect()
+}
+
+struct RunOut {
+    kops: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    read_kops: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// One measured drive of the full trace.
+fn run_one(reqs: &[Request<i64>], threads: usize, mode: ApplyMode, keyspace: i64) -> RunOut {
+    let cfg = ServiceConfig {
+        threads,
+        window: WINDOW,
+        mode,
+        deadline: Some(Duration::from_secs(60)),
+        policy: CoalescePolicy::default(),
+        ..ServiceConfig::default()
+    };
+    let svc = SetService::new(ShardMap::uniform(SHARDS, 0, keyspace), cfg);
+    let stop = AtomicBool::new(false);
+    let (report, reads) = std::thread::scope(|s| {
+        let reader = s.spawn(|| {
+            let mut rng = SmallRng::seed_from_u64(99);
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let k = rng.gen_range(0..keyspace);
+                std::hint::black_box(svc.contains(&k));
+                n += 1;
+            }
+            n
+        });
+        let report = svc.drive(reqs.iter().cloned());
+        stop.store(true, Ordering::Relaxed);
+        (report, reader.join().expect("reader thread"))
+    });
+    assert_eq!(report.degraded, 0, "healthy load must not degrade");
+    assert_eq!(report.served, report.outcomes.len() as u64);
+
+    let mut lats: Vec<f64> = report
+        .outcomes
+        .iter()
+        .map(|o| o.latency.as_secs_f64() * 1e3)
+        .collect();
+    lats.sort_by(f64::total_cmp);
+    RunOut {
+        kops: report.keys_per_sec_wall() / 1e3,
+        p50_ms: percentile(&lats, 0.50),
+        p99_ms: percentile(&lats, 0.99),
+        read_kops: reads as f64 / report.wall.as_secs_f64() / 1e3,
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let ci = matches!(arg.as_deref(), Some("ci") | Some("--ci"));
+    let (requests, keyspace, reps) = if ci {
+        (96usize, 1i64 << 14, 1usize)
+    } else {
+        (6144usize, 1_000_000i64, 3usize)
+    };
+
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let reqs = trace(requests, keyspace, 4242);
+    let total_keys: usize = reqs.iter().map(|r| r.entries.len()).sum();
+    println!(
+        "open-loop trace: {requests} requests, {total_keys} keys over [0, {keyspace}), \
+         {SHARDS} shards, window {WINDOW}, concurrent shard sessions\n"
+    );
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: String, v: f64| {
+        println!("{name:<40} {v:>12.3}");
+        entries.push((name, v));
+    };
+
+    for t in THREADS {
+        for (mode, label) in [
+            (ApplyMode::Pipelined, "pipelined"),
+            (ApplyMode::Barriered, "barriered"),
+        ] {
+            // Best-of-reps by sustained throughput (warm pool after rep 1).
+            let mut best: Option<RunOut> = None;
+            for _ in 0..reps {
+                let out = run_one(&reqs, t, mode, keyspace);
+                if best.as_ref().is_none_or(|b| out.kops > b.kops) {
+                    best = Some(out);
+                }
+            }
+            let out = best.expect("at least one rep");
+            push(format!("svc_{label}_t{t}_kops"), out.kops);
+            push(format!("svc_{label}_t{t}_p50_ms"), out.p50_ms);
+            push(format!("svc_{label}_t{t}_p99_ms"), out.p99_ms);
+            if mode == ApplyMode::Pipelined {
+                push(format!("svc_reads_t{t}_kops"), out.read_kops);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"label\": \"pr9_service_concurrent_sessions\",\n");
+    json.push_str(&format!(
+        "  \"machine\": {{ \"cpus\": {ncpu}, \"model\": \"{}\", \"os\": \"{} {}\" }},\n",
+        cpu_model(),
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    ));
+    json.push_str(&format!(
+        "  \"note\": \"PR-6 open-loop A/B re-measured on the session-table runtime (shard \
+         sessions co-execute on one pool): {requests} mixed insert/delete requests \
+         ({total_keys} keys) over [0, {keyspace}), {SHARDS} shards, window {WINDOW}, plus a \
+         concurrent snapshot-reader thread; kops = DrainReport.keys_per_sec_wall (best of \
+         {reps}), latency percentiles from RunStats.elapsed per wave; compare with \
+         BENCH_PR6.json (session execution serialized)\",\n",
+    ));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!("    \"{k}\": {v:.3}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_PR9.json", &json).expect("write json");
+    println!("\nwrote results/BENCH_PR9.json");
+}

@@ -678,6 +678,115 @@ fn cancel_racing_fulfill() {
 }
 
 // ---------------------------------------------------------------------------
+// Concurrent sessions (PR 9: the session table)
+// ---------------------------------------------------------------------------
+
+/// Two client threads run sessions concurrently on one pool: both must
+/// complete with their own results in every interleaving. This is the
+/// cross-session lost-wakeup model — each session's quiescence counter
+/// lives in its own slot, and a worker parked after draining session
+/// A's tasks must still wake for session B's push (and vice versa).
+#[cfg(not(pf_check_lost_wakeup))]
+#[test]
+fn two_concurrent_sessions_both_complete() {
+    rt_budget().run(|| {
+        let rt = Arc::new(Runtime::new(2));
+        let rt2 = Arc::clone(&rt);
+        let other = thread::spawn(move || {
+            let (w, r) = cell::<u32>();
+            rt2.try_run(move |wk| {
+                wk.spawn(move |wk| w.fulfill(wk, 7));
+            })
+            .unwrap();
+            assert_eq!(r.expect(), 7);
+        });
+        let (w, r) = cell::<u32>();
+        let (ow, or) = cell::<u32>();
+        rt.try_run(move |wk| {
+            r.touch(wk, move |v, wk| ow.fulfill(wk, v + 1));
+            wk.spawn(move |wk| w.fulfill(wk, 9));
+        })
+        .unwrap();
+        assert_eq!(or.expect(), 10);
+        other.join().unwrap();
+        drop(rt);
+    });
+}
+
+/// A panicking session co-executing with a healthy sibling: in every
+/// interleaving the sibling completes with the right value, the abort
+/// poisons only the faulting session's cell, and the poison context
+/// carries the faulting session's id — abort isolation and poison
+/// confinement at model-checker granularity.
+#[cfg(not(pf_check_lost_wakeup))]
+#[test]
+fn concurrent_abort_is_isolated_to_its_slot() {
+    rt_budget().run(|| {
+        let rt = Arc::new(Runtime::new(2));
+        let rt2 = Arc::clone(&rt);
+        let faulty = thread::spawn(move || {
+            let (_w, r) = cell::<u32>(); // never written; poisoned on abort
+            let r_in = r.clone();
+            let err = rt2
+                .try_run(move |wk| {
+                    // Suspension commits in the root body, so the abort
+                    // deterministically has a cell to poison.
+                    r_in.touch(wk, |_v, _wk| {});
+                    wk.spawn(|_| panic!("model sibling boom"));
+                })
+                .unwrap_err();
+            assert!(matches!(err, SessionError::Panicked { .. }), "{err}");
+            let info = r.poison_info().expect("faulting session's cell poisoned");
+            assert_eq!(info.session, err.session());
+        });
+        // The sibling: its own suspend/fulfill chain in separate cells.
+        let (w, r) = cell::<u32>();
+        let (ow, or) = cell::<u32>();
+        rt.try_run(move |wk| {
+            r.touch(wk, move |v, wk| ow.fulfill(wk, v * 2));
+            wk.spawn(move |wk| w.fulfill(wk, 21));
+        })
+        .expect("sibling of a panicking session");
+        assert_eq!(or.expect(), 42);
+        faulty.join().unwrap();
+        drop(rt);
+    });
+}
+
+/// A pre-cancelled session aborts cleanly while a concurrent sibling
+/// completes: the cancel lands in exactly one slot, and the closed
+/// slot's token can be re-cancelled without disturbing anything.
+#[cfg(not(pf_check_lost_wakeup))]
+#[test]
+fn concurrent_cancel_hits_only_its_slot() {
+    rt_budget().run(|| {
+        let rt = Arc::new(Runtime::new(2));
+        let rt2 = Arc::clone(&rt);
+        let tok = CancelToken::new();
+        tok.cancel();
+        let t2 = tok.clone();
+        let cancelled = thread::spawn(move || {
+            let err = rt2
+                .try_run_session(Session::new().cancel_token(&t2), |wk| {
+                    wk.spawn(|_| {});
+                })
+                .unwrap_err();
+            assert!(matches!(err, SessionError::Cancelled { .. }), "{err}");
+        });
+        let (w, r) = cell::<u32>();
+        rt.try_run(move |wk| {
+            wk.spawn(move |wk| w.fulfill(wk, 3));
+        })
+        .expect("sibling of a cancelled session");
+        assert_eq!(r.expect(), 3);
+        cancelled.join().unwrap();
+        // Stale cancel on the closed slot: must be a no-op.
+        tok.cancel();
+        drop(rt);
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Non-vacuity: the seeded lost-wakeup mutation must be caught
 // ---------------------------------------------------------------------------
 

@@ -28,9 +28,9 @@
 //! every suspension). While a waiter sits in a cell, the cell keeps
 //! itself alive through the waiter's `Arc` — a deliberate cycle, broken
 //! whenever the waiter is taken out. That happens on every path: a run
-//! that reaches quiescence reactivates the waiter, and a run that
-//! *aborts* (panic, cancel, deadline, stall) **poisons** the cell at the
-//! abort rendezvous — a fourth state, `POISONED`, entered only from
+//! that reaches quiescence reactivates the waiter, and a session that
+//! *aborts* (panic, cancel, deadline, stall) **poisons** the cell during
+//! its abort cleanup — a fourth state, `POISONED`, entered only from
 //! `WAITING` — which takes the waiter out and drops it, so nothing leaks.
 //! A poisoned cell remembers why its session died
 //! ([`FutRead::poison_info`]); any straggler touch or fulfill of it
@@ -46,7 +46,8 @@ use std::sync::Arc;
 
 use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
-use crate::error::{PoisonInfo, PoisonTarget, StuckCell};
+use crate::error::{PoisonInfo, PoisonOutcome, PoisonTarget, StuckCell};
+use crate::pool::{SessionSlot, SessionTask};
 use crate::scheduler::Worker;
 use crate::task::Task;
 
@@ -55,7 +56,8 @@ const WAITING: u8 = 1;
 const FULL: u8 = 2;
 /// The cell's session aborted with a continuation suspended here; the
 /// waiter was dropped and `Inner::poison` holds the failure context.
-/// Terminal, entered only from `WAITING`, only at the abort rendezvous.
+/// Terminal, entered only from `WAITING`, only by the aborting session's
+/// cleanup pass.
 const POISONED: u8 = 3;
 
 fn state_name(s: u8) -> &'static str {
@@ -89,17 +91,26 @@ struct Inner<T> {
     /// the writer only after its AcqRel swap observed WAITING, so the
     /// CAS/swap pair orders the accesses.
     owner: AtomicUsize,
+    /// The slot of the session whose touch suspended here: the waiter's
+    /// accounting/abort identity, so a *cross-session* fulfill (a cell
+    /// handed from one session to another through a shared structure)
+    /// resumes the waiter into its own session, not the writer's. Same
+    /// publication protocol as `waiter`: written by the toucher before
+    /// the WAITING CAS, taken by whichever side wins the race out of
+    /// WAITING (writer, failed-CAS toucher, or poison pass).
+    session: UnsafeCell<Option<Arc<SessionSlot>>>,
     /// Why the cell was poisoned; written before the release transition
     /// to POISONED, read only after an acquire load of POISONED.
     poison: UnsafeCell<Option<Arc<PoisonInfo>>>,
 }
 
 impl<T: Send> PoisonTarget for Inner<T> {
-    fn poison(&self, ctx: &Arc<PoisonInfo>) -> Option<StuckCell> {
+    fn poison(&self, ctx: &Arc<PoisonInfo>) -> PoisonOutcome {
         // Publish the context before the state transition so any thread
         // that later observes POISONED (acquire) sees it.
-        // SAFETY: called single-threadedly at the abort rendezvous (trait
-        // contract); nobody reads the slot before POISONED is published.
+        // SAFETY: written only by the aborting client; a concurrent
+        // (cross-session) fulfill reads it only after observing POISONED
+        // through the CAS below, never before it is published.
         unsafe { *self.poison.get() = Some(Arc::clone(ctx)) };
         match self
             .state
@@ -107,20 +118,25 @@ impl<T: Send> PoisonTarget for Inner<T> {
         {
             Ok(_) => {
                 // SAFETY: we won the transition out of WAITING, so we own
-                // the waiter slot exactly like a writer would. Dropping
-                // the waiter box releases the continuation's captures and
-                // breaks the waiter→cell Arc cycle — the "leak on abort"
-                // this state exists to prevent. Its destructor must not
-                // wedge the cleanup.
+                // the waiter (and session) slots exactly like a writer
+                // would. Dropping the waiter box releases the
+                // continuation's captures and breaks the waiter→cell Arc
+                // cycle — the "leak on abort" this state exists to
+                // prevent. Its destructor must not wedge the cleanup.
                 let waiter = unsafe { (*self.waiter.get()).take() };
+                let session = unsafe { (*self.session.get()).take() };
                 if let Some(w) = waiter {
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(w)));
                 }
-                Some(StuckCell {
-                    addr: self as *const Self as usize,
-                    payload_type: std::any::type_name::<T>(),
-                    kind: "cell",
-                })
+                drop(session);
+                PoisonOutcome {
+                    stuck: Some(StuckCell {
+                        addr: self as *const Self as usize,
+                        payload_type: std::any::type_name::<T>(),
+                        kind: "cell",
+                    }),
+                    dropped: 1,
+                }
             }
             Err(prev) => {
                 // Nothing suspended here (the suspension raced to FULL
@@ -130,7 +146,7 @@ impl<T: Send> PoisonTarget for Inner<T> {
                 if prev != POISONED {
                     unsafe { *self.poison.get() = None };
                 }
-                None
+                PoisonOutcome::none()
             }
         }
     }
@@ -172,6 +188,7 @@ pub fn cell<T>() -> (FutWrite<T>, FutRead<T>) {
         value: UnsafeCell::new(None),
         waiter: UnsafeCell::new(None),
         owner: AtomicUsize::new(0),
+        session: UnsafeCell::new(None),
         poison: UnsafeCell::new(None),
     });
     (
@@ -190,6 +207,7 @@ pub fn ready<T>(value: T) -> FutRead<T> {
             value: UnsafeCell::new(Some(value)),
             waiter: UnsafeCell::new(None),
             owner: AtomicUsize::new(0),
+            session: UnsafeCell::new(None),
             poison: UnsafeCell::new(None),
         }),
     }
@@ -208,21 +226,31 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
             EMPTY => {}
             WAITING => {
                 // SAFETY: WAITING was published by the toucher's release
-                // CAS, so its waiter write happens-before our read; state is
-                // now FULL, so no one else touches the slot.
+                // CAS, so its waiter/session writes happen-before our
+                // reads; state is now FULL, so no one else touches the
+                // slots.
                 let waiter = unsafe { (*self.inner.waiter.get()).take() }
                     .expect("WAITING state without a waiter");
+                let session = unsafe { (*self.inner.session.get()).take() }
+                    .expect("WAITING state without a session");
                 // Waiter hand-off: the box allocated at touch time is
                 // enqueued as-is — no re-boxing, no value capture. The
                 // waiter reads the value from the cell when it runs; our
                 // value write above happens-before that read through the
                 // deque push/steal pair that delivers the task. Its
-                // liveness unit was added by `note_suspend`, so this is a
-                // transfer, not a spawn. Where it lands — fulfiller's
-                // deque, inline, or the suspender's mailbox — is the
-                // session's resume-placement policy.
+                // liveness unit was added by `note_suspend` on *its*
+                // session (usually ours; the toucher's under cross-session
+                // sharing), so this is a transfer, not a spawn. Where it
+                // lands — fulfiller's deque, inline, or the suspender's
+                // mailbox — is the waiter's session's resume policy.
                 let owner = self.inner.owner.load(Ordering::Relaxed);
-                worker.resume_transferred(Task::from_boxed(waiter), owner);
+                worker.resume_transferred(
+                    SessionTask {
+                        session,
+                        task: Task::from_boxed(waiter),
+                    },
+                    owner,
+                );
             }
             POISONED => {
                 // Restore the terminal state (the swap clobbered it),
@@ -308,9 +336,10 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                         unsafe { (*inner.value.get()).clone() }.expect("FULL cell without value");
                     cont(v, wk);
                 });
-                // SAFETY: slot owned by the (sole) toucher until the CAS
-                // below publishes it.
+                // SAFETY: slots owned by the (sole) toucher until the CAS
+                // below publishes them.
                 unsafe { *self.inner.waiter.get() = Some(waiter) };
+                unsafe { *self.inner.session.get() = Some(worker.clone_session()) };
                 // Record who is suspending (mailbox resume target);
                 // published by the CAS below together with the waiter.
                 self.inner.owner.store(worker.index(), Ordering::Relaxed);
@@ -341,9 +370,11 @@ impl<T: Clone + Send + 'static> FutRead<T> {
                         // the value visible to the waiter's clone).
                         worker.unnote_suspend();
                         // SAFETY: state is FULL; the writer saw EMPTY and
-                        // never reads the waiter slot; we own it.
+                        // never reads the waiter/session slots; we own
+                        // them.
                         let waiter =
                             unsafe { (*self.inner.waiter.get()).take() }.expect("waiter vanished");
+                        unsafe { (*self.inner.session.get()) = None };
                         worker.run_boxed_inline_or_spawn(waiter);
                     }
                     Err(prev @ WAITING) | Err(prev @ POISONED) => {

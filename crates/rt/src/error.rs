@@ -28,7 +28,7 @@ use std::time::Duration;
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::Mutex;
 
-use crate::pool::{AbortReason, Shared};
+use crate::pool::{AbortReason, SessionSlot};
 
 /// Why a session ended abnormally. Returned by
 /// [`Runtime::try_run`](crate::Runtime::try_run); every variant leaves the
@@ -222,16 +222,39 @@ impl fmt::Display for PoisonInfo {
     }
 }
 
-/// Something the abort rendezvous can poison: a future cell that may hold a
-/// suspended continuation. Implemented by both cell flavors; the pool keeps
-/// per-worker registries of `Weak` references to every cell a touch
-/// suspended into (see `pool.rs`).
+/// What [`PoisonTarget::poison`] did: the stuck-cell description (when the
+/// cell still held suspended continuations of the aborting session) and
+/// how many of that session's waiters were dropped — the aborting client
+/// retires one liveness unit per dropped waiter.
+pub(crate) struct PoisonOutcome {
+    pub(crate) stuck: Option<StuckCell>,
+    pub(crate) dropped: u64,
+}
+
+impl PoisonOutcome {
+    pub(crate) fn none() -> Self {
+        PoisonOutcome {
+            stuck: None,
+            dropped: 0,
+        }
+    }
+}
+
+/// Something an abort cleanup can poison: a future cell that may hold a
+/// suspended continuation. Implemented by both cell flavors; each session's
+/// slot keeps a registry of `Weak` references to every cell a touch of that
+/// session suspended into (see `pool.rs`).
 pub(crate) trait PoisonTarget: Send + Sync {
-    /// If a continuation is still suspended here, drop it, stamp `ctx`, and
-    /// return a description of the stuck cell; otherwise do nothing. Called
-    /// only single-threadedly, with every worker held at the abort
-    /// rendezvous.
-    fn poison(&self, ctx: &Arc<PoisonInfo>) -> Option<StuckCell>;
+    /// Drop any continuation of session `ctx.session` still suspended
+    /// here, stamp `ctx`, and report what happened; do nothing when no
+    /// such continuation remains (it was fulfilled after registration, or
+    /// belongs to a different session — the multi-waiter mutex cell keeps
+    /// other sessions' waiters and stays usable for them). Called only by
+    /// the aborting session's client, after that session has no queued or
+    /// running task left (only suspended units), so no worker can race a
+    /// fulfill of *this session's* waiters; cross-session fulfills may
+    /// race and are arbitrated by the cell's own synchronization.
+    fn poison(&self, ctx: &Arc<PoisonInfo>) -> PoisonOutcome;
 }
 
 /// Options for one session: an optional deadline and an optional
@@ -295,12 +318,13 @@ impl Session {
 
 pub(crate) struct CancelInner {
     flag: AtomicBool,
-    /// The session currently registered with this token: the pool it runs
-    /// on and its session id. Registered by `try_run_session` at session
-    /// start, cleared at session end; `cancel` routed through the pool's
-    /// abort slot is a no-op when the ids no longer match, so a token can
-    /// never abort a session it was not attached to.
-    target: Mutex<Option<(Weak<Shared>, u64)>>,
+    /// The slot of the session currently registered with this token.
+    /// Registered by `try_run_session` at session start, cleared at
+    /// session end; a `Weak` to the *slot* (not the pool), so a stale
+    /// token holds nothing a later session could be confused with — and
+    /// even a race with session end lands in the slot's own closed-abort
+    /// check and no-ops.
+    target: Mutex<Option<Weak<SessionSlot>>>,
 }
 
 /// A cloneable cancellation handle for one session.
@@ -340,10 +364,8 @@ impl CancelToken {
     pub fn cancel(&self) {
         self.inner.flag.store(true, Ordering::SeqCst);
         let target = crate::pool::lock(&self.inner.target).clone();
-        if let Some((shared, session)) = target {
-            if let Some(shared) = shared.upgrade() {
-                shared.request_abort(Some(session), AbortReason::Cancelled);
-            }
+        if let Some(slot) = target.and_then(|w| w.upgrade()) {
+            slot.request_abort(AbortReason::Cancelled);
         }
     }
 
@@ -352,9 +374,9 @@ impl CancelToken {
         self.inner.flag.load(Ordering::SeqCst)
     }
 
-    /// Register this token with a live session (session start).
-    pub(crate) fn register(&self, shared: &Arc<Shared>, session: u64) {
-        *crate::pool::lock(&self.inner.target) = Some((Arc::downgrade(shared), session));
+    /// Register this token with a live session's slot (session start).
+    pub(crate) fn register(&self, slot: &Arc<SessionSlot>) {
+        *crate::pool::lock(&self.inner.target) = Some(Arc::downgrade(slot));
     }
 
     /// Detach from the session (session end, any outcome).

@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use crate::sync::Mutex;
 
-use crate::error::{PoisonInfo, PoisonTarget, StuckCell};
+use crate::error::{PoisonInfo, PoisonOutcome, PoisonTarget, StuckCell};
+use crate::pool::{SessionSlot, SessionTask};
 use crate::scheduler::Worker;
 use crate::task::Task;
 
@@ -19,13 +20,15 @@ use crate::task::Task;
 type Waiter = Box<dyn FnOnce(&Worker) + Send>;
 
 enum State<T> {
-    /// Unwritten; each suspended waiter is paired with the index of the
-    /// worker whose touch suspended it (the mailbox resume target).
-    Empty(Vec<(usize, Waiter)>),
+    /// Unwritten; each suspended waiter carries the index of the worker
+    /// whose touch suspended it (the mailbox resume target) and the slot
+    /// of its owning session (its accounting/abort identity — waiters of
+    /// several concurrent sessions can share one cell).
+    Empty(Vec<(usize, Arc<SessionSlot>, Waiter)>),
     Full(T),
-    /// The cell's session aborted with waiters suspended here; they were
-    /// dropped at the abort rendezvous (same failure model as the
-    /// lock-free cell — see `cell.rs` and DESIGN.md).
+    /// A session aborted with waiters suspended here and no other
+    /// session's waiters remained; same failure model as the lock-free
+    /// cell — see `cell.rs` and DESIGN.md.
     Poisoned(Arc<PoisonInfo>),
 }
 
@@ -34,26 +37,40 @@ struct Inner<T> {
 }
 
 impl<T: Send> PoisonTarget for Inner<T> {
-    fn poison(&self, ctx: &Arc<PoisonInfo>) -> Option<StuckCell> {
+    fn poison(&self, ctx: &Arc<PoisonInfo>) -> PoisonOutcome {
         let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
         match &mut *g {
-            State::Empty(ws) if !ws.is_empty() => {
-                let waiters = std::mem::take(ws);
-                *g = State::Poisoned(Arc::clone(ctx));
+            State::Empty(ws) if ws.iter().any(|(_, s, _)| s.id == ctx.session) => {
+                // Drop only the aborting session's waiters. Survivors of
+                // *other* sessions keep the cell alive and unpoisoned —
+                // their write can still arrive and wake them.
+                let all = std::mem::take(ws);
+                let (mine, rest): (Vec<_>, Vec<_>) =
+                    all.into_iter().partition(|(_, s, _)| s.id == ctx.session);
+                if rest.is_empty() {
+                    *g = State::Poisoned(Arc::clone(ctx));
+                } else {
+                    *g = State::Empty(rest);
+                }
                 drop(g);
-                for (_, w) in waiters {
+                let dropped = mine.len() as u64;
+                for (_, _, w) in mine {
                     // A destructor panic must not wedge the abort cleanup.
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(w)));
                 }
-                Some(StuckCell {
-                    addr: self as *const Self as usize,
-                    payload_type: std::any::type_name::<T>(),
-                    kind: "mutex_cell",
-                })
+                PoisonOutcome {
+                    stuck: Some(StuckCell {
+                        addr: self as *const Self as usize,
+                        payload_type: std::any::type_name::<T>(),
+                        kind: "mutex_cell",
+                    }),
+                    dropped,
+                }
             }
-            // Nothing suspended (fulfilled after registration, never
-            // touched, or already poisoned): leave the state alone.
-            _ => None,
+            // No waiter of the aborting session (fulfilled after
+            // registration, never touched, foreign waiters only, or
+            // already poisoned): leave the state alone.
+            _ => PoisonOutcome::none(),
         }
     }
 }
@@ -112,10 +129,18 @@ impl<T: Clone + Send + 'static> MxWrite<T> {
         // Waiter hand-off: each box was allocated at touch time and is
         // enqueued as-is (no re-boxing, no per-waiter clone here — the
         // waiter clones the value out of the cell when it runs). Each
-        // waiter's liveness unit was added by `note_suspend`; placement
-        // is the session's resume policy, per waiter.
-        for (owner, w) in waiters {
-            worker.resume_transferred(Task::from_boxed(w), owner);
+        // waiter's liveness unit was added by `note_suspend` on its own
+        // session, where it is now resumed — waiters of several
+        // concurrent sessions can share this cell; placement is each
+        // waiter's session's resume policy.
+        for (owner, session, w) in waiters {
+            worker.resume_transferred(
+                SessionTask {
+                    session,
+                    task: Task::from_boxed(w),
+                },
+                owner,
+            );
         }
     }
 }
@@ -138,15 +163,19 @@ impl<T: Clone + Send + 'static> MxRead<T> {
                 State::Empty(ws) => {
                     worker.note_suspend();
                     crate::trace::suspend(worker, Arc::as_ptr(&self.inner) as *const () as usize);
-                    // First suspension: register for poisoning on abort
-                    // (one registry entry covers all of a cell's waiters).
-                    if ws.is_empty() {
+                    let session = worker.clone_session();
+                    // First suspension *of this session*: register with
+                    // its slot so its abort can poison the cell (one
+                    // registry entry covers all of the session's waiters
+                    // here; other sessions register independently).
+                    if !ws.iter().any(|(_, s, _)| s.id == session.id) {
                         let weak = Arc::downgrade(&self.inner);
                         worker.register_suspend(weak);
                     }
                     let inner = Arc::clone(&self.inner);
                     ws.push((
                         worker.index(),
+                        session,
                         Box::new(move |wk: &Worker| {
                             let v = match &*inner.state.lock().unwrap() {
                                 State::Full(v) => v.clone(),

@@ -1,30 +1,53 @@
-//! Persistent worker pool with exact quiescence detection.
+//! Persistent worker pool with a session table and exact per-session
+//! quiescence detection.
 //!
 //! [`Runtime::new`] spawns its workers **once**; every [`Runtime::run`]
 //! call is a *session* on the same pool, so the per-run cost is one
 //! injector push plus one wakeup instead of N thread creations and joins.
-//! Workers never exit between sessions — they park and are reused.
+//! Workers never exit between sessions — they park and are reused — and
+//! **any number of sessions may run concurrently**: each client thread
+//! calling [`Runtime::try_run_session`] co-executes with the others on
+//! the same workers, with per-session fault containment.
 //!
-//! # Session protocol
+//! # The session table
 //!
-//! `run_stats` (serialized by a session mutex, so a `Runtime` may be
-//! shared freely):
+//! A session's entire mutable state lives in one [`SessionSlot`],
+//! allocated at session start and shared (`Arc`) by everything that acts
+//! on the session's behalf: every queued task carries its slot (a
+//! [`SessionTask`] is a [`Task`] plus the owning `Arc`), every suspended
+//! continuation stores it in its cell, the client holds it while
+//! waiting, and cancel tokens hold a `Weak`. The pool itself keeps only
+//! a `Weak` registry of slots (diagnostics); a slot dies with its last
+//! task — there is no per-session cleanup of pool state because there is
+//! no per-session pool state.
 //!
-//! 1. reset the per-worker statistics (safe: the pool is quiescent — no
-//!    task exists between sessions, and workers only write stats while
-//!    running one);
-//! 2. set `live = 1` (the root's unit), clear `done`, push the root task
-//!    into the injector, and wake one sleeper;
-//! 3. block on the `done` condvar until a worker brings `live` to zero
-//!    (or an abort begins — see below).
+//! Slot contents: the session id, the packed liveness counter (below),
+//! the scheduling-policy word, the abort slot (open flag + first filed
+//! reason), the done flag + condvar the client blocks on, the poison
+//! registry of suspended cells, per-worker statistics, and (in tracing
+//! builds) the session's event lanes.
 //!
-//! The `live` counter is the paper's quiescence argument made explicit:
-//! it counts closures that are queued, running, or suspended in a future
-//! cell. Spawning and suspending increment it; finishing a task
-//! decrements it; a write that reactivates a waiter *transfers* the
-//! suspended unit to the queue without touching the counter. The run is
-//! over exactly when `live == 0`, and the worker whose decrement reaches
-//! zero signals the client. Nothing here needs a timeout.
+//! # Per-session quiescence
+//!
+//! The slot's `units` word packs two 32-bit counters, updated together
+//! in one RMW:
+//!
+//! * **low half** — closures of this session that are queued, running,
+//!   or suspended in a future cell (the paper's live count);
+//! * **high half** — the suspended subset of those.
+//!
+//! Spawning adds a unit; a touch that suspends adds a unit and marks it
+//! suspended; a write that reactivates a waiter clears the suspended
+//! mark *before* the task is pushed (so `low - high`, the number of
+//! units that are queued or running, never transiently undercounts);
+//! finishing or discarding a task retires its unit. The session is over
+//! exactly when `units == 0`, and the worker whose decrement reaches
+//! zero signals the slot's condvar. Nothing here needs a timeout, and
+//! nothing is pool-global: N sessions quiesce independently.
+//!
+//! Spawn increments may be `Relaxed` (a spawn happens inside a running
+//! task, which holds a unit, so the counter cannot transiently hit
+//! zero); decrements are `SeqCst` — see the abort argument below.
 //!
 //! # Idle strategy: spin → yield → park, with no timeout backstop
 //!
@@ -48,64 +71,77 @@
 //! observes the push (so it does not park). A missed wakeup would require
 //! both sides to read state older than the other's write, which the fence
 //! pair forbids. Waking is therefore a performance hint everywhere else
-//! but a guarantee where it matters.
+//! but a guarantee where it matters. The argument is per-pool, not
+//! per-session: a worker woken for one session's push may find another
+//! session's task first — either way it does not sleep on available work.
 //!
 //! # Abort protocol (panic, cancel, deadline, stall)
 //!
-//! Workers are persistent, so a panicking task must not kill its thread,
-//! and the old trick of forcing `live = 0` is unsound here (a concurrent
-//! `fetch_sub` would underflow the counter for the *next* session).
-//! Panics are one of four abort *reasons* — the others are a fired
-//! [`CancelToken`], an expired [`Session`] deadline, and a watchdog-
-//! detected stall — and all four share one protocol:
+//! Workers are persistent and shared, so a panicking task must neither
+//! kill its thread nor disturb sibling sessions. Panics are one of four
+//! abort *reasons* — the others are a fired [`CancelToken`], an expired
+//! [`Session`] deadline, and a watchdog-detected stall — and all four
+//! share one per-slot protocol:
 //!
-//! 1. whoever detects the fault files the reason in the session's abort
-//!    slot (first reason wins, and only for the *current* session — a
-//!    stale cancel is a no-op), raises `aborting`, and wakes everyone —
-//!    including the client;
-//! 2. each worker finishes its current task normally, then enters an
-//!    *abort rendezvous*: it increments `abort_idle` and parks until
-//!    `aborting` clears, touching no queue;
-//! 3. once `abort_idle` equals the pool size, every worker is provably
-//!    idle, so the client single-threadedly drains and drops all queued
-//!    tasks, **poisons every cell that still holds a suspended
-//!    continuation** (dropping the continuation — nothing leaks; any
+//! 1. whoever detects the fault files the reason in the slot's abort
+//!    slot (first reason wins; a slot that is already closed — its
+//!    session ended — rejects the filing, so a stale cancel is a no-op),
+//!    raises the slot's `aborting` flag (`SeqCst`), and signals the
+//!    slot's condvar to wake the client;
+//! 2. workers never rendezvous: a popped task whose slot is aborting is
+//!    **discarded at pop** (its destructor runs, its unit retires), and
+//!    running tasks of the session finish normally (long ones should
+//!    poll [`Worker::cancelled`]). Sibling sessions' tasks are executed
+//!    as if nothing happened;
+//! 3. the client waits until none of the session's units is queued or
+//!    running (`low == high`: every survivor is suspended in a cell).
+//!    This wait cannot miss its wakeup: unit decrements are `SeqCst`
+//!    RMWs, the `aborting` store/load pair is `SeqCst`, and a decrement
+//!    that observes `low == high` with `aborting` set signals the
+//!    condvar under the slot's `done` mutex — the classic Dekker
+//!    argument, client predicate-check under the same mutex;
+//! 4. the client then single-handedly **poisons every cell in the
+//!    slot's registry that still holds one of this session's suspended
+//!    continuations** (dropping the continuation — nothing leaks; any
 //!    straggler touch of such a cell fails fast with the originating
-//!    failure context), clears `aborting`, wakes the workers back into
-//!    their normal loop, and returns the reason as a
+//!    failure context), closes the slot, and returns the reason as a
 //!    [`SessionError`](crate::SessionError). [`Runtime::run`] re-throws
-//!    it; [`Runtime::try_run`] hands it to the caller and the pool is
-//!    immediately reusable.
+//!    it; [`Runtime::try_run`] hands it to the caller. The pool needs no
+//!    recovery step — sibling sessions never stopped.
 //!
-//! The poison pass finds its targets through per-worker *suspend
-//! registries*: each touch that suspends appends a `Weak` reference to
-//! its cell in the executing worker's registry (owner-only, no
-//! synchronization on the hot path). The client may read the registries
-//! at the rendezvous — the `abort_idle` RMWs order every worker's
-//! registry writes before the client's reads — and clears them at
-//! session start, when the pool is quiescent (the `live` counter's
-//! final `AcqRel` decrement orders all session writes before the
-//! client's observation of `done`).
+//! The poison pass finds its targets through the slot's *suspend
+//! registry*: each touch that suspends appends a `Weak` reference to its
+//! cell (one uncontended lock on the suspension path — a path that
+//! already allocates). Cells shared with *other* sessions (possible only
+//! through the multi-waiter mutex cell) are poisoned selectively: only
+//! this session's waiters are dropped, and the cell stays usable for its
+//! surviving sessions. Sharing an *unwritten* lock-free cell across
+//! sessions is a documented program error; the cell state machine
+//! arbitrates every such race to a panic (never undefined behavior).
 //!
 //! # Quiescence watchdog
 //!
-//! A correct program always drives `live` to zero, but a buggy one — a
-//! touch of a cell nobody will ever write, a cyclic touch chain — parks
-//! every worker forever with `live > 0`. The client's wait loop (outside
-//! the model checker, which has no clock) polls a few times per second:
-//! when the sleeper bitmask stays full, the executed-task counters stay
-//! frozen, and every queue stays empty across several consecutive
-//! samples, nothing can ever change again — a parked worker only wakes
-//! for a push, and no task is running to push. If the queues are
-//! *non-empty* with all workers parked, that is a lost wakeup (a runtime
-//! bug, closed by the fence protocol above, but cheap to defend against):
-//! the watchdog re-kicks the pool a bounded number of times before giving
-//! up. Either way the session aborts with
+//! A correct program always drives `units` to zero, but a buggy one — a
+//! touch of a cell nobody will ever write, a cyclic touch chain — leaves
+//! the session's remaining units suspended forever. The client's wait
+//! loop (outside the model checker, which has no clock) polls a few
+//! times per second: when the pool's sleeper bitmask stays full, the
+//! session's executed-task counters stay frozen, every queue stays
+//! empty, and the session's units are all suspended across several
+//! consecutive samples, nothing can ever change again — a parked worker
+//! only wakes for a push, and no task is running anywhere to push one.
+//! If queues are *non-empty* with all workers parked, that is a lost
+//! wakeup (a runtime bug, closed by the fence protocol above, but cheap
+//! to defend against): the watchdog re-kicks the pool a bounded number
+//! of times before giving up. Either way the session aborts with
 //! [`SessionError::Stalled`](crate::SessionError::Stalled) carrying the
-//! stuck cell set instead of hanging the client forever.
+//! stuck cell set instead of hanging the client forever. One limitation
+//! is inherited from sharing the pool: a stalled session is only
+//! *detected* once the whole pool goes idle — a busy sibling session
+//! defers detection (but never correctness; the deadline detector is
+//! per-session and unaffected).
 
 use std::any::Any;
-use std::cell::UnsafeCell;
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
@@ -115,7 +151,7 @@ use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::sync::thread::{JoinHandle, Thread};
 use crate::sync::{Condvar, Mutex, MutexGuard};
 
-use crate::deque::{deque, Injector, Steal, Stealer};
+use crate::deque::{deque, Injector, Stealer};
 use crate::policy::SchedPolicy;
 use crate::scheduler::Worker;
 use crate::task::Task;
@@ -149,8 +185,10 @@ thread_local! {
 }
 
 /// Per-worker statistics, padded to a cache line so the owner's updates
-/// (plain load+store: no other thread writes while a session is live)
-/// never contend with a sibling's.
+/// (plain load+store: each entry is written only by worker *i*, and only
+/// while it runs a task of the owning session) never contend with a
+/// sibling's. One vector per [`SessionSlot`], so sessions never share
+/// counters.
 #[repr(align(128))]
 #[derive(Default)]
 pub(crate) struct WorkerStats {
@@ -191,12 +229,6 @@ impl WorkerStats {
     pub(crate) fn add_steals(&self, k: u64) {
         bump(&self.steals, k);
     }
-    fn reset(&self) {
-        self.tasks_executed.store(0, Ordering::Relaxed);
-        self.spawns.store(0, Ordering::Relaxed);
-        self.suspensions.store(0, Ordering::Relaxed);
-        self.steals.store(0, Ordering::Relaxed);
-    }
 }
 
 /// Execution statistics of one [`Runtime::run_stats`] call.
@@ -215,14 +247,16 @@ pub struct RunStats {
     /// Tasks obtained by stealing from a sibling worker.
     pub steals: u64,
     /// Wall-clock time of the session, measured by the client from the
-    /// root push to the quiescence signal. This is the *one* duration a
-    /// service or benchmark should report throughput from (see
-    /// [`RunStats::ops_per_sec`]) instead of re-deriving it from its own
-    /// clock around the `run` call.
+    /// root push to the quiescence signal. For a *single* session this
+    /// is the one duration to report throughput from (see
+    /// [`RunStats::ops_per_sec`]). Accumulated over *concurrent*
+    /// sessions it is total session time, which double-counts
+    /// overlapping wall-clock — divide by an externally measured window
+    /// instead ([`RunStats::ops_per_sec_wall`]).
     pub elapsed: Duration,
     /// The session's scheduler-behavior summary (per-worker steal,
     /// suspension, execution, and park/unpark counts), built from exact
-    /// per-lane counters at the session rendezvous. Only present when
+    /// per-lane counters when the session ends. Only present when
     /// tracing is compiled in — see `src/trace.rs`. The full event
     /// timeline is one [`Runtime::take_last_trace`] call away.
     #[cfg(feature = "trace")]
@@ -234,8 +268,25 @@ impl RunStats {
     /// of "operation" (keys applied, requests served, …): `ops` divided
     /// by [`RunStats::elapsed`]. Returns 0.0 for a zero-length session
     /// (sub-resolution runs) rather than dividing by zero.
+    ///
+    /// Meaningful for a single session, or for stats accumulated over
+    /// sessions that ran *back to back*. For stats accumulated over
+    /// sessions that overlapped in time, `elapsed` is summed busy time
+    /// (greater than the wall-clock window that contained them), so this
+    /// quotient *understates* throughput — use
+    /// [`RunStats::ops_per_sec_wall`] with the real window instead.
     pub fn ops_per_sec(&self, ops: u64) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
+        Self::ops_per_sec_wall(ops, self.elapsed)
+    }
+
+    /// Throughput over an externally measured wall-clock window: `ops`
+    /// divided by `wall`. This is the right quotient when sessions run
+    /// concurrently — measure the window around the whole batch (as
+    /// pf-service's `DrainReport::wall` does) and divide once, instead
+    /// of dividing by summed per-session `elapsed`, which double-counts
+    /// every overlap. Returns 0.0 for a zero-length window.
+    pub fn ops_per_sec_wall(ops: u64, wall: Duration) -> f64 {
+        let secs = wall.as_secs_f64();
         if secs > 0.0 {
             ops as f64 / secs
         } else {
@@ -245,9 +296,11 @@ impl RunStats {
 
     /// Fold another session's counters and elapsed time into this one —
     /// the accumulation a service doing many sessions wants for a
-    /// whole-run report. `elapsed` adds (total busy time), so the sum's
-    /// [`RunStats::ops_per_sec`] is throughput over time actually spent
-    /// in sessions.
+    /// whole-run report. `elapsed` adds: the sum is total time spent
+    /// *in* sessions, which equals wall-clock only when the sessions
+    /// never overlapped. A service issuing concurrent sessions should
+    /// report throughput with [`RunStats::ops_per_sec_wall`] over its
+    /// own measured window.
     pub fn accumulate(&mut self, other: &RunStats) {
         self.tasks_executed += other.tasks_executed;
         self.spawns += other.spawns;
@@ -263,8 +316,8 @@ impl RunStats {
     }
 }
 
-/// Why the current session is aborting; filed in the abort slot by
-/// whoever detects the fault, first reason wins.
+/// Why a session is aborting; filed in its slot by whoever detects the
+/// fault, first reason wins.
 // The model checker's condvar has no timed wait, so the deadline and
 // watchdog detectors (and hence their variants) don't exist there.
 #[cfg_attr(pf_check, allow(dead_code))]
@@ -275,114 +328,265 @@ pub(crate) enum AbortReason {
     Cancelled,
     /// The session's deadline expired.
     Deadline(Duration),
-    /// The quiescence watchdog found the pool wedged.
+    /// The quiescence watchdog found the session wedged.
     Stalled {
-        /// `live` counter at detection time.
+        /// The session's live-unit count at detection time.
         live: usize,
     },
 }
 
-/// The abort state of the pool's current session.
-#[derive(Default)]
-struct AbortSlot {
-    /// A session is between start and end; aborts are only accepted while
-    /// set (a cancel arriving between sessions must not wedge the pool).
-    active: bool,
-    /// Id of that session; targeted aborts (cancel tokens) must match.
-    session: u64,
-    /// The filed abort reason, if any. `Some` ⇔ the session is aborting.
+/// Abort state of one session, guarded by its slot's mutex.
+struct SlotAbort {
+    /// The session is between start and end; reasons are only accepted
+    /// while set (a cancel arriving after the session ended must not
+    /// poison a finished slot — stale aborts no-op here).
+    open: bool,
+    /// The filed abort reason, if any (first fault wins).
     reason: Option<AbortReason>,
 }
 
-/// Per-worker registry of cells this worker suspended a continuation
-/// into during the current session — the poison pass's work list.
-/// Owner-only while the session runs (plain `UnsafeCell`, padded so
-/// owners never share a cache line); read/cleared by the client only at
-/// the abort rendezvous or between sessions (safety argument in the
-/// module docs).
-#[repr(align(128))]
-pub(crate) struct SuspendRegistry {
-    cells: UnsafeCell<Vec<Weak<dyn PoisonTarget>>>,
+// ---------------------------------------------------------------------
+// Liveness-unit packing: low 32 bits = queued + running + suspended
+// closures of the session, high 32 bits = the suspended subset.
+// ---------------------------------------------------------------------
+
+/// One queued/running/suspended closure.
+const UNIT: u64 = 1;
+/// The suspended-subset mark, packed into the high half.
+const SUSP_UNIT: u64 = 1 << 32;
+const LOW_MASK: u64 = (1 << 32) - 1;
+
+#[inline]
+fn live_of(units: u64) -> u64 {
+    units & LOW_MASK
+}
+#[inline]
+fn susp_of(units: u64) -> u64 {
+    units >> 32
 }
 
-// SAFETY: all cross-thread access is phase-separated by the session and
-// abort protocols; see the module docs and the `unsafe fn` contracts.
-unsafe impl Send for SuspendRegistry {}
-unsafe impl Sync for SuspendRegistry {}
+/// One live session's entire mutable state — the session table's row.
+///
+/// Shared by `Arc`: the client holds one while waiting, every queued
+/// [`SessionTask`] carries one, every suspended continuation stores one
+/// in its cell, and cancel tokens hold a `Weak`. The pool's session
+/// table holds only `Weak`s, so a slot is garbage-collected the moment
+/// its session's last artifact dies — no cross-session cleanup exists.
+pub(crate) struct SessionSlot {
+    /// Session id, unique per pool, numbered from 1.
+    pub(crate) id: u64,
+    /// Packed liveness counters (see module docs): low half = live
+    /// units, high half = suspended units. `units == 0` ⇔ quiescent;
+    /// `low == high` ⇔ nothing queued or running (the abort safe point).
+    units: AtomicU64,
+    /// The session's packed [`SchedPolicy`], fixed at session start.
+    policy: u32,
+    /// The session is aborting: workers discard its popped tasks.
+    aborting: AtomicBool,
+    /// Abort slot: open flag + first filed reason.
+    abort: Mutex<SlotAbort>,
+    /// Session-over flag + condvar the client blocks on. Also signalled
+    /// (without setting the flag) when an aborting session's last
+    /// queued-or-running unit drains, and when a reason is filed.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Cells this session suspended a continuation into — the poison
+    /// pass's work list. One push per suspension (uncontended in the
+    /// common case); taken by the client at abort cleanup.
+    suspended: Mutex<Vec<Weak<dyn PoisonTarget>>>,
+    /// Per-worker statistics for this session (entry *i* is written only
+    /// by worker *i*).
+    pub(crate) stats: Vec<WorkerStats>,
+    /// The session's event lanes (one per worker + one client lane),
+    /// sharing the pool's monotonic clock.
+    #[cfg(feature = "trace")]
+    pub(crate) trace: crate::trace::SessionLanes,
+}
 
-impl SuspendRegistry {
-    fn new() -> Self {
-        SuspendRegistry {
-            cells: UnsafeCell::new(Vec::new()),
+impl SessionSlot {
+    fn new(
+        id: u64,
+        nthreads: usize,
+        policy: SchedPolicy,
+        #[cfg(feature = "trace")] trace: crate::trace::SessionLanes,
+    ) -> SessionSlot {
+        SessionSlot {
+            id,
+            // The root task's unit; the slot is born live.
+            units: AtomicU64::new(UNIT),
+            policy: policy.pack(),
+            aborting: AtomicBool::new(false),
+            abort: Mutex::new(SlotAbort {
+                open: true,
+                reason: None,
+            }),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            suspended: Mutex::new(Vec::new()),
+            stats: (0..nthreads).map(|_| WorkerStats::default()).collect(),
+            #[cfg(feature = "trace")]
+            trace,
         }
     }
 
-    /// Record a cell the owning worker just suspended into.
-    ///
-    /// SAFETY: callable only by the worker that owns this registry, while
-    /// it is running a task of a live session.
+    /// The session's scheduling policy (immutable; a byte unpack).
     #[inline]
-    pub(crate) unsafe fn push(&self, cell: Weak<dyn PoisonTarget>) {
-        unsafe { (*self.cells.get()).push(cell) };
+    pub(crate) fn policy(&self) -> SchedPolicy {
+        SchedPolicy::unpack(self.policy)
     }
 
-    /// Take the registry's contents (client, at the abort rendezvous).
-    ///
-    /// SAFETY: callable only while every worker is provably idle (all in
-    /// the abort rendezvous, or the pool quiescent between sessions).
-    unsafe fn take(&self) -> Vec<Weak<dyn PoisonTarget>> {
-        unsafe { std::mem::take(&mut *self.cells.get()) }
+    /// Is the session aborting? `SeqCst`: pairs with the `SeqCst` unit
+    /// decrements for the abort wait's Dekker argument (module docs).
+    #[inline]
+    pub(crate) fn aborting(&self) -> bool {
+        self.aborting.load(Ordering::SeqCst)
+    }
+
+    /// Add `n` fresh liveness units (spawn). `Relaxed` is enough: spawns
+    /// happen inside a running task, which holds a unit of its own, so
+    /// the counter cannot be concurrently observed at a signal point.
+    #[inline]
+    pub(crate) fn add_units(&self, n: u64) {
+        self.units.fetch_add(n * UNIT, Ordering::Relaxed);
+    }
+
+    /// Account a continuation suspending into a cell: one more live
+    /// unit, marked suspended. (The toucher's own task still holds its
+    /// separate running unit.)
+    #[inline]
+    pub(crate) fn note_suspend(&self) {
+        self.units.fetch_add(SUSP_UNIT + UNIT, Ordering::Relaxed);
+    }
+
+    /// Undo [`SessionSlot::note_suspend`] when the suspension raced the
+    /// write and the continuation runs immediately after all. Cannot
+    /// reach a signal point: the toucher's running unit keeps
+    /// `low > high`.
+    #[inline]
+    pub(crate) fn unnote_suspend(&self) {
+        self.units.fetch_sub(SUSP_UNIT + UNIT, Ordering::Relaxed);
+    }
+
+    /// A fulfilled cell took its waiter out of suspension: clear the
+    /// suspended mark, keeping the unit live. Must be called **before**
+    /// the resumed task is pushed to any queue (or run inline), so that
+    /// `low - high` — the queued-or-running count the abort wait reads —
+    /// never undercounts: the RMW is ordered before the push, and any
+    /// pop of the task is ordered after the push.
+    #[inline]
+    pub(crate) fn transfer_resume(&self) {
+        self.units.fetch_sub(SUSP_UNIT, Ordering::SeqCst);
+    }
+
+    /// Retire one liveness unit: a task of this session finished or was
+    /// discarded. The final unit ends the session; under an abort, the
+    /// decrement that drains the last queued-or-running unit wakes the
+    /// waiting client (`SeqCst` RMW + `SeqCst` `aborting` load — the
+    /// Dekker pair of the abort wait, see module docs).
+    pub(crate) fn task_done(&self) {
+        let after = self.units.fetch_sub(UNIT, Ordering::SeqCst) - UNIT;
+        if after == 0 {
+            *lock(&self.done) = true;
+            self.done_cv.notify_all();
+        } else if live_of(after) == susp_of(after) && self.aborting() {
+            // Every remaining unit is suspended: the aborting client's
+            // safe point. Signal under the done mutex so the client's
+            // predicate re-check cannot race past this wakeup.
+            let _g = lock(&self.done);
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Retire `n` suspended units whose waiters the poison pass just
+    /// dropped (client-only; the client is the one being signalled, so
+    /// no notify is needed).
+    fn retire_poisoned(&self, n: u64) {
+        self.units
+            .fetch_sub(n * (SUSP_UNIT + UNIT), Ordering::SeqCst);
+    }
+
+    /// Record a cell this session suspended a continuation into, so an
+    /// abort can poison it.
+    pub(crate) fn register_suspend(&self, cell: Weak<dyn PoisonTarget>) {
+        lock(&self.suspended).push(cell);
+    }
+
+    /// File an abort reason for this session and start its abort
+    /// protocol. Returns whether this call filed the reason — `false`
+    /// when the slot is closed (session already ended: stale cancels
+    /// no-op) or a reason was already filed (first fault wins; later
+    /// payloads are dropped).
+    pub(crate) fn request_abort(&self, reason: AbortReason) -> bool {
+        {
+            let mut slot = lock(&self.abort);
+            if !slot.open || slot.reason.is_some() {
+                return false;
+            }
+            slot.reason = Some(reason);
+        }
+        self.aborting.store(true, Ordering::SeqCst);
+        // Wake the client out of its wait (it re-checks `aborting`).
+        // Workers need no wakeup: parked workers hold no task of any
+        // session, and this session's queued tasks are discarded at pop.
+        let _g = lock(&self.done);
+        self.done_cv.notify_all();
+        true
+    }
+
+    /// Is the session still between start and end?
+    fn is_open(&self) -> bool {
+        lock(&self.abort).open
     }
 }
 
-/// State shared by the client and every worker of one pool.
+/// A queued unit of work tagged with its owning session: every task in
+/// the injector, a deque, or a mailbox carries the `Arc` of its
+/// session's slot, so accounting, abort checks, policy dispatch, and
+/// trace attribution follow the task wherever it is stolen to. Seven
+/// words (the [`Task`] six plus the pointer).
+pub(crate) struct SessionTask {
+    pub(crate) session: Arc<SessionSlot>,
+    pub(crate) task: Task,
+}
+
+/// State shared by the clients and every worker of one pool.
 pub(crate) struct Shared {
-    pub(crate) injector: Injector<Task>,
-    pub(crate) stealers: Vec<Stealer<Task>>,
+    pub(crate) injector: Injector<SessionTask>,
+    pub(crate) stealers: Vec<Stealer<SessionTask>>,
     /// Per-worker resume mailboxes for [`ResumePlace::Mailbox`]: a
     /// fulfill hands the woken continuation to the worker that
     /// *suspended* it. Mailbox tasks are never stolen (locality is the
     /// point); quiescence still holds because a resume is a liveness
     /// *transfer* and every mailbox is covered by `work_available`, the
-    /// watchdog, and the abort drain. Always allocated (an `Injector`
+    /// watchdog, and discard-at-pop. Always allocated (an `Injector`
     /// is two machine words plus an empty `VecDeque`) so a per-session
     /// policy switch needs no reallocation.
     ///
     /// [`ResumePlace::Mailbox`]: crate::ResumePlace::Mailbox
-    pub(crate) mailboxes: Vec<Injector<Task>>,
-    /// The session's packed [`SchedPolicy`] (see `policy.rs`). Written
-    /// only at session start, while the pool is quiescent; `Relaxed`
-    /// loads on the per-task path (the injector push + notify fence
-    /// publish it to every worker before any task runs).
+    pub(crate) mailboxes: Vec<Injector<SessionTask>>,
+    /// The pool's *hunt* policy word: the steal axes (granularity and
+    /// victim selection) an **idle** worker uses while looking for work.
+    /// An idle worker serves every session at once, so these two axes
+    /// cannot be per-session; the word is refreshed (`Relaxed`) at each
+    /// session start — last session to start wins, races are benign
+    /// (any steal order is correct), and with one session at a time the
+    /// behavior is exactly the session's policy. The per-*task* axes
+    /// (spawn order, resume placement) dispatch from the owning slot's
+    /// word instead and are always exact.
     pub(crate) policy: AtomicUsize,
-    pub(crate) live: AtomicUsize,
-    pub(crate) stats: Vec<WorkerStats>,
-    /// Per-worker suspend registries, indexed like `stealers`.
-    pub(crate) suspended: Vec<SuspendRegistry>,
-    /// Id of the current (or most recent) session; bumped at session
-    /// start. Read by workers for diagnostics ([`Worker::session_id`]).
-    ///
-    /// [`Worker::session_id`]: crate::Worker::session_id
-    pub(crate) session_id: AtomicU64,
     /// Bit *i* set ⇔ worker *i* is parked (or committing to park).
     sleepers: AtomicU64,
     /// Unpark handles, indexed like `stealers`; set once at pool start.
     threads: OnceLock<Vec<Thread>>,
-    /// The session is aborting; workers rendezvous instead of running
-    /// tasks.
-    pub(crate) aborting: AtomicBool,
     /// Pool teardown: workers exit their loop.
     shutdown: AtomicBool,
-    /// Number of workers currently parked in the abort rendezvous.
-    abort_idle: AtomicUsize,
-    /// Abort state of the current session.
-    abort: Mutex<AbortSlot>,
-    /// Session-over flag + condvar the client blocks on.
-    done: Mutex<bool>,
-    done_cv: Condvar,
-    /// Per-lane event rings + exact counters (see `src/trace.rs`).
-    #[cfg(feature = "trace")]
-    pub(crate) trace: crate::trace::PoolTrace,
+    /// Session-id allocator (ids start at 1).
+    next_session: AtomicU64,
+    /// The session table: `Weak` handles to every slot issued by this
+    /// pool, swept opportunistically at registration. Diagnostics only —
+    /// the pool never acts on a slot; everything per-session reaches the
+    /// slot through its tasks.
+    sessions: Mutex<Vec<Weak<SessionSlot>>>,
 }
 
 /// Ignore mutex poisoning: every guarded invariant here is re-established
@@ -436,10 +640,10 @@ impl Shared {
         }
     }
 
-    /// The session's scheduling policy (unpacked per call; the load is
-    /// `Relaxed` and the unpack is a handful of byte compares).
+    /// The pool's hunt policy (steal axes for idle workers; see the
+    /// field docs). One `Relaxed` load plus a few byte compares.
     #[inline]
-    pub(crate) fn policy(&self) -> SchedPolicy {
+    pub(crate) fn hunt_policy(&self) -> SchedPolicy {
         SchedPolicy::unpack(self.policy.load(Ordering::Relaxed) as u32)
     }
 
@@ -451,47 +655,12 @@ impl Shared {
         }
     }
 
-    /// Retire one task's liveness unit; the final unit ends the session.
-    pub(crate) fn task_done(&self) {
-        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
-            *lock(&self.done) = true;
-            self.done_cv.notify_all();
-        }
-    }
-
-    /// File an abort reason for the current session and start the abort
-    /// protocol. `session: Some(id)` restricts the abort to that session
-    /// (cancel tokens target the session they were registered with);
-    /// `None` means "whatever session is live now" (a worker panic).
-    /// Returns whether this call filed the reason — `false` when no
-    /// session is active, the id does not match, or a reason was already
-    /// filed (first fault wins; later payloads are dropped).
-    pub(crate) fn request_abort(&self, session: Option<u64>, reason: AbortReason) -> bool {
-        {
-            let mut slot = lock(&self.abort);
-            if !slot.active || session.is_some_and(|id| id != slot.session) || slot.reason.is_some()
-            {
-                return false;
-            }
-            slot.reason = Some(reason);
-        }
-        self.aborting.store(true, Ordering::SeqCst);
-        // Wake parked workers into the rendezvous and the client out of
-        // its condvar wait (it re-checks `aborting`).
-        self.unpark_all();
-        let _g = lock(&self.done);
-        self.done_cv.notify_all();
-        true
-    }
-
-    /// Worker side of the abort protocol: report idle, then hold still
-    /// (touching no queue) until the client finishes cleaning up.
-    fn abort_rendezvous(&self) {
-        self.abort_idle.fetch_add(1, Ordering::SeqCst);
-        while self.aborting.load(Ordering::SeqCst) && !self.shutdown.load(Ordering::SeqCst) {
-            crate::sync::thread::park();
-        }
-        self.abort_idle.fetch_sub(1, Ordering::SeqCst);
+    /// Register a fresh slot in the session table, sweeping entries
+    /// whose sessions have been garbage-collected.
+    fn register_session(&self, slot: &Arc<SessionSlot>) {
+        let mut table = lock(&self.sessions);
+        table.retain(|w| w.strong_count() > 0);
+        table.push(Arc::downgrade(slot));
     }
 }
 
@@ -503,31 +672,23 @@ fn worker_loop(wk: &Worker) {
     let shared = wk.shared();
     let bit = 1u64 << wk.index();
     let mut idle: u32 = 0;
+    // The slot of the last task this worker ran: park/unpark events are
+    // attributed to it (the session whose dry spell parked us).
+    #[cfg(feature = "trace")]
+    let mut last: Option<Arc<SessionSlot>> = None;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if shared.aborting.load(Ordering::Acquire) {
-            shared.abort_rendezvous();
+        if let Some(st) = wk.find_task() {
             idle = 0;
-            continue;
-        }
-        if let Some(task) = wk.find_task() {
-            idle = 0;
-            wk.stats().add_tasks(1);
-            crate::trace::exec(wk);
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                // Chaos seam: with `--cfg pf_chaos` this may panic before
-                // the task body, modeling a fault at any task boundary.
-                // A no-op otherwise.
-                crate::chaos::maybe_panic();
-                task.run(wk)
-            })) {
-                Ok(()) => shared.task_done(),
-                Err(payload) => {
-                    shared.request_abort(None, AbortReason::Panic(payload));
-                }
+            let finished = wk.execute(st);
+            #[cfg(feature = "trace")]
+            {
+                last = Some(finished);
             }
+            #[cfg(not(feature = "trace"))]
+            drop(finished);
             continue;
         }
         idle += 1;
@@ -546,17 +707,32 @@ fn worker_loop(wk: &Worker) {
             // its park — the exact bug the re-check exists to close.
             // Never set outside that test.
             #[cfg(not(pf_check_lost_wakeup))]
-            if wk.work_available()
-                || shared.shutdown.load(Ordering::SeqCst)
-                || shared.aborting.load(Ordering::SeqCst)
-            {
+            if wk.work_available() || shared.shutdown.load(Ordering::SeqCst) {
                 shared.sleepers.fetch_and(!bit, Ordering::SeqCst);
                 idle = 0;
                 continue;
             }
-            crate::trace::park(wk);
+            crate::trace::park(wk, {
+                #[cfg(feature = "trace")]
+                {
+                    last.as_deref()
+                }
+                #[cfg(not(feature = "trace"))]
+                {
+                    None
+                }
+            });
             crate::sync::thread::park();
-            crate::trace::unpark(wk);
+            crate::trace::unpark(wk, {
+                #[cfg(feature = "trace")]
+                {
+                    last.as_deref()
+                }
+                #[cfg(not(feature = "trace"))]
+                {
+                    None
+                }
+            });
             // A claiming producer already cleared our bit; clearing again
             // is harmless and also covers spurious unparks.
             shared.sleepers.fetch_and(!bit, Ordering::SeqCst);
@@ -570,19 +746,27 @@ fn worker_loop(wk: &Worker) {
 /// Workers are spawned by [`Runtime::new`] and live until the `Runtime`
 /// is dropped; each [`Runtime::run`] call executes one computation to
 /// quiescence on the same pool. Results written into future cells can be
-/// inspected as soon as `run` returns. Concurrent `run` calls on one
-/// runtime are serialized.
+/// inspected as soon as `run` returns. Concurrent `run` /
+/// [`Runtime::try_run_session`] calls from different threads co-execute
+/// on the shared workers, each session isolated in its own slot (see the
+/// module docs) — a panic in one session never disturbs another.
 pub struct Runtime {
     shared: Arc<Shared>,
-    /// Serializes sessions; a pool runs one computation at a time.
-    session: Mutex<()>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     nthreads: usize,
     /// Policy for sessions that do not carry a [`Session::policy`]
     /// override.
     default_policy: SchedPolicy,
-    /// The most recent session's full event timeline, parked here at the
-    /// session rendezvous for [`Runtime::take_last_trace`].
+    /// One monotonic clock per pool: every session's lanes stamp against
+    /// it, so concurrent sessions share a timeline.
+    #[cfg(feature = "trace")]
+    trace_epoch: std::time::Instant,
+    /// Per-lane ring capacity for each session's lanes (builder knob).
+    #[cfg(feature = "trace")]
+    trace_ring_cap: usize,
+    /// The most recently *ended* session's full event timeline, parked
+    /// here for [`Runtime::take_last_trace`]. With concurrent sessions,
+    /// last to end wins.
     #[cfg(feature = "trace")]
     last_trace: Mutex<Option<pf_trace::SessionTrace>>,
 }
@@ -657,20 +841,11 @@ impl Runtime {
             stealers,
             mailboxes: (0..nthreads).map(|_| Injector::new()).collect(),
             policy: AtomicUsize::new(b.policy.pack() as usize),
-            live: AtomicUsize::new(0),
-            stats: (0..nthreads).map(|_| WorkerStats::default()).collect(),
-            suspended: (0..nthreads).map(|_| SuspendRegistry::new()).collect(),
-            session_id: AtomicU64::new(0),
             sleepers: AtomicU64::new(0),
             threads: OnceLock::new(),
-            aborting: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
-            abort_idle: AtomicUsize::new(0),
-            abort: Mutex::new(AbortSlot::default()),
-            done: Mutex::new(false),
-            done_cv: Condvar::new(),
-            #[cfg(feature = "trace")]
-            trace: crate::trace::PoolTrace::new(nthreads, b.trace_ring_cap),
+            next_session: AtomicU64::new(0),
+            sessions: Mutex::new(Vec::new()),
         });
         let handles: Vec<JoinHandle<()>> = locals
             .into_iter()
@@ -694,10 +869,13 @@ impl Runtime {
             .expect("threads set twice");
         Runtime {
             shared,
-            session: Mutex::new(()),
             handles: Mutex::new(handles),
             nthreads,
             default_policy: b.policy,
+            #[cfg(feature = "trace")]
+            trace_epoch: std::time::Instant::now(),
+            #[cfg(feature = "trace")]
+            trace_ring_cap: b.trace_ring_cap,
             #[cfg(feature = "trace")]
             last_trace: Mutex::new(None),
         }
@@ -709,9 +887,20 @@ impl Runtime {
         self.default_policy
     }
 
-    /// Take the most recent session's full event timeline (tracing builds
-    /// only). `None` until a session has run, or after the trace was
-    /// already taken. Available for failed sessions too — the poison
+    /// Number of sessions currently live on this pool (started, not yet
+    /// ended). Diagnostic; the count is a snapshot and may be stale by
+    /// the time it is read.
+    pub fn live_sessions(&self) -> usize {
+        lock(&self.shared.sessions)
+            .iter()
+            .filter(|w| w.upgrade().is_some_and(|s| s.is_open()))
+            .count()
+    }
+
+    /// Take the most recently ended session's full event timeline
+    /// (tracing builds only). `None` until a session has ended, or after
+    /// the trace was already taken; with concurrent sessions, the last
+    /// to end wins. Available for failed sessions too — the poison
     /// events an abort records are often exactly what a post-mortem
     /// needs — whereas the summary on [`RunStats`] only travels with
     /// successful sessions.
@@ -768,7 +957,7 @@ impl Runtime {
     }
 
     /// [`Runtime::run`], returning execution statistics for this call
-    /// only (counters reset at session start).
+    /// only (each session owns its counters).
     pub fn run_stats(&self, root: impl FnOnce(&Worker) + Send + 'static) -> RunStats {
         match self.try_run(root) {
             Ok(stats) => stats,
@@ -780,10 +969,11 @@ impl Runtime {
     /// return the session's statistics, or a [`SessionError`] when the
     /// session aborted (a task panicked; with [`Runtime::try_run_session`]
     /// options, also cancellation, an expired deadline, or a detected
-    /// stall). On `Err` the pool has already been cleaned up and is
-    /// immediately reusable: queued tasks were drained, suspended
+    /// stall). On `Err` the session has already been cleaned up: its
+    /// queued tasks were (or are being) discarded, suspended
     /// continuations dropped — nothing leaks — and their cells poisoned,
     /// so a straggler touch fails fast with this failure's context.
+    /// Concurrent sessions on the same pool are untouched by the abort.
     pub fn try_run(
         &self,
         root: impl FnOnce(&Worker) + Send + 'static,
@@ -792,7 +982,9 @@ impl Runtime {
     }
 
     /// [`Runtime::try_run`] with per-session options: a wall-clock
-    /// [`Session::deadline`] and/or a [`Session::cancel_token`].
+    /// [`Session::deadline`], a [`Session::cancel_token`], and/or a
+    /// [`Session::policy`]. Callable concurrently from any number of
+    /// threads; each call is an independent session with its own slot.
     pub fn try_run_session(
         &self,
         opts: Session,
@@ -802,66 +994,50 @@ impl Runtime {
             !IN_WORKER.with(|f| f.get()),
             "Runtime::run called from inside a worker task (would deadlock)"
         );
-        let _session = lock(&self.session);
         let shared = &*self.shared;
-        let sid = shared.session_id.load(Ordering::Relaxed) + 1;
-        shared.session_id.store(sid, Ordering::Relaxed);
-
-        // Arm the abort slot, then register the cancel token. A token
-        // fired before registration is caught by the flag re-check below;
-        // one fired after goes through `request_abort` like any other
-        // fault. Either way a stale token (previous session, other pool)
-        // can never abort this session: the slot checks the id.
-        {
-            let mut slot = lock(&shared.abort);
-            slot.active = true;
-            slot.session = sid;
-            slot.reason = None;
-        }
-        if let Some(tok) = &opts.cancel {
-            tok.register(&self.shared, sid);
-            if tok.is_cancelled() {
-                shared.request_abort(Some(sid), AbortReason::Cancelled);
-            }
-        }
-
-        // Quiescent between sessions: nothing is running, so plain resets
-        // are race-free; the injector push below publishes them. Stale
-        // suspend-registry entries of the previous session go too.
-        for s in &shared.stats {
-            s.reset();
-        }
-        for reg in &shared.suspended {
-            // SAFETY: pool quiescent between sessions; session mutex held.
-            drop(unsafe { reg.take() });
-        }
-        // The session's scheduling policy: the per-session override
-        // wins over the runtime default. Stored while quiescent; the
-        // injector push below publishes it with everything else.
+        let sid = shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
         let policy = opts.policy.unwrap_or(self.default_policy);
+        let slot = Arc::new(SessionSlot::new(
+            sid,
+            self.nthreads,
+            policy,
+            #[cfg(feature = "trace")]
+            crate::trace::SessionLanes::new(self.nthreads, self.trace_ring_cap, self.trace_epoch),
+        ));
+        shared.register_session(&slot);
+        // Refresh the hunt word (steal axes; see `Shared::policy`).
         shared
             .policy
             .store(policy.pack() as usize, Ordering::Relaxed);
-        *lock(&shared.done) = false;
-        shared.live.store(1, Ordering::Relaxed);
-        // Discard idle-gap events (workers park/unpark between sessions)
-        // and stamp the session start on the pool's trace clock.
-        #[cfg(feature = "trace")]
-        let trace_start = shared.trace.clear();
+
+        // Register the cancel token against the fresh slot. A token
+        // fired before registration is caught by the flag re-check; one
+        // fired after goes through `request_abort` like any other fault.
+        // A stale token can never abort this session: it holds a `Weak`
+        // to the slot it was registered with, not to the pool.
+        if let Some(tok) = &opts.cancel {
+            tok.register(&slot);
+            if tok.is_cancelled() {
+                slot.request_abort(AbortReason::Cancelled);
+            }
+        }
+
         let started = std::time::Instant::now();
-        shared.injector.push(Task::new(root));
+        shared.injector.push(SessionTask {
+            session: Arc::clone(&slot),
+            task: Task::new(root),
+        });
         shared.notify(1);
 
-        self.wait_session(sid, &opts);
+        self.wait_session(&slot, &opts);
         let elapsed = started.elapsed();
 
-        // Disarm the slot; a reason filed before this point wins even
-        // over a clean finish (its filer already raised `aborting`, so
-        // the workers are headed for the rendezvous regardless).
+        // Close the slot; a reason filed before this point wins even
+        // over a clean finish (its filer observed the slot open).
         let reason = {
-            let mut slot = lock(&shared.abort);
-            slot.active = false;
-            slot.reason.take()
+            let mut ab = lock(&slot.abort);
+            ab.open = false;
+            ab.reason.take()
         };
         if let Some(tok) = &opts.cancel {
             tok.unregister();
@@ -872,13 +1048,13 @@ impl Runtime {
                 session: sid,
                 reason: SessionError::describe_reason(&reason),
             });
-            let stuck = self.finish_abort(&ctx);
+            let stuck = Self::finish_abort(&slot, &ctx);
             // Drain *after* the abort cleanup so its poison events are in
             // the timeline. No RunStats travels on this path; the trace
             // is reachable through `take_last_trace`.
             #[cfg(feature = "trace")]
             {
-                let (session_trace, _) = shared.trace.drain(sid, trace_start, &policy.label());
+                let (session_trace, _) = slot.trace.drain(sid, &policy.label());
                 *lock(&self.last_trace) = Some(session_trace);
             }
             return Err(match reason {
@@ -898,12 +1074,16 @@ impl Runtime {
             });
         }
 
-        debug_assert_eq!(shared.live.load(Ordering::SeqCst), 0);
+        debug_assert_eq!(slot.units.load(Ordering::SeqCst), 0);
+        // Visibility of the slot's stats: each worker's (Relaxed) stat
+        // writes precede its SeqCst `units` decrement in program order;
+        // the RMW chain on `units` plus the done-mutex handoff order all
+        // of them before this read.
         let mut out = RunStats {
             elapsed,
             ..RunStats::default()
         };
-        for s in &shared.stats {
+        for s in &slot.stats {
             out.tasks_executed += s.tasks_executed.load(Ordering::Relaxed);
             out.spawns += s.spawns.load(Ordering::Relaxed);
             out.suspensions += s.suspensions.load(Ordering::Relaxed);
@@ -911,7 +1091,7 @@ impl Runtime {
         }
         #[cfg(feature = "trace")]
         {
-            let (session_trace, summary) = shared.trace.drain(sid, trace_start, &policy.label());
+            let (session_trace, summary) = slot.trace.drain(sid, &policy.label());
             *lock(&self.last_trace) = Some(session_trace);
             out.trace = Some(summary);
         }
@@ -924,14 +1104,13 @@ impl Runtime {
     /// clock, so it waits indefinitely — model schedules either quiesce
     /// or abort.
     #[cfg(not(pf_check))]
-    fn wait_session(&self, sid: u64, opts: &Session) {
+    fn wait_session(&self, slot: &SessionSlot, opts: &Session) {
         use std::time::Instant;
-        let shared = &*self.shared;
         let deadline = opts.deadline.map(|d| (Instant::now() + d, d));
         let mut watchdog = Watchdog::default();
-        let mut done = lock(&shared.done);
+        let mut done = lock(&slot.done);
         loop {
-            if *done || shared.aborting.load(Ordering::SeqCst) {
+            if *done || slot.aborting() {
                 return;
             }
             let mut wait_for = WATCHDOG_POLL;
@@ -941,94 +1120,91 @@ impl Runtime {
                     // `request_abort` takes the `done` lock to notify;
                     // release it first.
                     drop(done);
-                    shared.request_abort(Some(sid), AbortReason::Deadline(d));
-                    done = lock(&shared.done);
+                    slot.request_abort(AbortReason::Deadline(d));
+                    done = lock(&slot.done);
                     continue;
                 }
                 wait_for = wait_for.min(expires - now);
             }
-            let (g, timeout) = shared
+            let (g, timeout) = slot
                 .done_cv
                 .wait_timeout(done, wait_for)
                 .unwrap_or_else(|e| e.into_inner());
             done = g;
             if timeout.timed_out() {
-                if let Some(live) = watchdog.sample(shared, self.nthreads) {
+                if let Some(live) = watchdog.sample(&self.shared, slot, self.nthreads) {
                     drop(done);
-                    shared.request_abort(Some(sid), AbortReason::Stalled { live });
-                    done = lock(&shared.done);
+                    slot.request_abort(AbortReason::Stalled { live });
+                    done = lock(&slot.done);
                 }
             }
         }
     }
 
     #[cfg(pf_check)]
-    fn wait_session(&self, _sid: u64, opts: &Session) {
+    fn wait_session(&self, slot: &SessionSlot, opts: &Session) {
         // Deadlines and the watchdog need a clock; the model has none.
         let _ = opts.deadline;
-        let shared = &*self.shared;
-        let mut done = lock(&shared.done);
-        while !*done && !shared.aborting.load(Ordering::SeqCst) {
-            done = shared.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        let mut done = lock(&slot.done);
+        while !*done && !slot.aborting() {
+            done = slot.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
         }
     }
 
-    /// Client side of the abort protocol (module docs, step 3). Returns
-    /// descriptions of the cells that still held a suspended continuation
-    /// — each such continuation is dropped and its cell poisoned with
-    /// `ctx`.
-    fn finish_abort(&self, ctx: &Arc<PoisonInfo>) -> Vec<StuckCell> {
-        let shared = &*self.shared;
-        // Wait until all workers sit in the rendezvous: any worker still
-        // running a task is not counted, so reaching `nthreads` proves no
-        // queue, counter, or suspend registry is being touched.
-        while shared.abort_idle.load(Ordering::SeqCst) != self.nthreads {
-            crate::sync::thread::yield_now();
-        }
-        // Sole owner of every queue now: drop the unstarted tasks. A
-        // destructor panic must not wedge the cleanup.
-        while let Some(task) = shared.injector.pop() {
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
-        }
-        for s in &shared.stealers {
+    /// Client side of the abort protocol (module docs, steps 3–4).
+    /// Returns descriptions of the cells that still held one of this
+    /// session's suspended continuations — each such continuation is
+    /// dropped and its cell poisoned with `ctx`.
+    fn finish_abort(slot: &SessionSlot, ctx: &Arc<PoisonInfo>) -> Vec<StuckCell> {
+        // Wait until none of the session's units is queued or running
+        // (`low == high`); every queued task is being discarded at pop
+        // by whichever worker finds it, and each discarding decrement
+        // re-checks this predicate and signals (Dekker argument in the
+        // module docs — the plain wait below cannot miss its wakeup; the
+        // timed variant outside the model checker is pure defense).
+        {
+            let mut done = lock(&slot.done);
             loop {
-                match s.steal() {
-                    Steal::Success(task) => {
-                        let _ =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
-                    }
-                    Steal::Retry => {}
-                    Steal::Empty => break,
+                let u = slot.units.load(Ordering::SeqCst);
+                if live_of(u) == susp_of(u) {
+                    break;
+                }
+                #[cfg(not(pf_check))]
+                {
+                    done = slot
+                        .done_cv
+                        .wait_timeout(done, WATCHDOG_POLL)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+                #[cfg(pf_check)]
+                {
+                    done = slot.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
                 }
             }
         }
-        // Resume mailboxes may hold transferred continuations too
-        // (mailbox resume policy); they carry live units like any queued
-        // task and must be dropped with the rest.
-        for mb in &shared.mailboxes {
-            while let Some(task) = mb.pop() {
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
-            }
-        }
-        // Poison every cell that still holds a suspended continuation:
-        // the continuation is dropped here (zero leaks — each waiter box
-        // owns an `Arc` cycle back to its cell that only this pass can
-        // break) and the cell remembers `ctx`, so a straggler touch in a
-        // later session fails fast with the originating failure.
+        // Poison every registered cell that still holds one of this
+        // session's suspended continuations: the continuation is dropped
+        // here (zero leaks — each waiter box owns an `Arc` cycle back to
+        // its cell that only this pass can break) and the cell remembers
+        // `ctx`, so a straggler touch fails fast with the originating
+        // failure. Cells of *other* sessions are untouched: the lock-free
+        // cell holds exactly one waiter (ours — it is in our registry),
+        // and the mutex cell drops only waiters tagged with our session.
+        let targets = std::mem::take(&mut *lock(&slot.suspended));
         let mut stuck = Vec::new();
-        for reg in &shared.suspended {
-            // SAFETY: every worker is held at the rendezvous (above).
-            for weak in unsafe { reg.take() } {
-                if let Some(cell) = weak.upgrade() {
-                    if let Some(desc) = cell.poison(ctx) {
-                        crate::trace::poison(shared, desc.addr);
-                        stuck.push(desc);
-                    }
+        for weak in targets {
+            if let Some(cell) = weak.upgrade() {
+                let outcome = cell.poison(ctx);
+                if outcome.dropped > 0 {
+                    slot.retire_poisoned(outcome.dropped);
+                }
+                if let Some(desc) = outcome.stuck {
+                    crate::trace::poison(slot, desc.addr);
+                    stuck.push(desc);
                 }
             }
         }
-        shared.aborting.store(false, Ordering::SeqCst);
-        shared.unpark_all();
         stuck
     }
 }
@@ -1044,7 +1220,7 @@ const WATCHDOG_STABLE: u32 = 4;
 #[cfg(not(pf_check))]
 const WATCHDOG_KICKS: u32 = 16;
 
-/// Detects an all-parked, non-quiescent pool (module docs).
+/// Detects an all-parked pool with a non-quiescent session (module docs).
 #[cfg(not(pf_check))]
 #[derive(Default)]
 struct Watchdog {
@@ -1055,21 +1231,25 @@ struct Watchdog {
 
 #[cfg(not(pf_check))]
 impl Watchdog {
-    /// One sample of the pool's global state. Returns `Some(live)` when
-    /// the pool is provably wedged: every worker parked, liveness
-    /// outstanding, progress counters frozen across [`WATCHDOG_STABLE`]
+    /// One sample of the pool + this session's slot. Returns `Some(live)`
+    /// when the session is provably wedged: every worker parked (so *no*
+    /// session has a running task), this session's remaining units all
+    /// suspended, its progress counters frozen across [`WATCHDOG_STABLE`]
     /// samples, and either every queue empty (a true stall — absorbing,
     /// because only a running task can produce work or wake a sleeper) or
     /// [`WATCHDOG_KICKS`] recovery unparks failed to restart the pool.
-    fn sample(&mut self, shared: &Shared, nthreads: usize) -> Option<usize> {
-        let live = shared.live.load(Ordering::SeqCst);
+    /// While a sibling session keeps even one worker busy, sampling
+    /// abstains — a busy pool can still fulfill this session's cells.
+    fn sample(&mut self, shared: &Shared, slot: &SessionSlot, nthreads: usize) -> Option<usize> {
+        let units = slot.units.load(Ordering::SeqCst);
+        let live = live_of(units) as usize;
         let all_parked = shared.sleepers.load(Ordering::SeqCst).count_ones() as usize == nthreads;
-        if live == 0 || !all_parked || shared.aborting.load(Ordering::SeqCst) {
+        if live == 0 || !all_parked || slot.aborting() {
             self.stable = 0;
             self.last_executed = None;
             return None;
         }
-        let executed: u64 = shared
+        let executed: u64 = slot
             .stats
             .iter()
             .map(|s| s.tasks_executed.load(Ordering::Relaxed))
@@ -1085,11 +1265,12 @@ impl Watchdog {
         let queues_empty = shared.injector.is_empty()
             && shared.stealers.iter().all(|s| s.is_empty())
             && shared.mailboxes.iter().all(|m| m.is_empty());
-        if queues_empty {
+        if queues_empty && live_of(units) == susp_of(units) {
             return Some(live);
         }
-        // All workers parked yet work is queued: a lost wakeup. The fence
-        // protocol makes this unreachable; recover anyway, boundedly.
+        // All workers parked yet work is queued (any session's): a lost
+        // wakeup. The fence protocol makes this unreachable; recover
+        // anyway, boundedly.
         self.stable = 0;
         self.kicks += 1;
         if self.kicks > WATCHDOG_KICKS {
@@ -1107,5 +1288,25 @@ impl Drop for Runtime {
         for h in lock(&self.handles).drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_task_is_seven_words() {
+        assert_eq!(
+            std::mem::size_of::<SessionTask>(),
+            7 * std::mem::size_of::<usize>()
+        );
+    }
+
+    #[test]
+    fn unit_packing_roundtrips() {
+        let u = 3 * UNIT + 2 * SUSP_UNIT;
+        assert_eq!(live_of(u), 3);
+        assert_eq!(susp_of(u), 2);
     }
 }

@@ -2,26 +2,33 @@
 //! per-worker LIFO deques (the paper's stack discipline), a global
 //! injector, and the liveness accounting that drives quiescence
 //! detection. The pool that hosts workers — thread lifecycle, parking,
-//! session and panic protocols — lives in [`crate::pool`].
+//! the session table, abort and panic protocols — lives in
+//! [`crate::pool`].
+//!
+//! Every queued task is a [`SessionTask`]: the closure plus the `Arc` of
+//! its owning session's slot. A worker is a *session-free* resource — it
+//! executes whatever task it finds, entering that task's session for the
+//! duration (`current` below), so tasks of concurrent sessions
+//! interleave freely on one pool. All per-session accounting (liveness
+//! units, statistics, abort checks, policy dispatch, trace lanes) goes
+//! through the current slot, never through pool state.
 //!
 //! Liveness accounting (the invariant behind termination detection): the
-//! counter holds the number of closures that are queued, running, or
-//! suspended in a future cell. It is incremented by [`Worker::spawn`] and
-//! by a touch that suspends (`note_suspend`), and decremented when a task
-//! finishes. A write that reactivates a waiter transfers the suspended
-//! unit to the queue without changing the count (`enqueue_transferred`).
-//! When the counter reaches zero the computation is quiescent and
-//! [`Runtime::run`] returns.
+//! owning slot's counter holds the number of closures that are queued,
+//! running, or suspended in a future cell. It is incremented by
+//! [`Worker::spawn`] and by a touch that suspends (`note_suspend`), and
+//! decremented when a task finishes. A write that reactivates a waiter
+//! transfers the suspended unit to the queue without changing the count
+//! (`resume_transferred`). When the counter reaches zero the session is
+//! quiescent and [`Runtime::run`] returns.
 
 use std::cell::Cell;
 use std::sync::{Arc, Weak};
 
-use crate::sync::atomic::Ordering;
-
 use crate::deque::{LocalQueue, Steal, MAX_STEAL_BATCH};
 use crate::error::PoisonTarget;
 use crate::policy::{ResumePlace, SchedPolicy, SpawnOrder, StealKind, VictimSelect};
-use crate::pool::{Shared, WorkerStats};
+use crate::pool::{AbortReason, SessionSlot, SessionTask, Shared, WorkerStats};
 use crate::task::Task;
 
 pub use crate::pool::{RunStats, Runtime};
@@ -34,8 +41,15 @@ const MAX_INLINE_DEPTH: usize = 128;
 /// The per-thread execution context handed to every task.
 pub struct Worker {
     shared: Arc<Shared>,
-    local: LocalQueue<Task>,
+    local: LocalQueue<SessionTask>,
     index: usize,
+    /// The slot of the session whose task this worker is currently
+    /// executing; null between tasks. A raw pointer, not an `Arc`: the
+    /// executing frame ([`Worker::execute`], or an inline-resume frame)
+    /// keeps the slot alive for as long as the pointer is published, so
+    /// per-task session entry costs two `Cell` stores instead of two
+    /// reference-count RMWs.
+    current: Cell<*const SessionSlot>,
     inline_depth: Cell<usize>,
     steal_seed: Cell<u64>,
     /// Last victim a steal succeeded against (own index = none yet);
@@ -44,22 +58,51 @@ pub struct Worker {
 }
 
 impl Worker {
-    pub(crate) fn new(shared: Arc<Shared>, local: LocalQueue<Task>, index: usize) -> Worker {
+    pub(crate) fn new(shared: Arc<Shared>, local: LocalQueue<SessionTask>, index: usize) -> Worker {
         Worker {
             shared,
             local,
             index,
+            current: Cell::new(std::ptr::null()),
             inline_depth: Cell::new(0),
             steal_seed: Cell::new(0x9E3779B97F4A7C15 ^ (index as u64) << 7),
             last_victim: Cell::new(index),
         }
     }
 
-    /// The scheduling policy of the current session (one `Relaxed` load
-    /// plus a few byte compares; see `policy.rs`).
+    /// The slot of the session this worker is currently executing a task
+    /// of. Callable only from inside a task (spawns, touches, fulfills,
+    /// trace hooks) — between tasks there is no current session.
+    #[inline]
+    pub(crate) fn session(&self) -> &SessionSlot {
+        let p = self.current.get();
+        debug_assert!(!p.is_null(), "no current session (outside a task body)");
+        // SAFETY: non-null only between `execute`'s (or an inline resume
+        // frame's) enter/exit stores, and that frame owns an `Arc` to the
+        // slot for the whole window, so the referent outlives the borrow
+        // (which cannot escape the task body: tasks don't return borrows).
+        unsafe { &*p }
+    }
+
+    /// A new `Arc` to the current session's slot (for tagging a task
+    /// being pushed to a queue).
+    #[inline]
+    pub(crate) fn clone_session(&self) -> Arc<SessionSlot> {
+        let p = self.current.get();
+        debug_assert!(!p.is_null(), "no current session (outside a task body)");
+        // SAFETY: `p` came from `Arc::as_ptr` of a live `Arc` (see
+        // `session`), so reconstructing a counted handle is sound.
+        unsafe {
+            Arc::increment_strong_count(p);
+            Arc::from_raw(p)
+        }
+    }
+
+    /// The scheduling policy of the current session (a byte unpack from
+    /// the slot's immutable word; see `policy.rs`).
     #[inline]
     pub fn policy(&self) -> SchedPolicy {
-        self.shared.policy()
+        self.session().policy()
     }
 
     #[inline]
@@ -67,9 +110,10 @@ impl Worker {
         &self.shared
     }
 
+    /// This worker's statistics entry *of the current session*.
     #[inline]
     pub(crate) fn stats(&self) -> &WorkerStats {
-        &self.shared.stats[self.index]
+        &self.session().stats[self.index]
     }
 
     /// Skip the wakeup fence when this is the pool's only worker: no
@@ -82,6 +126,43 @@ impl Worker {
         }
     }
 
+    /// Execute one found task: enter its session, run the body, retire
+    /// its liveness unit; a panic aborts the owning session (only). When
+    /// the owning session is already aborting, the task is discarded
+    /// unrun — dropped (releasing its captures), its unit retired — so an
+    /// abort drains the session's queued work at pop speed without a
+    /// worker rendezvous. Returns the slot for the caller's park/unpark
+    /// trace attribution.
+    pub(crate) fn execute(&self, st: SessionTask) -> Arc<SessionSlot> {
+        let SessionTask { session, task } = st;
+        if session.aborting() {
+            // A capture's Drop may panic (it may touch a poisoned cell);
+            // contain that like any task panic — the session is already
+            // aborting, so there is nobody left to tell.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(task)));
+            session.task_done();
+            return session;
+        }
+        let prev = self.current.replace(Arc::as_ptr(&session));
+        session.stats[self.index].add_tasks(1);
+        crate::trace::exec(self);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Chaos seam: a seeded probability of a spurious panic right
+            // here exercises the whole abort path (off outside pf_chaos).
+            crate::chaos::maybe_panic();
+            task.run(self);
+        }));
+        self.current.set(prev);
+        if let Err(payload) = res {
+            // File the reason before retiring the unit: when this was the
+            // session's last queued-or-running task, the client must wake
+            // to a filed reason, not to a clean finish.
+            session.request_abort(AbortReason::Panic(payload));
+        }
+        session.task_done();
+        session
+    }
+
     /// Spawn `f` as a new task (a future fork). The paper charges this
     /// constant time: one deque push, with an allocation only when the
     /// closure exceeds the inline [`Task`] payload.
@@ -91,8 +172,8 @@ impl Worker {
     /// depth-guarded like every inline path). The accounting is kept
     /// identical to the push path — the child still counts as one spawn
     /// and one executed task — so `RunStats`/trace totals are policy-
-    /// independent; only the `live` counter skips its round-trip (the
-    /// child runs inside the caller's liveness unit).
+    /// independent; only the liveness counter skips its round-trip (the
+    /// child runs inside the caller's unit).
     pub fn spawn(&self, f: impl FnOnce(&Worker) + Send + 'static) {
         if self.policy().spawn == SpawnOrder::ChildFirst {
             let d = self.inline_depth.get();
@@ -107,18 +188,22 @@ impl Worker {
                 return;
             }
         }
-        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        let session = self.clone_session();
+        session.add_units(1);
         self.stats().add_spawns(1);
         crate::trace::spawn(self, 1);
-        self.local.push(Task::new(f));
+        self.local.push(SessionTask {
+            session,
+            task: Task::new(f),
+        });
         self.notify_push(1);
     }
 
     /// Spawn two tasks with one round of liveness/stat accounting — the
     /// two-child fan-out every tree algorithm performs at each internal
-    /// node. Equivalent to two [`Worker::spawn`] calls ( `g` is pushed
+    /// node. Equivalent to two [`Worker::spawn`] calls (`g` is pushed
     /// last, so a LIFO owner pops it first) but with a single
-    /// `fetch_add(2)` on the shared live counter.
+    /// `fetch_add(2)` on the session's liveness counter.
     ///
     /// Under [`SpawnOrder::ChildFirst`], `f` is pushed (one stealable
     /// child per fork, preserving the paper's parallelism) and `g` runs
@@ -131,10 +216,14 @@ impl Worker {
         if self.policy().spawn == SpawnOrder::ChildFirst {
             let d = self.inline_depth.get();
             if d < MAX_INLINE_DEPTH {
-                self.shared.live.fetch_add(1, Ordering::Relaxed);
+                let session = self.clone_session();
+                session.add_units(1);
                 self.stats().add_spawns(2);
                 crate::trace::spawn(self, 2);
-                self.local.push(Task::new(f));
+                self.local.push(SessionTask {
+                    session,
+                    task: Task::new(f),
+                });
                 self.notify_push(1);
                 self.stats().add_tasks(1);
                 crate::trace::exec(self);
@@ -144,30 +233,40 @@ impl Worker {
                 return;
             }
         }
-        self.shared.live.fetch_add(2, Ordering::Relaxed);
+        let session = self.clone_session();
+        session.add_units(2);
         self.stats().add_spawns(2);
         crate::trace::spawn(self, 2);
-        self.local.push(Task::new(f));
-        self.local.push(Task::new(g));
+        self.local.push(SessionTask {
+            session: Arc::clone(&session),
+            task: Task::new(f),
+        });
+        self.local.push(SessionTask {
+            session,
+            task: Task::new(g),
+        });
         self.notify_push(2);
     }
 
     /// Spawn an already-boxed continuation without re-boxing it.
     pub(crate) fn spawn_boxed(&self, f: Box<dyn FnOnce(&Worker) + Send>) {
-        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        let session = self.clone_session();
+        session.add_units(1);
         self.stats().add_spawns(1);
         crate::trace::spawn(self, 1);
-        self.local.push(Task::from_boxed(f));
+        self.local.push(SessionTask {
+            session,
+            task: Task::from_boxed(f),
+        });
         self.notify_push(1);
     }
 
-    /// Enqueue a task whose liveness unit already exists (a reactivated
-    /// waiter — its unit was added by [`Worker::note_suspend`]). This is
-    /// the resume point of every suspended continuation, for both cell
-    /// flavors — hence the trace hook.
-    pub(crate) fn enqueue_transferred(&self, t: Task) {
-        crate::trace::resume(self);
-        self.local.push(t);
+    /// Enqueue a reactivated waiter onto our own deque (its suspended
+    /// mark must already be cleared — see [`Worker::resume_transferred`],
+    /// the only caller besides the policy fallbacks).
+    fn enqueue_transferred(&self, st: SessionTask) {
+        crate::trace::resume(self, &st.session);
+        self.local.push(st);
         self.notify_push(1);
     }
 
@@ -175,39 +274,56 @@ impl Worker {
     /// side of every suspended touch routes through here. `owner` is the
     /// index of the worker that *suspended* the continuation (recorded
     /// by the touch; meaningful only under [`ResumePlace::Mailbox`]).
+    /// Dispatches on the **waiter's** session's policy — under
+    /// cross-session fulfills, the session that suspended decides how it
+    /// is resumed.
+    ///
+    /// The waiter's suspended mark is cleared here, *before* any push:
+    /// the abort wait's safe point (`low == high`) must never observe a
+    /// queued task it believes suspended.
     ///
     /// * [`ResumePlace::FulfillerDeque`] — push onto the fulfiller's own
-    ///   deque (the default, [`Worker::enqueue_transferred`]).
+    ///   deque (the default).
     /// * [`ResumePlace::Inline`] — run the waiter right now inside the
-    ///   fulfilling task (depth-guarded; falls back to the deque). Its
-    ///   liveness unit is retired here, which cannot end the session
-    ///   early: the fulfilling task still holds its own unit.
+    ///   fulfilling task (depth-guarded; falls back to the deque). Only
+    ///   taken when the waiter belongs to the session we are currently
+    ///   executing: an inline body runs under *our* current slot, so a
+    ///   foreign waiter (cross-session mutex-cell fulfill) takes the
+    ///   deque path and is re-entered properly. Its liveness unit is
+    ///   retired here, which cannot end the session early: the waiter
+    ///   belongs to our session, whose current task still holds its own
+    ///   unit.
     /// * [`ResumePlace::Mailbox`] — hand it to `owner`'s mailbox and
     ///   wake that worker. Mailbox tasks are never stolen; the owner
     ///   polls its mailbox in `find_task` (and in the pre-park re-check,
     ///   which makes the handoff lost-wakeup-free by the same fence
     ///   argument as `notify`).
-    pub(crate) fn resume_transferred(&self, t: Task, owner: usize) {
-        match self.policy().resume {
-            ResumePlace::FulfillerDeque => self.enqueue_transferred(t),
+    pub(crate) fn resume_transferred(&self, st: SessionTask, owner: usize) {
+        st.session.transfer_resume();
+        match st.session.policy().resume {
+            ResumePlace::FulfillerDeque => self.enqueue_transferred(st),
             ResumePlace::Inline => {
                 let d = self.inline_depth.get();
-                if d < MAX_INLINE_DEPTH {
-                    crate::trace::resume(self);
-                    self.stats().add_tasks(1);
+                if d < MAX_INLINE_DEPTH
+                    && std::ptr::eq(Arc::as_ptr(&st.session), self.current.get())
+                {
+                    let SessionTask { session, task } = st;
+                    crate::trace::resume(self, &session);
+                    session.stats[self.index].add_tasks(1);
                     crate::trace::exec(self);
                     self.inline_depth.set(d + 1);
-                    t.run(self);
+                    task.run(self);
                     self.inline_depth.set(d);
-                    self.shared.task_done();
+                    session.task_done();
                 } else {
-                    self.enqueue_transferred(t);
+                    self.enqueue_transferred(st);
                 }
             }
             ResumePlace::Mailbox => {
-                crate::trace::resume(self);
-                self.shared.mailboxes[owner].push(t);
-                if owner == self.index {
+                crate::trace::resume(self, &st.session);
+                let own = owner == self.index;
+                self.shared.mailboxes[owner].push(st);
+                if own {
                     // Our own mailbox: we are running, so `find_task`
                     // will see it — no wake needed.
                 } else {
@@ -219,15 +335,14 @@ impl Worker {
 
     /// Account a continuation that is being suspended into a future cell.
     pub(crate) fn note_suspend(&self) {
-        self.shared.live.fetch_add(1, Ordering::Relaxed);
+        self.session().note_suspend();
         self.stats().add_suspensions(1);
     }
 
     /// Undo [`Worker::note_suspend`] when the suspension raced a write and
-    /// the continuation runs immediately after all. Cannot drive `live`
-    /// to zero: the currently-running closure still holds its own unit.
+    /// the continuation runs immediately after all.
     pub(crate) fn unnote_suspend(&self) {
-        self.shared.live.fetch_sub(1, Ordering::Relaxed);
+        self.session().unnote_suspend();
         self.stats().sub_suspensions(1);
     }
 
@@ -266,47 +381,55 @@ impl Worker {
         self.index
     }
 
-    /// Id of the session this worker is currently executing (sessions are
-    /// numbered from 1 per pool). Diagnostic: it names the session in
-    /// cell panic messages and [`crate::PoisonInfo`].
+    /// Id of the session whose task this worker is currently executing
+    /// (sessions are numbered from 1 per pool; 0 outside any task).
+    /// Diagnostic: it names the session in cell panic messages and
+    /// [`crate::PoisonInfo`].
     pub fn session_id(&self) -> u64 {
-        self.shared.session_id.load(Ordering::Relaxed)
+        let p = self.current.get();
+        if p.is_null() {
+            0
+        } else {
+            // SAFETY: see `session`.
+            unsafe { (*p).id }
+        }
     }
 
-    /// Has the current session been asked to abort (a panic elsewhere, a
-    /// fired [`crate::CancelToken`], an expired deadline)? Long-running
-    /// task bodies should poll this and return early: the runtime never
-    /// preempts a running closure, so cancellation latency is bounded by
-    /// the longest closure that ignores it.
+    /// Has the current task's session been asked to abort (a panic
+    /// elsewhere in it, a fired [`crate::CancelToken`], an expired
+    /// deadline)? Long-running task bodies should poll this and return
+    /// early: the runtime never preempts a running closure, so
+    /// cancellation latency is bounded by the longest closure that
+    /// ignores it. Sibling sessions' aborts are invisible here.
     pub fn cancelled(&self) -> bool {
-        self.shared.aborting.load(Ordering::Acquire)
+        self.session().aborting()
     }
 
     /// Record a cell this worker just suspended a continuation into, so
-    /// an abort of the session can poison it (see pool.rs). Owner-local.
+    /// an abort of the owning session can poison it (see pool.rs).
     pub(crate) fn register_suspend(&self, cell: Weak<dyn PoisonTarget>) {
-        // SAFETY: `self.index` owns this registry and we are inside a
-        // task of the live session (the only callers are cell touches).
-        unsafe { self.shared.suspended[self.index].push(cell) };
+        self.session().register_suspend(cell);
     }
 
-    pub(crate) fn find_task(&self) -> Option<Task> {
+    pub(crate) fn find_task(&self) -> Option<SessionTask> {
         if let Some(t) = self.local.pop() {
             return Some(t);
         }
-        let policy = self.policy();
         // Continuations handed to us by a mailbox resume are next after
         // our own deque: they are ours alone (never stolen) and their
-        // working set is the locality the policy exists to exploit.
-        if policy.resume == ResumePlace::Mailbox {
-            if let Some(t) = self.shared.mailboxes[self.index].pop() {
-                return Some(t);
-            }
+        // working set is the locality the mailbox policy exists to
+        // exploit. Checked unconditionally — any *session* may run under
+        // the mailbox policy, and between tasks there is no current
+        // session to consult; off-policy the mailbox is always empty.
+        if let Some(t) = self.shared.mailboxes[self.index].pop() {
+            return Some(t);
         }
-        // Injector, then siblings.
+        // Injector, then siblings — per the pool's hunt policy (the
+        // steal axes; an idle worker serves every session at once).
         if let Some(t) = self.shared.injector.pop() {
             return Some(t);
         }
+        let policy = self.shared.hunt_policy();
         let n = self.shared.stealers.len();
         // A productive victim tends to stay productive: retry it before
         // sweeping (chaos may veto the shortcut like any steal attempt).
@@ -351,7 +474,10 @@ impl Worker {
     /// they are advertised with a notify). The steals counter and trace
     /// both record the number of tasks moved, so `RunStats::steals`
     /// keeps meaning "tasks obtained by stealing" under every policy.
-    fn try_steal(&self, v: usize, kind: StealKind) -> Option<Task> {
+    /// The episode is accounted to the *first* stolen task's session —
+    /// under steal-half a batch can span sessions, a documented
+    /// attribution approximation (counts stay exact in total).
+    fn try_steal(&self, v: usize, kind: StealKind) -> Option<SessionTask> {
         loop {
             let got = match kind {
                 StealKind::One => match self.shared.stealers[v].steal() {
@@ -369,8 +495,8 @@ impl Worker {
             };
             return match got {
                 Some((t, extra)) => {
-                    self.stats().add_steals(1 + extra as u64);
-                    crate::trace::steal(self, v, 1 + extra as u64);
+                    t.session.stats[self.index].add_steals(1 + extra as u64);
+                    crate::trace::steal(self, &t.session, v, 1 + extra as u64);
                     self.last_victim.set(v);
                     if extra > 0 {
                         self.notify_push(extra);
@@ -386,9 +512,6 @@ impl Worker {
     // the sleeper re-check that the mutation removes).
     #[cfg_attr(pf_check_lost_wakeup, allow(dead_code))]
     pub(crate) fn work_available(&self) -> bool {
-        // The own mailbox is checked *unconditionally* — not gated on
-        // the policy — so the pre-park re-check can never miss a task a
-        // racing policy read would hide. Off-policy it is always empty.
         !self.local.is_empty()
             || !self.shared.mailboxes[self.index].is_empty()
             || !self.shared.injector.is_empty()
@@ -405,6 +528,7 @@ impl Worker {
 mod tests {
     use super::*;
     use crate::cell;
+    use crate::sync::atomic::Ordering;
     use std::sync::atomic::AtomicU64;
     use std::sync::{Arc, Mutex};
 

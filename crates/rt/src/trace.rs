@@ -5,18 +5,28 @@
 //!
 //! Every scheduler transition of interest —
 //! `{spawn, steal, exec, suspend, resume, fulfill, poison, park, unpark}`
-//! — is recorded into the executing worker's *lane* with a monotonic
-//! nanosecond timestamp (one clock per pool, captured at pool creation,
-//! so lanes share a timeline). The client thread owns one extra lane for
-//! the events it records single-threadedly during an abort (cell
-//! poisoning at the abort rendezvous).
+//! — is recorded into a *lane* of the **owning session's** slot: each
+//! [`SessionSlot`](crate::pool) carries its own [`SessionLanes`] (one
+//! lane per worker plus a client lane), so concurrent sessions record
+//! into disjoint lanes and a session's timeline contains exactly its own
+//! events. All lanes of all sessions stamp against one monotonic clock —
+//! the pool's epoch, captured at pool creation — so concurrent sessions'
+//! timelines are mutually comparable.
+//!
+//! Attribution: a worker executing a task records into *that task's*
+//! session (the worker's current slot). Steals are attributed to the
+//! stolen task's session. Park/unpark happen outside any task, so they
+//! are attributed to the session of the last task the worker ran — the
+//! session whose dry spell put the worker to sleep — and dropped when
+//! there is none. Abort-time poison events go to the aborting session's
+//! client lane (the poison pass runs single-threadedly on the client).
 //!
 //! Each lane holds two things:
 //!
-//! * a fixed-capacity [`pf_trace::TraceRing`] ([`RING_CAP`] events) —
-//!   the timeline for [`pf_trace::SessionTrace::to_chrome_trace`]. When
-//!   a session produces more events than the ring holds, the **oldest**
-//!   are overwritten and the drop count says so; the export is a
+//! * a fixed-capacity [`pf_trace::TraceRing`] — the timeline for
+//!   [`pf_trace::SessionTrace::to_chrome_trace`]. When a session
+//!   produces more events than the ring holds, the **oldest** are
+//!   overwritten and the drop count says so; the export is a
 //!   truncated-but-honest newest-events window;
 //! * an exact per-kind counter array — the source of
 //!   [`pf_trace::TraceStats`]. Counters never drop, so the summaries a
@@ -25,22 +35,21 @@
 //!
 //! # Drain protocol
 //!
-//! Lanes are cleared by the client at **session start** (the pool is
-//! quiescent; stale park/unpark events from the idle gap between
-//! sessions are discarded) and drained at the **session rendezvous**
-//! into a [`pf_trace::SessionTrace`] — on the abort path *after*
-//! `finish_abort`, so the client's poison events are included. Each lane
-//! is a `Mutex<…>` padded to its own cache line: the owner's push is an
-//! uncontended lock (the client only takes it at clear/drain, when the
-//! workers are provably not recording — but the mutex makes the idle
-//! loop's park/unpark events, which are recorded *outside* any session,
-//! sound rather than merely phase-separated).
+//! Lanes are born empty with the slot at session start and drained
+//! exactly once by the client when the session ends — on the abort path
+//! *after* `finish_abort`, so the client's poison events are included.
+//! There is no clear step: a slot's lanes never hold another session's
+//! events. Each lane is a `Mutex<…>` padded to its own cache line: the
+//! owner's push is an uncontended lock; the mutex makes the idle loop's
+//! park/unpark events — recorded outside any task, possibly while the
+//! attributed session is being drained — sound rather than merely
+//! phase-separated.
 //!
 //! # Cost
 //!
 //! With the feature **off** (the default) every hook below compiles to
 //! an empty `#[inline(always)]` function — no branch, no atomic, no
-//! field in `Shared`; `results/BENCH_PR7.json` pins the no-regression
+//! field in the slot; `results/BENCH_PR7.json` pins the no-regression
 //! claim. With the feature **on**, a hook is one uncontended lock plus a
 //! counter bump and a ring push (~a few tens of nanoseconds); the same
 //! benchmark records the overhead honestly.
@@ -57,7 +66,7 @@ compile_error!(
 );
 
 #[cfg(feature = "trace")]
-pub(crate) use imp::PoolTrace;
+pub(crate) use imp::SessionLanes;
 
 /// Default per-lane ring capacity, in events — overridable per runtime
 /// with [`RuntimeBuilder::trace_ring_cap`]. Sized so every behavioral
@@ -93,20 +102,29 @@ mod imp {
         counts: [u64; KIND_COUNT],
     }
 
-    /// The pool's trace state: one lane per worker plus a final client
-    /// lane, sharing one monotonic clock.
-    pub(crate) struct PoolTrace {
+    /// One session's trace state, owned by its slot: a lane per worker
+    /// plus a final client lane, stamping against the pool's clock.
+    /// Lanes are born empty and drained once, at session end. Cheap to
+    /// construct per session: a `TraceRing` allocates lazily on first
+    /// push.
+    pub(crate) struct SessionLanes {
+        /// The pool's epoch — every session of a pool shares it, so
+        /// concurrent sessions' timelines are mutually comparable.
         epoch: Instant,
+        /// Session start, nanoseconds since the epoch (stamped at slot
+        /// creation).
+        start_ns: u64,
         lanes: Vec<Lane>,
         /// Per-lane ring capacity (builder knob); reported in exported
         /// timelines so a truncated trace is self-describing.
         ring_cap: usize,
     }
 
-    impl PoolTrace {
-        pub(crate) fn new(nthreads: usize, ring_cap: usize) -> PoolTrace {
-            PoolTrace {
-                epoch: Instant::now(),
+    impl SessionLanes {
+        pub(crate) fn new(nthreads: usize, ring_cap: usize, epoch: Instant) -> SessionLanes {
+            SessionLanes {
+                epoch,
+                start_ns: epoch.elapsed().as_nanos() as u64,
                 lanes: (0..nthreads + 1)
                     .map(|_| {
                         Lane(Mutex::new(LaneState {
@@ -121,7 +139,7 @@ mod imp {
 
         /// Nanoseconds since the pool epoch.
         #[inline]
-        pub(crate) fn now_ns(&self) -> u64 {
+        fn now_ns(&self) -> u64 {
             self.epoch.elapsed().as_nanos() as u64
         }
 
@@ -142,27 +160,11 @@ mod imp {
             self.lanes.len() - 1
         }
 
-        /// Discard every lane's events and counts (session start, pool
-        /// quiescent) and return the new session's start timestamp.
-        pub(crate) fn clear(&self) -> u64 {
-            for lane in &self.lanes {
-                let mut g = lock(&lane.0);
-                g.ring.clear();
-                g.counts = [0; KIND_COUNT];
-            }
-            self.now_ns()
-        }
-
         /// Drain every lane into the session's trace and its exact
-        /// summary (session rendezvous; on the abort path, after
-        /// `finish_abort` so poison events are included), tagged with
-        /// the session's scheduling-policy label.
-        pub(crate) fn drain(
-            &self,
-            session: u64,
-            start_ns: u64,
-            policy: &str,
-        ) -> (SessionTrace, TraceStats) {
+        /// summary (session end; on the abort path, after `finish_abort`
+        /// so poison events are included), tagged with the session's
+        /// scheduling-policy label.
+        pub(crate) fn drain(&self, session: u64, policy: &str) -> (SessionTrace, TraceStats) {
             let mut take = |lane: &Lane| {
                 let mut g = lock(&lane.0);
                 let (events, dropped) = g.ring.drain();
@@ -179,7 +181,7 @@ mod imp {
             (
                 SessionTrace {
                     session,
-                    start_ns,
+                    start_ns: self.start_ns,
                     policy: policy.to_string(),
                     ring_capacity: self.ring_cap,
                     workers,
@@ -196,10 +198,12 @@ mod imp {
     }
 }
 
+/// Record on the current session of `wk` — callable only from inside a
+/// task (the worker's current slot is set).
 #[cfg(feature = "trace")]
 #[inline]
 fn record(wk: &crate::scheduler::Worker, kind: pf_trace::TraceKind, arg: u64, n: u64) {
-    wk.shared().trace.record(wk.index(), kind, arg, n);
+    wk.session().trace.record(wk.index(), kind, arg, n);
 }
 
 // ---- hook points (no-ops when the feature is off) -----------------------
@@ -220,11 +224,21 @@ pub(crate) fn spawn(_wk: &crate::scheduler::Worker, _n: u64) {
 /// `wk` stole `_n` tasks from worker `_victim` in one episode (1 under
 /// steal-one; up to the batch cap under steal-half). Records `_n` Steal
 /// events so the exact counts keep reconciling with
-/// `RunStats::steals` = tasks obtained by stealing.
+/// `RunStats::steals` = tasks obtained by stealing. Runs while `wk` is
+/// *between* tasks, so the owning slot is passed explicitly (the slot of
+/// the episode's first stolen task — under steal-half a batch can mix
+/// sessions, a documented attribution approximation).
 #[inline(always)]
-pub(crate) fn steal(_wk: &crate::scheduler::Worker, _victim: usize, _n: u64) {
+pub(crate) fn steal(
+    _wk: &crate::scheduler::Worker,
+    _slot: &crate::pool::SessionSlot,
+    _victim: usize,
+    _n: u64,
+) {
     #[cfg(feature = "trace")]
-    record(_wk, pf_trace::TraceKind::Steal, _victim as u64, _n);
+    _slot
+        .trace
+        .record(_wk.index(), pf_trace::TraceKind::Steal, _victim as u64, _n);
 }
 
 /// `wk` is about to execute a task body.
@@ -241,11 +255,14 @@ pub(crate) fn suspend(_wk: &crate::scheduler::Worker, _addr: usize) {
     record(_wk, pf_trace::TraceKind::Suspend, _addr as u64, 1);
 }
 
-/// A write on `wk` reactivated a suspended continuation.
+/// A write on `wk` reactivated a suspended continuation of `_slot` (the
+/// *waiter's* session — under cross-session fulfills, not the writer's).
 #[inline(always)]
-pub(crate) fn resume(_wk: &crate::scheduler::Worker) {
+pub(crate) fn resume(_wk: &crate::scheduler::Worker, _slot: &crate::pool::SessionSlot) {
     #[cfg(feature = "trace")]
-    record(_wk, pf_trace::TraceKind::Resume, 0, 1);
+    _slot
+        .trace
+        .record(_wk.index(), pf_trace::TraceKind::Resume, 0, 1);
 }
 
 /// `wk` wrote the future cell at `_addr`.
@@ -255,27 +272,35 @@ pub(crate) fn fulfill(_wk: &crate::scheduler::Worker, _addr: usize) {
     record(_wk, pf_trace::TraceKind::Fulfill, _addr as u64, 1);
 }
 
-/// `wk` found no work and is about to park its thread.
+/// `wk` found no work and is about to park its thread. Attributed to
+/// `_slot`, the session of the last task this worker ran (whose dry
+/// spell parked it); dropped when the worker has run nothing yet.
 #[inline(always)]
-pub(crate) fn park(_wk: &crate::scheduler::Worker) {
+pub(crate) fn park(_wk: &crate::scheduler::Worker, _slot: Option<&crate::pool::SessionSlot>) {
     #[cfg(feature = "trace")]
-    record(_wk, pf_trace::TraceKind::Park, 0, 1);
+    if let Some(slot) = _slot {
+        slot.trace
+            .record(_wk.index(), pf_trace::TraceKind::Park, 0, 1);
+    }
 }
 
-/// `wk`'s park returned.
+/// `wk`'s park returned (same attribution as [`park`]).
 #[inline(always)]
-pub(crate) fn unpark(_wk: &crate::scheduler::Worker) {
+pub(crate) fn unpark(_wk: &crate::scheduler::Worker, _slot: Option<&crate::pool::SessionSlot>) {
     #[cfg(feature = "trace")]
-    record(_wk, pf_trace::TraceKind::Unpark, 0, 1);
+    if let Some(slot) = _slot {
+        slot.trace
+            .record(_wk.index(), pf_trace::TraceKind::Unpark, 0, 1);
+    }
 }
 
-/// The abort cleanup poisoned the cell at `_addr` (client lane: the
-/// poison pass runs single-threadedly at the abort rendezvous).
+/// The abort cleanup poisoned the cell at `_addr` (the aborting slot's
+/// client lane: the poison pass runs single-threadedly on the client).
 #[inline(always)]
-pub(crate) fn poison(_shared: &crate::pool::Shared, _addr: usize) {
+pub(crate) fn poison(_slot: &crate::pool::SessionSlot, _addr: usize) {
     #[cfg(feature = "trace")]
-    _shared.trace.record(
-        _shared.trace.client_lane(),
+    _slot.trace.record(
+        _slot.trace.client_lane(),
         pf_trace::TraceKind::Poison,
         _addr as u64,
         1,

@@ -137,6 +137,48 @@ fn seeded_chaos_sessions_fail_contained_or_complete() {
     assert!(failed > 0, "steal-half chaos rates never fired");
     assert!(completed > 0, "steal-half sessions never finished");
 
+    // Phase 3 (PR 9): concurrent sessions under chaos. Panic injection
+    // off, delay + steal-denial injection on — the noise perturbs every
+    // schedule while a deterministic panic pill aborts one session per
+    // round. The pill's sibling shares the pool mid-abort and must
+    // return `Ok` with the right value every time: fault containment
+    // holds under scheduling chaos, not just on quiet schedules.
+    let mut pill_failed = 0usize;
+    for seed in 0..60u64 {
+        install(Some(ChaosConfig {
+            seed: 0x5E5510 ^ seed.rotate_left(9),
+            panic_per_10k: 0,
+            delay_per_10k: 500,
+            delay_spins: 200,
+            steal_fail_per_10k: 2500,
+        }));
+        std::thread::scope(|s| {
+            let rt = &rt;
+            let pill = s.spawn(move || {
+                rt.try_run(|wk| {
+                    for _ in 0..32 {
+                        wk.spawn(|_| std::hint::black_box(()));
+                    }
+                    wk.spawn(|_| panic!("session pill"));
+                })
+            });
+            let v = chained_sum(rt, 24)
+                .expect("sibling of a panic-pill session must complete under chaos");
+            assert_eq!(v, 24, "seed {seed}: sibling result corrupted");
+            let err = pill
+                .join()
+                .unwrap()
+                .expect_err("the pill session must abort");
+            assert_eq!(
+                err.panic_message(),
+                Some("session pill"),
+                "seed {seed}: wrong abort reason"
+            );
+            pill_failed += 1;
+        });
+    }
+    assert_eq!(pill_failed, 60, "every pill session must have aborted");
+
     // Disarm and prove both pools are clean: 50 quiet runs each, zero
     // failures.
     install(None);

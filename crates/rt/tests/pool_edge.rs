@@ -52,10 +52,11 @@ fn zero_task_run_quiesces_immediately() {
 #[test]
 fn global_contention_from_two_os_threads() {
     // Two OS threads each push back-to-back sessions through the one
-    // global pool. Sessions serialize on the session lock; the assertion
-    // is that neither thread's results or per-session stats are polluted
-    // by the other's tasks (cross-session leakage through the shared
-    // injector/deques).
+    // global pool. Sessions co-execute (each gets its own slot in the
+    // session table); the assertion is that neither thread's results or
+    // per-session stats are polluted by the other's tasks (cross-session
+    // leakage through the shared injector/deques). The dedicated
+    // concurrent-session suite is tests/sessions.rs.
     let contenders: Vec<_> = (0..2u64)
         .map(|t| {
             std::thread::spawn(move || {

@@ -28,10 +28,12 @@
 //! * **Key-range sharding** ([`shard::ShardMap`]): S independent shards,
 //!   each with its own persistent treap root, apply their waves in
 //!   fault-contained sessions ([`pf_rt::Runtime::try_run_session`]) on
-//!   one shared worker pool. The pool serializes session *execution*;
-//!   shard concurrency overlaps everything outside the session — batch
-//!   treap construction, coalescing, commit bookkeeping — with the
-//!   sessions of other shards, and a failed shard degrades alone.
+//!   one shared worker pool. Shard sessions genuinely co-execute (each
+//!   gets its own slot in the pool's session table), so shard
+//!   concurrency covers session execution itself as well as everything
+//!   around it — batch treap construction, coalescing, commit
+//!   bookkeeping — and a failed shard degrades alone, its abort
+//!   confined to its own slot.
 //! * **Snapshot reads** ([`SetService::contains`]): readers walk the
 //!   shard's last *committed* root — quiescence guarantees every cell in
 //!   it is written — so reads never block on writes and cost O(lg n)

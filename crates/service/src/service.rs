@@ -119,6 +119,14 @@ pub struct DrainReport {
     pub stats: RunStats,
     /// Sessions run, including failed ones and replays.
     pub sessions: u64,
+    /// Wall-clock span of the drain that produced this report (stamped
+    /// by [`SetService::pump`] and [`SetService::drive`]). Distinct from
+    /// `stats.elapsed`, which *sums* per-session busy time: concurrent
+    /// shard sessions overlap on the shared pool, so the sum exceeds the
+    /// wall clock — `wall` is the denominator an end-to-end throughput
+    /// claim needs. [`DrainReport::merge`] takes the max (merged reports
+    /// describe overlapping spans of one drain, not disjoint intervals).
+    pub wall: Duration,
     /// Keys committed by served waves.
     pub keys_applied: u64,
     /// Waves that committed.
@@ -143,8 +151,18 @@ impl DrainReport {
         self.keys_applied += other.keys_applied;
         self.served += other.served;
         self.degraded += other.degraded;
+        self.wall = self.wall.max(other.wall);
         #[cfg(feature = "trace")]
         self.window_traces.extend(other.window_traces);
+    }
+
+    /// End-to-end keys/sec of the drain: committed keys over the drain's
+    /// wall-clock span ([`RunStats::ops_per_sec_wall`]). Compare with
+    /// `stats.ops_per_sec(keys_applied)`, which divides by *summed*
+    /// per-session busy time and therefore understates a drain whose
+    /// sessions co-execute; this one credits the overlap.
+    pub fn keys_per_sec_wall(&self) -> f64 {
+        RunStats::ops_per_sec_wall(self.keys_applied, self.wall)
     }
 }
 
@@ -278,6 +296,27 @@ impl<K: RKey> SetService<K> {
         lock(&self.shards[shard].root).clone()
     }
 
+    /// Snapshot range query: every committed key in `[lo, hi)`, in
+    /// ascending order. Routes through
+    /// [`ShardMap::shards_for_range`] — range partitioning means the
+    /// intersecting shards form one contiguous run in key order, so the
+    /// per-shard in-order walks concatenate into a globally sorted
+    /// result with no merge step. Each shard contributes a walk of its
+    /// own committed root (same snapshot model as
+    /// [`SetService::contains`]: one root clone, lock-free descent of
+    /// written cells, never blocked by in-flight sessions — but each
+    /// shard's snapshot is taken independently, so a cross-shard wave
+    /// committing mid-scan may appear in one shard and not another).
+    /// The walk prunes: subtrees wholly outside `[lo, hi)` are never
+    /// entered, so cost is O(lg n + answer) per shard.
+    pub fn range(&self, lo: &K, hi: &K) -> Vec<K> {
+        let mut out = Vec::new();
+        for shard in self.map.shards_for_range(lo, hi) {
+            range_into(&self.snapshot(shard), lo, hi, &mut out);
+        }
+        out
+    }
+
     /// Sorted keys of one shard's committed root (post-run inspection;
     /// O(n)).
     pub fn shard_keys(&self, shard: usize) -> Vec<K> {
@@ -287,23 +326,30 @@ impl<K: RKey> SetService<K> {
     /// Apply everything queued, shard by shard, on the calling thread —
     /// the deterministic path tests and single-threaded replays use.
     pub fn pump(&self) -> DrainReport {
+        let started = Instant::now();
         let mut out = DrainReport::default();
         for i in 0..self.shards.len() {
             out.merge(self.apply_pending(i));
         }
+        out.wall = started.elapsed();
         out
     }
 
     /// Concurrent open-loop drain: one apply thread per shard pulls from
     /// its ingress queue while the calling thread feeds `requests` in —
     /// arrival is a pipeline stage overlapping coalescing, batch-treap
-    /// construction, and other shards' sessions (session *execution*
-    /// itself is serialized by the pool). Returns when every submitted
-    /// request has been applied or degraded.
+    /// construction, and the other shards' sessions. The shard sessions
+    /// genuinely co-execute: each `try_run_session` call gets its own
+    /// slot in the pool's session table and they share the worker pool,
+    /// so one shard's stall (or injected fault) neither blocks nor
+    /// corrupts a sibling's wave — fault containment is per slot, not
+    /// per pool. Returns when every submitted request has been applied
+    /// or degraded.
     pub fn drive<I>(&self, requests: I) -> DrainReport
     where
         I: IntoIterator<Item = Request<K>>,
     {
+        let started = Instant::now();
         let closed = AtomicBool::new(false);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.shards.len())
@@ -339,6 +385,7 @@ impl<K: RKey> SetService<K> {
             for h in handles {
                 out.merge(h.join().expect("shard apply thread panicked"));
             }
+            out.wall = started.elapsed();
             out
         })
     }
@@ -495,6 +542,32 @@ impl DrainReport {
             self.degraded += 1;
         }
         self.outcomes.push(o);
+    }
+}
+
+/// In-order walk of a committed (fully written) treap, pushing keys in
+/// `[lo, hi)` and pruning subtrees the range cannot reach.
+fn range_into<K: RKey>(t: &RTreap<K>, lo: &K, hi: &K, out: &mut Vec<K>) {
+    if let RTreap::Node(n) = t {
+        if *lo < n.key {
+            range_into(
+                &n.left.peek().expect("committed root with unwritten cell"),
+                lo,
+                hi,
+                out,
+            );
+        }
+        if *lo <= n.key && n.key < *hi {
+            out.push(n.key.clone());
+        }
+        if n.key < *hi {
+            range_into(
+                &n.right.peek().expect("committed root with unwritten cell"),
+                lo,
+                hi,
+                out,
+            );
+        }
     }
 }
 

@@ -41,6 +41,22 @@ impl<K: Ord + Clone> ShardMap<K> {
         self.bounds.partition_point(|b| b <= key)
     }
 
+    /// The contiguous run of shards whose ranges intersect `[lo, hi)`,
+    /// in key order — because the partition is by key range, a range
+    /// query visits exactly these shards and the concatenation of their
+    /// (sorted) results is globally sorted. Empty range for `lo >= hi`.
+    pub fn shards_for_range(&self, lo: &K, hi: &K) -> std::ops::Range<usize> {
+        if lo >= hi {
+            return 0..0;
+        }
+        // First shard: the one owning `lo`. Last shard: the one owning
+        // the greatest key below `hi` — shards whose lower bound is
+        // `>= hi` start at or past the range's end and own none of it.
+        let first = self.bounds.partition_point(|b| b <= lo);
+        let last = self.bounds.partition_point(|b| b < hi);
+        first..last + 1
+    }
+
     /// Split a mixed-key entry batch into one (possibly empty) sub-batch
     /// per shard, preserving arrival order within each.
     pub fn split(&self, entries: Vec<Entry<K>>) -> Vec<Vec<Entry<K>>> {
@@ -108,6 +124,20 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_bounds_rejected() {
         let _ = ShardMap::new(vec![20, 10]);
+    }
+
+    #[test]
+    fn shards_for_range_covers_intersecting_shards() {
+        let m = ShardMap::new(vec![10, 20]);
+        assert_eq!(m.shards_for_range(&0, &5), 0..1);
+        assert_eq!(m.shards_for_range(&0, &10), 0..1); // hi exclusive
+        assert_eq!(m.shards_for_range(&0, &11), 0..2);
+        assert_eq!(m.shards_for_range(&10, &20), 1..2);
+        assert_eq!(m.shards_for_range(&5, &25), 0..3);
+        assert_eq!(m.shards_for_range(&20, &100), 2..3);
+        assert_eq!(m.shards_for_range(&-50, &1000), 0..3);
+        assert_eq!(m.shards_for_range(&7, &7), 0..0); // empty
+        assert_eq!(m.shards_for_range(&9, &3), 0..0); // inverted
     }
 
     #[test]

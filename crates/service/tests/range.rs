@@ -1,0 +1,148 @@
+//! Range queries over committed snapshot roots: `SetService::range`
+//! routes `[lo, hi)` through the contiguous run of owning shards and
+//! concatenates their pruned in-order walks — checked against a
+//! `BTreeSet` oracle, across shard boundaries, and concurrently with
+//! in-flight apply sessions (snapshot semantics: a scan never blocks
+//! and never sees a half-applied wave in any single shard).
+
+use std::collections::BTreeSet;
+use std::ops::Bound::{Excluded, Included};
+
+use pf_service::{Request, ServiceConfig, SetService, ShardMap};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+const KEYSPACE: i64 = 10_000;
+const SHARDS: usize = 4;
+
+fn seeded_service(seed: u64, n: usize) -> (SetService<i64>, BTreeSet<i64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let keys: Vec<(i64, u64)> = (0..n).map(|_| (rng.gen_range(0..KEYSPACE), 0)).collect();
+    let oracle: BTreeSet<i64> = keys.iter().map(|e| e.0).collect();
+    let svc = SetService::new(
+        ShardMap::uniform(SHARDS, 0, KEYSPACE),
+        ServiceConfig {
+            threads: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    svc.submit(Request::insert(keys));
+    let report = svc.pump();
+    assert_eq!(report.degraded, 0);
+    (svc, oracle)
+}
+
+fn oracle_range(set: &BTreeSet<i64>, lo: i64, hi: i64) -> Vec<i64> {
+    if lo >= hi {
+        return Vec::new();
+    }
+    set.range((Included(lo), Excluded(hi))).copied().collect()
+}
+
+#[test]
+fn range_matches_oracle_across_shards() {
+    let (svc, oracle) = seeded_service(11, 3000);
+    let mut rng = SmallRng::seed_from_u64(12);
+    // Random ranges, including cross-shard, single-shard, and empty.
+    for _ in 0..200 {
+        let a = rng.gen_range(-100..KEYSPACE + 100);
+        let b = rng.gen_range(-100..KEYSPACE + 100);
+        let got = svc.range(&a, &b);
+        assert_eq!(got, oracle_range(&oracle, a, b), "range [{a}, {b})");
+    }
+    // Whole-space scan is the sorted union of every shard.
+    assert_eq!(
+        svc.range(&i64::MIN, &i64::MAX),
+        oracle.iter().copied().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn range_respects_shard_boundaries_and_bounds() {
+    let (svc, oracle) = seeded_service(21, 2000);
+    // Shard width for uniform(4, 0, 10_000) is 2_500: exercise ranges
+    // that start/end exactly on boundaries (hi is exclusive).
+    for (lo, hi) in [
+        (0, 2_500),
+        (2_500, 5_000),
+        (2_499, 2_501),
+        (0, 10_000),
+        (5_000, 5_000),
+        (7_000, 3_000),
+    ] {
+        assert_eq!(
+            svc.range(&lo, &hi),
+            oracle_range(&oracle, lo, hi),
+            "range [{lo}, {hi})"
+        );
+    }
+}
+
+#[test]
+fn range_is_sorted_and_deduplicated() {
+    let (svc, _) = seeded_service(31, 5000);
+    let all = svc.range(&0, &KEYSPACE);
+    assert!(
+        all.windows(2).all(|w| w[0] < w[1]),
+        "not strictly ascending"
+    );
+}
+
+#[test]
+fn range_scans_during_concurrent_drive() {
+    // Scans walk committed snapshots only: they never block on the
+    // in-flight apply sessions and always return a sorted subset of the
+    // final key set (inserts only — no deletes — so monotonicity holds).
+    let mut rng = SmallRng::seed_from_u64(41);
+    let reqs: Vec<Request<i64>> = (0..60)
+        .map(|_| {
+            Request::insert(
+                (0..rng.gen_range(20..80))
+                    .map(|_| (rng.gen_range(0..KEYSPACE), 0))
+                    .collect(),
+            )
+        })
+        .collect();
+    let oracle: BTreeSet<i64> = reqs
+        .iter()
+        .flat_map(|r| r.entries.iter().map(|e| e.0))
+        .collect();
+    let svc = SetService::new(
+        ShardMap::uniform(SHARDS, 0, KEYSPACE),
+        ServiceConfig {
+            threads: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    std::thread::scope(|s| {
+        let svc = &svc;
+        let scanner = s.spawn(move || {
+            for _ in 0..50 {
+                let got = svc.range(&1_000, &9_000);
+                assert!(got.windows(2).all(|w| w[0] < w[1]));
+                std::thread::yield_now();
+            }
+        });
+        let report = svc.drive(reqs.clone());
+        assert_eq!(report.degraded, 0);
+        scanner.join().unwrap();
+    });
+    assert_eq!(
+        svc.range(&i64::MIN, &i64::MAX),
+        oracle.iter().copied().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn drive_report_carries_wall_clock_throughput() {
+    let (svc, _) = seeded_service(51, 100);
+    let mut rng = SmallRng::seed_from_u64(52);
+    let reqs: Vec<Request<i64>> = (0..20)
+        .map(|_| Request::insert((0..50).map(|_| (rng.gen_range(0..KEYSPACE), 0)).collect()))
+        .collect();
+    let report = svc.drive(reqs);
+    assert!(report.wall.as_nanos() > 0, "drive must stamp its wall span");
+    assert!(report.keys_applied > 0);
+    assert!(report.keys_per_sec_wall() > 0.0);
+    assert!(report.keys_per_sec_wall().is_finite());
+}

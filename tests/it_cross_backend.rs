@@ -395,3 +395,53 @@ fn repeated_rt_runs_are_deterministic_in_value() {
         }
     }
 }
+
+#[test]
+fn union_is_bit_identical_under_concurrent_panicking_sibling() {
+    // PR-9 fault-containment half of the identity suite: a treap union
+    // whose session shares the pool with a panicking sibling session
+    // must produce the same sorted keys AND the same deterministic shape
+    // as its solo run — fault containment is semantic, not just "no
+    // crash". (The solo determinism itself is pinned by
+    // `repeated_rt_runs_are_deterministic_in_value` above.)
+    use std::sync::Arc;
+
+    let a = entries((0..400).map(|i| 3 * i));
+    let b = entries((0..400).map(|i| 2 * i));
+    let rt = Arc::new(Runtime::new(4));
+
+    // Solo baseline on the same pool.
+    let (op, of) = cell();
+    let (ta, tb) = (
+        ready(RTreap::from_entries_ready(&a)),
+        ready(RTreap::from_entries_ready(&b)),
+    );
+    rt.try_run(move |wk| rt_union(wk, ta, tb, op)).unwrap();
+    let solo = of.expect();
+    let (solo_keys, solo_height) = (solo.to_sorted_vec(), solo.height());
+
+    for round in 0..10 {
+        let rt2 = Arc::clone(&rt);
+        let pill = std::thread::spawn(move || {
+            let (_w, r) = cell::<u32>(); // never written; poisoned on abort
+            let r_in = r.clone();
+            rt2.try_run(move |wk| {
+                r_in.touch(wk, |_v, _wk| {});
+                wk.spawn(|_| panic!("sibling pill"));
+            })
+            .unwrap_err()
+        });
+        let (op, of) = cell();
+        let (ta, tb) = (
+            ready(RTreap::from_entries_ready(&a)),
+            ready(RTreap::from_entries_ready(&b)),
+        );
+        rt.try_run(move |wk| rt_union(wk, ta, tb, op))
+            .expect("union session alongside a panicking sibling");
+        let t = of.expect();
+        assert_eq!(t.to_sorted_vec(), solo_keys, "round {round}: keys diverged");
+        assert_eq!(t.height(), solo_height, "round {round}: shape diverged");
+        let err = pill.join().unwrap();
+        assert_eq!(err.panic_message(), Some("sibling pill"));
+    }
+}
