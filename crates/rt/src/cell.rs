@@ -218,6 +218,10 @@ impl<T: Clone + Send + 'static> FutWrite<T> {
     /// a clone of the value as a new task on `worker`'s queue.
     pub fn fulfill(self, worker: &Worker, value: T) {
         crate::chaos::maybe_delay();
+        // The write is progress of the fulfilling session even when no
+        // waiter is resumed by it — a long task fulfilling in a loop must
+        // read as alive to the stall watchdog.
+        worker.note_progress();
         crate::trace::fulfill(worker, Arc::as_ptr(&self.inner) as *const () as usize);
         // SAFETY: we are the unique writer (FutWrite is not Clone and is
         // consumed); no reader dereferences `value` until it observes FULL.

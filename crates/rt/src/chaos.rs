@@ -12,7 +12,11 @@
 //!   lost-wakeup protocols must tolerate;
 //! * [`steal_denied`] — forces `find_task` to skip a victim, modeling
 //!   transient steal failure and pushing sessions through the park/unpark
-//!   and watchdog paths far more often than a healthy pool would.
+//!   and watchdog paths far more often than a healthy pool would;
+//! * [`maybe_wedge`] — parks a worker *inside* a task body (a bounded
+//!   spin that also releases when the owning session aborts or the chaos
+//!   config is reinstalled), modeling the mid-task wedge the progress-
+//!   heartbeat stall detector exists to catch under load.
 //!
 //! Faults are drawn from a per-thread `splitmix64` stream derived from
 //! the seed in [`ChaosConfig`], so a given seed produces a reproducible
@@ -50,6 +54,14 @@ mod imp {
         pub delay_spins: u32,
         /// Chance (per 10 000) that a steal attempt is denied.
         pub steal_fail_per_10k: u32,
+        /// Chance (per 10 000) that a task wedges at its boundary: the
+        /// worker spins inside the task body until the owning session
+        /// aborts, the config is reinstalled/disarmed, or
+        /// `wedge_hold_ms` elapses — whichever comes first, so a wedge
+        /// can never hang a test.
+        pub wedge_per_10k: u32,
+        /// Upper bound of an injected wedge, in milliseconds.
+        pub wedge_hold_ms: u32,
     }
 
     struct Global {
@@ -57,6 +69,7 @@ mod imp {
         /// Bumped by every `install`; threads re-read the config lazily.
         epoch: AtomicU64,
         panics: AtomicU64,
+        wedges: AtomicU64,
         /// Distinguishes the per-thread streams of one seed.
         thread_seq: AtomicU64,
     }
@@ -67,6 +80,7 @@ mod imp {
             cfg: Mutex::new(None),
             epoch: AtomicU64::new(1),
             panics: AtomicU64::new(0),
+            wedges: AtomicU64::new(0),
             thread_seq: AtomicU64::new(0),
         })
     }
@@ -81,6 +95,11 @@ mod imp {
     /// Total panic injections fired since process start.
     pub fn injected_panics() -> u64 {
         global().panics.load(Ordering::SeqCst)
+    }
+
+    /// Total wedge injections fired since process start.
+    pub fn injected_wedges() -> u64 {
+        global().wedges.load(Ordering::SeqCst)
     }
 
     #[derive(Clone, Copy)]
@@ -152,10 +171,29 @@ mod imp {
     pub fn steal_denied() -> bool {
         matches!(roll(|c| c.steal_fail_per_10k), Some((_, true)))
     }
+
+    #[inline]
+    pub fn maybe_wedge(released: &dyn Fn() -> bool) {
+        if let Some((cfg, true)) = roll(|c| c.wedge_per_10k) {
+            let g = global();
+            g.wedges.fetch_add(1, Ordering::SeqCst);
+            let entry_epoch = g.epoch.load(Ordering::SeqCst);
+            let hold = std::time::Duration::from_millis(cfg.wedge_hold_ms as u64);
+            let start = std::time::Instant::now();
+            // Disarmable + bounded: an abort of the owning session, a
+            // config reinstall, or the hold expiry all end the wedge.
+            while !released() && g.epoch.load(Ordering::SeqCst) == entry_epoch {
+                if start.elapsed() >= hold {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
 }
 
 #[cfg(pf_chaos)]
-pub use imp::{injected_panics, install, ChaosConfig};
+pub use imp::{injected_panics, injected_wedges, install, ChaosConfig};
 
 /// Maybe panic at a task boundary (chaos builds only; no-op otherwise).
 #[inline(always)]
@@ -179,4 +217,15 @@ pub(crate) fn steal_denied() -> bool {
     return imp::steal_denied();
     #[cfg(not(pf_chaos))]
     false
+}
+
+/// Maybe wedge inside a task body: spin until `released()` holds, the
+/// chaos config changes, or the configured hold expires (chaos builds
+/// only; no-op otherwise).
+#[inline(always)]
+pub(crate) fn maybe_wedge(released: &dyn Fn() -> bool) {
+    #[cfg(pf_chaos)]
+    imp::maybe_wedge(released);
+    #[cfg(not(pf_chaos))]
+    let _ = released;
 }

@@ -70,10 +70,21 @@ pub enum SessionError {
 /// Diagnostic payload of [`SessionError::Stalled`].
 #[derive(Debug, Clone, Default)]
 pub struct StallReport {
+    /// Id of the stalled session (same as the error's `session` field,
+    /// repeated here so the report is self-contained when logged alone).
+    pub session: u64,
     /// Value of the live-closure counter at detection time (number of
-    /// continuations that were queued, running, or suspended — at a stall
-    /// all of them are suspended).
+    /// continuations that were queued, running, or suspended — under the
+    /// provable and default heartbeat detectors all of them are
+    /// suspended; an explicit [`Session::stall_budget`] also catches a
+    /// *running* wedge, where some are not).
     pub live: usize,
+    /// The session's last progress epoch — the value that froze.
+    pub epoch: u64,
+    /// Consecutive watchdog samples that saw the epoch frozen.
+    pub frozen: u32,
+    /// Wall-clock length of the freeze at detection time.
+    pub frozen_for: Duration,
     /// The cells whose suspended continuations were drained and dropped at
     /// the abort rendezvous.
     pub stuck: Vec<StuckCell>,
@@ -151,8 +162,16 @@ impl SessionError {
             }
             AbortReason::Cancelled => "session cancelled".into(),
             AbortReason::Deadline(d) => format!("deadline of {d:?} exceeded"),
-            AbortReason::Stalled { live } => {
-                format!("session stalled with {live} live suspended continuations")
+            AbortReason::Stalled {
+                live,
+                epoch,
+                frozen,
+                frozen_for,
+            } => {
+                format!(
+                    "session stalled with {live} live unit(s), progress epoch \
+                     {epoch} frozen for ~{frozen_for:?} ({frozen} samples)"
+                )
             }
         }
     }
@@ -173,8 +192,9 @@ impl fmt::Display for SessionError {
             SessionError::Stalled { session, report } => {
                 write!(
                     f,
-                    "session {session} stalled: {} live suspended continuation(s), stuck cells: [",
-                    report.live
+                    "session {session} stalled: {} live unit(s), progress epoch {} \
+                     frozen for ~{:?} ({} samples), stuck cells: [",
+                    report.live, report.epoch, report.frozen_for, report.frozen
                 )?;
                 for (i, c) in report.stuck.iter().enumerate() {
                     if i > 0 {
@@ -278,6 +298,7 @@ pub struct Session {
     pub(crate) deadline: Option<Duration>,
     pub(crate) cancel: Option<CancelToken>,
     pub(crate) policy: Option<crate::SchedPolicy>,
+    pub(crate) stall: Option<Duration>,
 }
 
 impl Session {
@@ -303,6 +324,27 @@ impl Session {
     /// with [`SessionError::Cancelled`] from any thread.
     pub fn cancel_token(mut self, t: &CancelToken) -> Self {
         self.cancel = Some(t.clone());
+        self
+    }
+
+    /// Set the session's stall-detection budget: the watchdog declares
+    /// [`SessionError::Stalled`] once the session's progress epoch (one
+    /// tick per scheduler event attributed to the session — exec, spawn,
+    /// suspend, resume, fulfill) stays frozen for `budget` while live
+    /// units remain, no matter how busy sibling sessions keep the pool.
+    ///
+    /// Without an explicit budget, a session whose remaining units are
+    /// all *suspended* still gets heartbeat detection under a generous
+    /// default, and a provably-wedged idle pool is detected within a few
+    /// milliseconds; but a *running* wedge — a task body spinning
+    /// forever — is left to the deadline, because a frozen epoch under a
+    /// running task also describes a long, legitimate compute-only
+    /// closure. Setting a budget is the caller's assertion that no legal
+    /// closure of this session goes `budget` without a scheduler event,
+    /// which arms the detector for running wedges too. (Inert under the
+    /// model checker, which has no clock.)
+    pub fn stall_budget(mut self, budget: Duration) -> Self {
+        self.stall = Some(budget);
         self
     }
 

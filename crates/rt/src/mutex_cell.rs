@@ -109,6 +109,8 @@ pub fn mx_cell<T>() -> (MxWrite<T>, MxRead<T>) {
 impl<T: Clone + Send + 'static> MxWrite<T> {
     /// Write the value and reactivate every suspended continuation.
     pub fn fulfill(self, worker: &Worker, value: T) {
+        // Progress of the fulfilling session (see the lock-free cell).
+        worker.note_progress();
         crate::trace::fulfill(worker, Arc::as_ptr(&self.inner) as *const () as usize);
         let waiters = {
             let mut g = self.inner.state.lock().unwrap();

@@ -119,27 +119,55 @@
 //! sessions is a documented program error; the cell state machine
 //! arbitrates every such race to a panic (never undefined behavior).
 //!
-//! # Quiescence watchdog
+//! # Quiescence watchdog: per-session progress heartbeats
 //!
 //! A correct program always drives `units` to zero, but a buggy one — a
 //! touch of a cell nobody will ever write, a cyclic touch chain — leaves
-//! the session's remaining units suspended forever. The client's wait
-//! loop (outside the model checker, which has no clock) polls a few
-//! times per second: when the pool's sleeper bitmask stays full, the
-//! session's executed-task counters stay frozen, every queue stays
-//! empty, and the session's units are all suspended across several
-//! consecutive samples, nothing can ever change again — a parked worker
-//! only wakes for a push, and no task is running anywhere to push one.
-//! If queues are *non-empty* with all workers parked, that is a lost
-//! wakeup (a runtime bug, closed by the fence protocol above, but cheap
-//! to defend against): the watchdog re-kicks the pool a bounded number
-//! of times before giving up. Either way the session aborts with
+//! the session's remaining units suspended forever. Every scheduler
+//! event attributed to a session (task execution, spawn, suspension,
+//! resume, cell fulfill) bumps a per-worker *progress* counter in the
+//! session's slot; the sum of those lanes is the session's **progress
+//! epoch**. The client's wait loop (outside the model checker, which has
+//! no clock) samples its own session's epoch a few hundred times per
+//! second and declares a stall through one of two detectors:
+//!
+//! * **Provable idle-pool stall.** When the pool's sleeper bitmask stays
+//!   full, the session's epoch stays frozen, every queue stays empty,
+//!   and the session's units are all suspended across several
+//!   consecutive samples, nothing can ever change again — a parked
+//!   worker only wakes for a push, and no task is running anywhere to
+//!   push one. Detection is immediate (a handful of 2 ms samples), no
+//!   budget involved. If queues are *non-empty* with all workers parked,
+//!   that is a lost wakeup (a runtime bug, closed by the fence protocol
+//!   above, but cheap to defend against): the watchdog re-kicks the pool
+//!   a bounded number of times before giving up.
+//!
+//! * **Heartbeat stall.** The provable detector abstains while a sibling
+//!   session keeps even one worker busy — but the *session's own* epoch
+//!   does not: a session whose remaining units are all suspended and
+//!   whose epoch stays frozen past a budget is declared stalled
+//!   **regardless of how busy sibling sessions keep the pool** (progress
+//!   for such a session can only arrive via a fulfill, which would bump
+//!   its epoch). The budget is [`Session::stall_budget`] when set, a
+//!   generous default otherwise. With an explicit budget the detector
+//!   also covers the *running* wedge — a task spinning forever inside
+//!   its body — which the default leaves to deadlines, because a frozen
+//!   epoch with a running task is indistinguishable from a long,
+//!   legitimate compute-only closure; the budget is the caller's
+//!   assertion that no legal closure goes that long without a scheduler
+//!   event.
+//!
+//! The per-worker progress lanes are plain owner-only `Relaxed` counters
+//! (same discipline as the statistics they sit next to). Relaxed
+//! suffices: the watchdog only compares successive *sums* for equality,
+//! each lane is monotone, and a lagging read can only delay a freeze
+//! verdict by one 2 ms sample — noise against any realistic budget;
+//! hysteresis (several consecutive frozen samples) absorbs the rest.
+//! Either way the session aborts with
 //! [`SessionError::Stalled`](crate::SessionError::Stalled) carrying the
-//! stuck cell set instead of hanging the client forever. One limitation
-//! is inherited from sharing the pool: a stalled session is only
-//! *detected* once the whole pool goes idle — a busy sibling session
-//! defers detection (but never correctness; the deadline detector is
-//! per-session and unaffected).
+//! stuck cell set and the freeze provenance (last epoch, frozen sample
+//! count, frozen duration) instead of hanging the client forever. The
+//! deadline detector is per-session, independent, and unaffected.
 
 use std::any::Any;
 use std::sync::{Arc, OnceLock, Weak};
@@ -196,6 +224,11 @@ pub(crate) struct WorkerStats {
     spawns: AtomicU64,
     suspensions: AtomicU64,
     steals: AtomicU64,
+    /// This worker's lane of the session's progress epoch: bumped on
+    /// every scheduler event attributed to the session (exec, spawn,
+    /// suspend, resume, fulfill). The watchdog sums the lanes and
+    /// compares successive sums for equality — see the module docs.
+    progress: AtomicU64,
 }
 
 /// Owner-only increment: cheaper than an atomic RMW, and exact because
@@ -228,6 +261,11 @@ impl WorkerStats {
     #[inline]
     pub(crate) fn add_steals(&self, k: u64) {
         bump(&self.steals, k);
+    }
+    /// One heartbeat tick on this worker's progress lane.
+    #[inline]
+    pub(crate) fn add_progress(&self) {
+        bump(&self.progress, 1);
     }
 }
 
@@ -332,6 +370,12 @@ pub(crate) enum AbortReason {
     Stalled {
         /// The session's live-unit count at detection time.
         live: usize,
+        /// The progress epoch that froze (see [`SessionSlot::progress_epoch`]).
+        epoch: u64,
+        /// Consecutive watchdog samples that saw the epoch frozen.
+        frozen: u32,
+        /// Wall-clock length of the freeze at detection time.
+        frozen_for: Duration,
     },
 }
 
@@ -433,6 +477,18 @@ impl SessionSlot {
     #[inline]
     pub(crate) fn policy(&self) -> SchedPolicy {
         SchedPolicy::unpack(self.policy)
+    }
+
+    /// The session's progress epoch: the sum of its per-worker progress
+    /// lanes. Monotone (each lane is owner-bumped, never decremented),
+    /// so two equal successive reads mean no scheduler event was
+    /// attributed to the session in between — the freeze predicate the
+    /// watchdog's heartbeat detector runs on.
+    pub(crate) fn progress_epoch(&self) -> u64 {
+        self.stats
+            .iter()
+            .map(|s| s.progress.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Is the session aborting? `SeqCst`: pairs with the `SeqCst` unit
@@ -1067,9 +1123,21 @@ impl Runtime {
                     session: sid,
                     deadline: d,
                 },
-                AbortReason::Stalled { live } => SessionError::Stalled {
+                AbortReason::Stalled {
+                    live,
+                    epoch,
+                    frozen,
+                    frozen_for,
+                } => SessionError::Stalled {
                     session: sid,
-                    report: StallReport { live, stuck },
+                    report: StallReport {
+                        session: sid,
+                        live,
+                        epoch,
+                        frozen,
+                        frozen_for,
+                        stuck,
+                    },
                 },
             });
         }
@@ -1132,9 +1200,14 @@ impl Runtime {
                 .unwrap_or_else(|e| e.into_inner());
             done = g;
             if timeout.timed_out() {
-                if let Some(live) = watchdog.sample(&self.shared, slot, self.nthreads) {
+                if let Some(seen) = watchdog.sample(&self.shared, slot, self.nthreads, opts.stall) {
                     drop(done);
-                    slot.request_abort(AbortReason::Stalled { live });
+                    slot.request_abort(AbortReason::Stalled {
+                        live: seen.live,
+                        epoch: seen.epoch,
+                        frozen: seen.frozen,
+                        frozen_for: seen.frozen_for,
+                    });
                     done = lock(&slot.done);
                 }
             }
@@ -1144,7 +1217,7 @@ impl Runtime {
     #[cfg(pf_check)]
     fn wait_session(&self, slot: &SessionSlot, opts: &Session) {
         // Deadlines and the watchdog need a clock; the model has none.
-        let _ = opts.deadline;
+        let _ = (opts.deadline, opts.stall);
         let mut done = lock(&slot.done);
         while !*done && !slot.aborting() {
             done = slot.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
@@ -1219,64 +1292,123 @@ const WATCHDOG_STABLE: u32 = 4;
 /// wakeup recovery) before giving up and declaring a stall.
 #[cfg(not(pf_check))]
 const WATCHDOG_KICKS: u32 = 16;
+/// Heartbeat budget for a suspended-only session with no explicit
+/// [`Session::stall_budget`]: how long its progress epoch may stay
+/// frozen, next to busy siblings, before the watchdog declares a stall.
+/// Generous on purpose — a suspended-only session's epoch can only move
+/// through a fulfill, so the sole false-positive risk is a cross-session
+/// fulfill arriving later than this after *every* other event of the
+/// session; set an explicit budget to tighten it.
+#[cfg(not(pf_check))]
+const WATCHDOG_SUSPENDED_BUDGET: Duration = Duration::from_millis(1000);
 
-/// Detects an all-parked pool with a non-quiescent session (module docs).
+/// What one watchdog detection saw — the provenance carried into
+/// [`AbortReason::Stalled`].
+#[cfg(not(pf_check))]
+struct StallSeen {
+    live: usize,
+    epoch: u64,
+    frozen: u32,
+    frozen_for: Duration,
+}
+
+/// Detects a wedged session by sampling its progress epoch (module docs).
 #[cfg(not(pf_check))]
 #[derive(Default)]
 struct Watchdog {
-    last_executed: Option<u64>,
-    stable: u32,
+    last_epoch: Option<u64>,
+    /// Consecutive samples that saw `last_epoch` unchanged.
+    frozen: u32,
+    /// When the current freeze was first observed.
+    frozen_since: Option<std::time::Instant>,
     kicks: u32,
 }
 
 #[cfg(not(pf_check))]
 impl Watchdog {
-    /// One sample of the pool + this session's slot. Returns `Some(live)`
-    /// when the session is provably wedged: every worker parked (so *no*
-    /// session has a running task), this session's remaining units all
-    /// suspended, its progress counters frozen across [`WATCHDOG_STABLE`]
-    /// samples, and either every queue empty (a true stall — absorbing,
-    /// because only a running task can produce work or wake a sleeper) or
-    /// [`WATCHDOG_KICKS`] recovery unparks failed to restart the pool.
-    /// While a sibling session keeps even one worker busy, sampling
-    /// abstains — a busy pool can still fulfill this session's cells.
-    fn sample(&mut self, shared: &Shared, slot: &SessionSlot, nthreads: usize) -> Option<usize> {
+    /// One sample of the pool + this session's slot. Returns `Some` when
+    /// the session is stalled, through either detector (module docs):
+    ///
+    /// * **provable** — every worker parked (so *no* session has a
+    ///   running task), this session's remaining units all suspended,
+    ///   its epoch frozen across [`WATCHDOG_STABLE`] samples, and either
+    ///   every queue empty (a true stall — absorbing, because only a
+    ///   running task can produce work or wake a sleeper) or
+    ///   [`WATCHDOG_KICKS`] recovery unparks failed to restart the pool;
+    /// * **heartbeat** — the session's own epoch frozen past its budget
+    ///   (`stall`, or [`WATCHDOG_SUSPENDED_BUDGET`] when the remaining
+    ///   units are all suspended), no matter how busy sibling sessions
+    ///   keep the pool. Without an explicit budget a *running* unit
+    ///   abstains: a frozen epoch under a running task also describes a
+    ///   long compute-only closure.
+    fn sample(
+        &mut self,
+        shared: &Shared,
+        slot: &SessionSlot,
+        nthreads: usize,
+        stall: Option<Duration>,
+    ) -> Option<StallSeen> {
         let units = slot.units.load(Ordering::SeqCst);
         let live = live_of(units) as usize;
+        if live == 0 || slot.aborting() {
+            *self = Watchdog::default();
+            return None;
+        }
+        let epoch = slot.progress_epoch();
+        if self.last_epoch != Some(epoch) {
+            self.last_epoch = Some(epoch);
+            self.frozen = 0;
+            self.frozen_since = Some(std::time::Instant::now());
+            self.kicks = 0;
+            return None;
+        }
+        self.frozen += 1;
+        if self.frozen < WATCHDOG_STABLE {
+            return None;
+        }
+        let frozen_for = self
+            .frozen_since
+            .map(|t| t.elapsed())
+            .unwrap_or(Duration::ZERO);
+        let seen = StallSeen {
+            live,
+            epoch,
+            frozen: self.frozen,
+            frozen_for,
+        };
+        let suspended_only = live_of(units) == susp_of(units);
         let all_parked = shared.sleepers.load(Ordering::SeqCst).count_ones() as usize == nthreads;
-        if live == 0 || !all_parked || slot.aborting() {
-            self.stable = 0;
-            self.last_executed = None;
-            return None;
+        if all_parked {
+            let queues_empty = shared.injector.is_empty()
+                && shared.stealers.iter().all(|s| s.is_empty())
+                && shared.mailboxes.iter().all(|m| m.is_empty());
+            if queues_empty {
+                if suspended_only {
+                    return Some(seen);
+                }
+                // `units` claims a queued-or-running task, yet nothing is
+                // queued and nobody runs: a decrement in flight. The next
+                // sample sees the settled state; fall through meanwhile.
+            } else {
+                // All workers parked yet work is queued (any session's):
+                // a lost wakeup. The fence protocol makes this
+                // unreachable; recover anyway, boundedly.
+                self.kicks += 1;
+                if self.kicks > WATCHDOG_KICKS {
+                    return Some(seen);
+                }
+                shared.unpark_all();
+                return None;
+            }
         }
-        let executed: u64 = slot
-            .stats
-            .iter()
-            .map(|s| s.tasks_executed.load(Ordering::Relaxed))
-            .sum();
-        match self.last_executed {
-            Some(prev) if prev == executed => self.stable += 1,
-            _ => self.stable = 1,
+        let budget = match (stall, suspended_only) {
+            (Some(b), _) => b,
+            (None, true) => WATCHDOG_SUSPENDED_BUDGET,
+            (None, false) => return None,
+        };
+        if frozen_for >= budget {
+            return Some(seen);
         }
-        self.last_executed = Some(executed);
-        if self.stable < WATCHDOG_STABLE {
-            return None;
-        }
-        let queues_empty = shared.injector.is_empty()
-            && shared.stealers.iter().all(|s| s.is_empty())
-            && shared.mailboxes.iter().all(|m| m.is_empty());
-        if queues_empty && live_of(units) == susp_of(units) {
-            return Some(live);
-        }
-        // All workers parked yet work is queued (any session's): a lost
-        // wakeup. The fence protocol makes this unreachable; recover
-        // anyway, boundedly.
-        self.stable = 0;
-        self.kicks += 1;
-        if self.kicks > WATCHDOG_KICKS {
-            return Some(live);
-        }
-        shared.unpark_all();
         None
     }
 }

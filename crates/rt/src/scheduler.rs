@@ -145,11 +145,15 @@ impl Worker {
         }
         let prev = self.current.replace(Arc::as_ptr(&session));
         session.stats[self.index].add_tasks(1);
+        session.stats[self.index].add_progress();
         crate::trace::exec(self);
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            // Chaos seam: a seeded probability of a spurious panic right
-            // here exercises the whole abort path (off outside pf_chaos).
+            // Chaos seams: a seeded probability of a spurious panic right
+            // here exercises the whole abort path, and a seeded wedge
+            // parks this worker mid-task to exercise the stall detectors
+            // (both off outside pf_chaos).
             crate::chaos::maybe_panic();
+            crate::chaos::maybe_wedge(&|| session.aborting());
             task.run(self);
         }));
         self.current.set(prev);
@@ -179,6 +183,7 @@ impl Worker {
             let d = self.inline_depth.get();
             if d < MAX_INLINE_DEPTH {
                 self.stats().add_spawns(1);
+                self.stats().add_progress();
                 crate::trace::spawn(self, 1);
                 self.stats().add_tasks(1);
                 crate::trace::exec(self);
@@ -191,6 +196,7 @@ impl Worker {
         let session = self.clone_session();
         session.add_units(1);
         self.stats().add_spawns(1);
+        self.stats().add_progress();
         crate::trace::spawn(self, 1);
         self.local.push(SessionTask {
             session,
@@ -219,6 +225,7 @@ impl Worker {
                 let session = self.clone_session();
                 session.add_units(1);
                 self.stats().add_spawns(2);
+                self.stats().add_progress();
                 crate::trace::spawn(self, 2);
                 self.local.push(SessionTask {
                     session,
@@ -236,6 +243,7 @@ impl Worker {
         let session = self.clone_session();
         session.add_units(2);
         self.stats().add_spawns(2);
+        self.stats().add_progress();
         crate::trace::spawn(self, 2);
         self.local.push(SessionTask {
             session: Arc::clone(&session),
@@ -253,6 +261,7 @@ impl Worker {
         let session = self.clone_session();
         session.add_units(1);
         self.stats().add_spawns(1);
+        self.stats().add_progress();
         crate::trace::spawn(self, 1);
         self.local.push(SessionTask {
             session,
@@ -299,6 +308,11 @@ impl Worker {
     ///   which makes the handoff lost-wakeup-free by the same fence
     ///   argument as `notify`).
     pub(crate) fn resume_transferred(&self, st: SessionTask, owner: usize) {
+        // The resume is progress of the *waiter's* session (which may not
+        // be the one we are currently executing, under a cross-session
+        // mutex-cell fulfill): tick its lane for this worker — entry i is
+        // still written only by worker i, whatever slot it lives in.
+        st.session.stats[self.index].add_progress();
         st.session.transfer_resume();
         match st.session.policy().resume {
             ResumePlace::FulfillerDeque => self.enqueue_transferred(st),
@@ -337,6 +351,7 @@ impl Worker {
     pub(crate) fn note_suspend(&self) {
         self.session().note_suspend();
         self.stats().add_suspensions(1);
+        self.stats().add_progress();
     }
 
     /// Undo [`Worker::note_suspend`] when the suspension raced a write and
@@ -344,6 +359,16 @@ impl Worker {
     pub(crate) fn unnote_suspend(&self) {
         self.session().unnote_suspend();
         self.stats().sub_suspensions(1);
+        self.stats().add_progress();
+    }
+
+    /// One heartbeat tick on the current session's progress epoch (see
+    /// pool.rs). Called by the cell fulfill paths, so a long-running task
+    /// that keeps fulfilling cells counts as progressing even when no
+    /// waiter was resumed by the write.
+    #[inline]
+    pub(crate) fn note_progress(&self) {
+        self.stats().add_progress();
     }
 
     /// Run a ready continuation inline (bounded depth), or spawn it when

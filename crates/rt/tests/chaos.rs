@@ -8,8 +8,8 @@
 
 #![cfg(pf_chaos)]
 
-use pf_rt::chaos::{injected_panics, install, ChaosConfig};
-use pf_rt::{cell, Runtime, SchedPolicy, SessionError, StealKind, VictimSelect, Worker};
+use pf_rt::chaos::{injected_panics, injected_wedges, install, ChaosConfig};
+use pf_rt::{cell, Runtime, SchedPolicy, Session, SessionError, StealKind, VictimSelect, Worker};
 
 /// A pipelined computation with real suspensions: a chain of cells where
 /// each stage touches the previous cell and fulfills the next, with every
@@ -51,6 +51,8 @@ fn seeded_chaos_sessions_fail_contained_or_complete() {
             delay_per_10k: 400,
             delay_spins: 200,
             steal_fail_per_10k: 2000,
+            wedge_per_10k: 0,
+            wedge_hold_ms: 0,
         }));
         let before = injected_panics();
         let res = chained_sum(&rt, 24);
@@ -107,6 +109,8 @@ fn seeded_chaos_sessions_fail_contained_or_complete() {
             // Deny roughly a third of steal attempts: batches are
             // constantly interrupted mid-drain and retried elsewhere.
             steal_fail_per_10k: 3300,
+            wedge_per_10k: 0,
+            wedge_hold_ms: 0,
         }));
         let before = injected_panics();
         let res = half.try_run(|wk| {
@@ -151,6 +155,8 @@ fn seeded_chaos_sessions_fail_contained_or_complete() {
             delay_per_10k: 500,
             delay_spins: 200,
             steal_fail_per_10k: 2500,
+            wedge_per_10k: 0,
+            wedge_hold_ms: 0,
         }));
         std::thread::scope(|s| {
             let rt = &rt;
@@ -178,6 +184,81 @@ fn seeded_chaos_sessions_fail_contained_or_complete() {
         });
     }
     assert_eq!(pill_failed, 60, "every pill session must have aborted");
+
+    // Phase 4 (PR 10): seeded mid-task wedges against the progress-
+    // heartbeat stall detector. A wedge parks a worker inside a task
+    // body (no panic, no event — the exact signature the old idle-pool
+    // watchdog could not see while siblings kept the pool busy). Two
+    // concurrent budgeted sessions per seed: each must come back — `Ok`
+    // when its wedge released in time (the hold is bounded), `Stalled`
+    // otherwise, never a hang — and every stall must trace back to an
+    // injected wedge and be declared within 2× the configured budget.
+    let budget = std::time::Duration::from_millis(250);
+    let run_budgeted = |depth: u64| -> Result<u64, SessionError> {
+        let (w0, mut prev) = cell::<u64>();
+        let mut stages: Vec<Box<dyn FnOnce(&Worker) + Send>> = Vec::new();
+        for _ in 0..depth {
+            let (w, r) = cell::<u64>();
+            let src = prev.clone();
+            stages.push(Box::new(move |wk: &Worker| {
+                src.touch(wk, move |v, wk| w.fulfill(wk, v + 1));
+            }));
+            prev = r;
+        }
+        let last = prev.clone();
+        rt.try_run_session(Session::new().stall_budget(budget), move |wk| {
+            for st in stages {
+                wk.spawn(move |wk| st(wk));
+            }
+            w0.fulfill(wk, 0);
+        })?;
+        Ok(last.expect())
+    };
+    let mut stalled = 0usize;
+    let mut wedged_ok = 0usize;
+    for seed in 0..25u64 {
+        install(Some(ChaosConfig {
+            seed: 0x3DBED ^ seed.rotate_left(23),
+            panic_per_10k: 0,
+            delay_per_10k: 200,
+            delay_spins: 100,
+            steal_fail_per_10k: 1500,
+            wedge_per_10k: 250,
+            // Far past the budget: detection must beat the hold, not
+            // wait it out — but a missed detection still terminates.
+            wedge_hold_ms: 3_000,
+        }));
+        let before = injected_wedges();
+        let results = std::thread::scope(|s| {
+            let a = s.spawn(|| run_budgeted(24));
+            let b = run_budgeted(24);
+            [a.join().unwrap(), b]
+        });
+        let injected = injected_wedges() > before;
+        for res in results {
+            match res {
+                Ok(v) => {
+                    assert_eq!(v, 24, "seed {seed}: wedge-phase chain sum");
+                    if injected {
+                        wedged_ok += 1;
+                    }
+                }
+                Err(SessionError::Stalled { report, .. }) => {
+                    assert!(injected, "seed {seed}: stalled without a wedge injection");
+                    assert!(
+                        report.frozen_for < 2 * budget,
+                        "seed {seed}: detection took {:?} against a {budget:?} budget",
+                        report.frozen_for
+                    );
+                    stalled += 1;
+                }
+                Err(e) => panic!("seed {seed}: unexpected error under wedge chaos: {e}"),
+            }
+        }
+    }
+    assert!(stalled > 0, "wedge chaos never produced a detected stall");
+    // Non-assertion telemetry: sessions whose wedge landed harmlessly.
+    let _ = wedged_ok;
 
     // Disarm and prove both pools are clean: 50 quiet runs each, zero
     // failures.

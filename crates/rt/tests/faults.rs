@@ -131,6 +131,11 @@ fn watchdog_reports_a_stalled_session_with_the_stuck_cell() {
             assert_eq!(report.stuck.len(), 1, "{report:?}");
             assert_eq!(report.stuck[0].kind, "cell");
             assert!(report.stuck[0].payload_type.contains("u32"));
+            // Freeze provenance: the report names its session and how
+            // long progress was frozen (several consecutive samples).
+            assert_eq!(report.session, err.session(), "{report:?}");
+            assert!(report.frozen >= 2, "{report:?}");
+            assert!(report.frozen_for > Duration::ZERO, "{report:?}");
         }
         other => panic!("expected Stalled, got {other}"),
     }

@@ -301,6 +301,183 @@ fn poison_stays_in_the_faulting_session() {
     }
 }
 
+/// Spawn a sibling thread that pumps short busy sessions on `rt` until
+/// `stop` is raised, counting completed sessions in `pumped`. Each task
+/// spins briefly so the pool's workers stay genuinely busy — the
+/// condition under which the old idle-pool watchdog was blind.
+fn busy_sibling(
+    rt: &Arc<Runtime>,
+    stop: &Arc<AtomicBool>,
+    pumped: &Arc<std::sync::atomic::AtomicU64>,
+) -> std::thread::JoinHandle<()> {
+    let (rt, stop, pumped) = (Arc::clone(rt), Arc::clone(stop), Arc::clone(pumped));
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Acquire) {
+            rt.try_run(|wk| {
+                for _ in 0..8 {
+                    wk.spawn(|_| {
+                        for _ in 0..2_000 {
+                            std::hint::spin_loop();
+                        }
+                    });
+                }
+            })
+            .expect("healthy pump session");
+            pumped.fetch_add(1, Ordering::Release);
+        }
+    })
+}
+
+/// The PR-10 tentpole, suspended flavor: a session wedged on a cell
+/// nobody will ever write is declared `Stalled` within ~2× its
+/// configured stall budget even though a sibling session keeps the pool
+/// continuously busy — the per-session progress heartbeat sees through
+/// busy siblings where the old idle-pool sampler abstained.
+#[test]
+fn wedged_session_stalls_next_to_busy_sibling() {
+    let rt = Arc::new(Runtime::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pumped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sibling = busy_sibling(&rt, &stop, &pumped);
+    // Let the pump establish real load before the victim starts.
+    while pumped.load(Ordering::Acquire) < 2 {
+        std::thread::yield_now();
+    }
+
+    let budget = Duration::from_millis(300);
+    let (_w, r) = cell::<u32>(); // write half kept alive, never fulfilled
+    let before = pumped.load(Ordering::Acquire);
+    let started = std::time::Instant::now();
+    let err = rt
+        .try_run_session(Session::new().stall_budget(budget), move |wk| {
+            r.touch(wk, |_v, _wk| {})
+        })
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    let during = pumped.load(Ordering::Acquire) - before;
+
+    match &err {
+        SessionError::Stalled { report, .. } => {
+            assert!(report.live >= 1, "{report:?}");
+            assert_eq!(report.session, err.session(), "{report:?}");
+            assert!(report.frozen >= 2, "{report:?}");
+            assert!(report.frozen_for >= budget, "{report:?}");
+        }
+        other => panic!("expected Stalled, got {other}"),
+    }
+    assert!(
+        elapsed < 2 * budget,
+        "detection took {elapsed:?}, budget {budget:?}"
+    );
+    assert!(
+        during >= 1,
+        "sibling went idle during detection — the blind-spot condition was not exercised"
+    );
+    stop.store(true, Ordering::Release);
+    sibling.join().unwrap();
+    rt.try_run(|_wk| {}).unwrap();
+}
+
+/// The running flavor: a task body spinning forever (polling nothing but
+/// its cancel flag) freezes the session's epoch while holding a worker.
+/// An explicit stall budget arms the detector for this case too — no
+/// deadline involved.
+#[test]
+fn running_wedge_stalls_with_explicit_budget() {
+    let rt = Arc::new(Runtime::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pumped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sibling = busy_sibling(&rt, &stop, &pumped);
+
+    let budget = Duration::from_millis(300);
+    let started = std::time::Instant::now();
+    let err = rt
+        .try_run_session(Session::new().stall_budget(budget), |wk| {
+            wk.spawn(|wk| {
+                // A wedge that at least honors cancellation, so the abort
+                // can reclaim the worker after detection.
+                while !wk.cancelled() {
+                    std::hint::spin_loop();
+                }
+            });
+        })
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(matches!(err, SessionError::Stalled { .. }), "{err}");
+    assert!(
+        elapsed < 2 * budget,
+        "detection took {elapsed:?}, budget {budget:?}"
+    );
+    stop.store(true, Ordering::Release);
+    sibling.join().unwrap();
+    rt.try_run(|_wk| {}).unwrap();
+}
+
+/// No-false-positive pin: a slow but *progressing* session — each stage
+/// sleeps well below the budget, then fulfills the next cell — runs far
+/// past its stall budget in total and still completes `Ok`, because
+/// every stage bumps the progress epoch and resets the freeze window.
+#[test]
+fn slow_but_progressing_session_is_not_stalled() {
+    let rt = Arc::new(Runtime::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pumped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sibling = busy_sibling(&rt, &stop, &pumped);
+
+    let budget = Duration::from_millis(250);
+    let stages = 8u64; // 8 × 50 ms = 400 ms total, well past the budget
+    let (w0, mut prev) = cell::<u64>();
+    let last = prev.clone();
+    let mut chain = Vec::new();
+    for _ in 0..stages - 1 {
+        let (w, r) = cell::<u64>();
+        let src = std::mem::replace(&mut prev, r);
+        chain.push((src, w));
+    }
+    let last = if stages > 1 { prev.clone() } else { last };
+    let started = std::time::Instant::now();
+    rt.try_run_session(Session::new().stall_budget(budget), move |wk| {
+        for (src, w) in chain {
+            src.touch(wk, move |v, wk| {
+                std::thread::sleep(Duration::from_millis(50));
+                w.fulfill(wk, v + 1);
+            });
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        w0.fulfill(wk, 1);
+    })
+    .expect("slow-but-progressing session must not be declared stalled");
+    assert_eq!(last.expect(), stages);
+    assert!(
+        started.elapsed() > budget,
+        "the run must outlive the budget for this pin to mean anything"
+    );
+    stop.store(true, Ordering::Release);
+    sibling.join().unwrap();
+}
+
+/// Even without an explicit budget, a suspended-only wedge next to a
+/// busy sibling is caught by the default heartbeat budget — the ROADMAP
+/// blind spot is closed by default, not only when opted into.
+#[test]
+fn suspended_wedge_detected_by_default_next_to_busy_sibling() {
+    let rt = Arc::new(Runtime::new(2));
+    let stop = Arc::new(AtomicBool::new(false));
+    let pumped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sibling = busy_sibling(&rt, &stop, &pumped);
+
+    let (_w, r) = cell::<u32>();
+    let started = std::time::Instant::now();
+    let err = rt.try_run(move |wk| r.touch(wk, |_v, _wk| {})).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(matches!(err, SessionError::Stalled { .. }), "{err}");
+    // The default budget is 1 s; 2× covers it with room for load.
+    assert!(elapsed < Duration::from_secs(2), "took {elapsed:?}");
+    stop.store(true, Ordering::Release);
+    sibling.join().unwrap();
+    rt.try_run(|_wk| {}).unwrap();
+}
+
 /// `live_sessions` observes the table: zero at rest, and the slot count
 /// returns to zero after concurrent sessions retire (slots are
 /// per-session garbage, not pool state).

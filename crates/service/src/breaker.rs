@@ -1,0 +1,221 @@
+//! Self-healing policy for shard apply paths: bounded-backoff retry of
+//! degraded waves, and a per-shard circuit breaker that sheds load from
+//! a shard whose windows keep degrading.
+//!
+//! Both pieces are deliberately *mechanism-free*: [`RetryPolicy`] only
+//! computes delays (the service owns the fresh-session retry loop) and
+//! [`CircuitBreaker`] is a pure state machine over a caller-supplied
+//! virtual clock (`Duration` since some epoch the caller picks). That
+//! keeps every transition deterministic and exhaustively checkable — the
+//! `model_breaker` test drives the machine through every reachable state
+//! without a real clock — while the service feeds it
+//! `started.elapsed()`.
+//!
+//! The breaker exists for the failure shape retries cannot fix: a shard
+//! whose *every* window degrades (a poisoned key range, a wedged
+//! dependency) would otherwise burn its full deadline-plus-retries
+//! budget per window, starving the shared pool that healthy shards'
+//! sessions also run on. Opening the breaker sheds those windows in O(1)
+//! — the waves degrade immediately with a "circuit open" outcome — and
+//! a half-open probe window periodically tests whether the shard
+//! recovered.
+
+use std::time::Duration;
+
+/// Retry policy for degraded waves: how many fresh-session attempts a
+/// wave gets past its first, and the jittered exponential backoff
+/// between them.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first failure (0 disables retry). Each
+    /// retry runs the wave alone, in a fresh session, against the
+    /// shard's current committed root.
+    pub attempts: u32,
+    /// Base delay before the first retry; attempt `n` waits up to
+    /// `base << n`, capped at [`RetryPolicy::cap`].
+    pub base: Duration,
+    /// Upper bound of any single backoff delay.
+    pub cap: Duration,
+    /// Seed of the per-shard jitter streams (deterministic per shard, so
+    /// a replayed run backs off identically).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The jitter stream for shard `shard` (pass `&mut` to
+    /// [`RetryPolicy::delay`]).
+    pub fn stream(&self, shard: usize) -> u64 {
+        let mut s = self.seed ^ (shard as u64).wrapping_mul(0xA24BAED4963EE407);
+        let _ = splitmix(&mut s);
+        s
+    }
+
+    /// Backoff before retry number `attempt` (0-based): uniformly
+    /// jittered in `[half, full]` of `min(base << attempt, cap)`. Full
+    /// jitter keeps concurrent shards' retries from synchronizing; the
+    /// half floor keeps every delay a real backoff.
+    pub fn delay(&self, attempt: u32, stream: &mut u64) -> Duration {
+        let full = self
+            .base
+            .checked_mul(1u32 << attempt.min(16))
+            .map_or(self.cap, |d| d.min(self.cap));
+        let half = full / 2;
+        let span = full.saturating_sub(half).as_nanos() as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix(stream) % (span + 1)
+        };
+        half + Duration::from_nanos(jitter)
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive degraded windows that trip the breaker open.
+    /// **0 disables the breaker** (the default): every window is
+    /// admitted, nothing is shed.
+    pub threshold: u32,
+    /// How long an open breaker sheds before allowing a half-open probe
+    /// window.
+    pub open_for: Duration,
+    /// Consecutive healthy probe windows required to close again from
+    /// half-open (minimum 1).
+    pub probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 0,
+            open_for: Duration::from_millis(250),
+            probes: 1,
+        }
+    }
+}
+
+/// Breaker state (exposed for tests and telemetry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every window admitted; counts consecutive degradations.
+    Closed {
+        /// Consecutive degraded windows seen so far.
+        consecutive: u32,
+    },
+    /// Tripped: windows are shed until the virtual clock reaches `until`.
+    Open {
+        /// Virtual-clock instant at which a probe becomes admissible.
+        until: Duration,
+    },
+    /// Probing: one window at a time is admitted; counts consecutive
+    /// healthy probes.
+    HalfOpen {
+        /// Consecutive healthy probe windows seen so far.
+        healthy: u32,
+    },
+}
+
+/// Per-shard circuit breaker: Closed → (threshold consecutive degraded
+/// windows) → Open → (after `open_for` on the virtual clock) → HalfOpen
+/// probe → Closed on `probes` consecutive healthy windows, or straight
+/// back to Open on a degraded one.
+///
+/// The clock is whatever monotone `Duration` the caller supplies to
+/// [`CircuitBreaker::admit`] / [`CircuitBreaker::on_window`] — the
+/// service uses time since service construction; the model tests use a
+/// hand-stepped counter.
+#[derive(Clone, Copy, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed { consecutive: 0 },
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate a window at virtual time `now`. `false` means shed: the
+    /// window must not run (and [`CircuitBreaker::on_window`] must not
+    /// be called for it — a shed window carries no health signal). An
+    /// open breaker whose `open_for` has elapsed flips to half-open and
+    /// admits the probe in the same call.
+    pub fn admit(&mut self, now: Duration) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen { .. } => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen { healthy: 0 };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record the fate of an admitted window (`degraded` = at least one
+    /// wave degraded after retries) at virtual time `now`.
+    pub fn on_window(&mut self, degraded: bool, now: Duration) {
+        if self.cfg.threshold == 0 {
+            return; // disabled: stay closed forever
+        }
+        self.state = match (self.state, degraded) {
+            (BreakerState::Closed { consecutive }, true) => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.cfg.threshold {
+                    BreakerState::Open {
+                        until: now + self.cfg.open_for,
+                    }
+                } else {
+                    BreakerState::Closed { consecutive }
+                }
+            }
+            (BreakerState::Closed { .. }, false) => BreakerState::Closed { consecutive: 0 },
+            // A degraded probe re-opens for a full window.
+            (BreakerState::HalfOpen { .. }, true) => BreakerState::Open {
+                until: now + self.cfg.open_for,
+            },
+            (BreakerState::HalfOpen { healthy }, false) => {
+                let healthy = healthy + 1;
+                if healthy >= self.cfg.probes.max(1) {
+                    BreakerState::Closed { consecutive: 0 }
+                } else {
+                    BreakerState::HalfOpen { healthy }
+                }
+            }
+            // `admit` gates windows, so an open breaker never observes
+            // one; tolerate the call anyway (state is self-consistent).
+            (open @ BreakerState::Open { .. }, _) => open,
+        };
+    }
+}

@@ -53,7 +53,13 @@
 //! failed *pipelined window* is replayed wave-by-wave in barriered mode,
 //! so only the genuinely faulty wave is dropped and the final state is
 //! identical to what barriered application would have produced (pinned
-//! by the `equivalence` test).
+//! by the `equivalence` test). Degradation then self-heals in two
+//! layers: each degraded wave is retried in fresh sessions with jittered
+//! exponential backoff ([`RetryPolicy`]), and a shard whose windows keep
+//! degrading trips a per-shard [`CircuitBreaker`] that sheds its load in
+//! O(1) until a half-open probe window proves the shard recovered —
+//! so a poisoned shard cannot monopolize the shared pool that healthy
+//! shards' sessions run on (`bench_pr10` measures exactly this).
 //!
 //! ```
 //! use pf_service::{Request, ServiceConfig, SetService, ShardMap};
@@ -68,11 +74,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod coalesce;
 pub mod request;
 pub mod service;
 pub mod shard;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use coalesce::{coalesce, CoalescePolicy, Wave};
 pub use request::{Entry, Fault, OpKind, Request};
 pub use service::{ApplyMode, DrainReport, ServiceConfig, SetService, WaveOutcome};

@@ -18,6 +18,7 @@ use pf_rt::{cell, ready, FutRead, RunStats, Runtime, SchedPolicy, Session, Sessi
 use pf_rt_algs::rtreap::{diff, union, union_many, RTreap, RtTreap};
 use pf_rt_algs::RKey;
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::coalesce::{coalesce, CoalescePolicy, Wave};
 use crate::request::{Fault, OpKind, Request};
 use crate::shard::ShardMap;
@@ -57,6 +58,21 @@ pub struct ServiceConfig {
     /// Scheduling policy the apply sessions run under (threaded to
     /// [`Session::policy`] for every window and replay session).
     pub sched: SchedPolicy,
+    /// Per-session progress-stall budget (threaded to
+    /// [`Session::stall_budget`]): a wave whose session stops making
+    /// *any* scheduler progress for this long aborts as `Stalled` — much
+    /// faster than waiting out `deadline` for a mid-task wedge, and
+    /// immune to busy sibling sessions on the shared pool.
+    pub stall_budget: Option<Duration>,
+    /// Retry policy for degraded waves: each gets up to
+    /// `retry.attempts` fresh-session replays with jittered exponential
+    /// backoff before its degradation is final.
+    pub retry: RetryPolicy,
+    /// Per-shard circuit breaker: after `breaker.threshold` consecutive
+    /// degraded windows a shard sheds its windows (degrading them in
+    /// O(1), without running sessions) until a half-open probe window
+    /// succeeds. Disabled by default (`threshold: 0`).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +84,9 @@ impl Default for ServiceConfig {
             deadline: Some(Duration::from_secs(10)),
             policy: CoalescePolicy::default(),
             sched: SchedPolicy::default(),
+            stall_budget: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -97,6 +116,13 @@ pub struct WaveOutcome {
     /// Served by the wave-by-wave replay of a failed pipelined window
     /// rather than by its original window session.
     pub replayed: bool,
+    /// Sessions that decided this wave's fate: 1 for a first-try wave,
+    /// more when retries ran, 0 for a shed wave (no session ran).
+    pub attempts: u32,
+    /// Dropped by an open circuit breaker before any session ran —
+    /// `served` is `false` and `latency` is zero; the shard was shedding
+    /// load after too many consecutive degraded windows.
+    pub shed: bool,
     /// The full event timeline of the failed session that degraded this
     /// wave (`trace` feature only), taken from
     /// [`Runtime::take_last_trace`] at degrade time — a degraded wave
@@ -131,8 +157,15 @@ pub struct DrainReport {
     pub keys_applied: u64,
     /// Waves that committed.
     pub served: u64,
-    /// Waves dropped because their session failed.
+    /// Waves dropped because their session (and every retry) failed.
     pub degraded: u64,
+    /// Retry sessions run for initially-degraded waves.
+    pub retries: u64,
+    /// Waves that degraded at least once and then committed on a retry.
+    pub recovered: u64,
+    /// Waves dropped by an open circuit breaker without running a
+    /// session. `served + degraded + shed == outcomes.len()`.
+    pub shed: u64,
     /// Full event timelines of failed *window* sessions (`trace` feature
     /// only): one entry per pipelined window whose session failed and was
     /// replayed wave-by-wave, captured before the replay sessions
@@ -151,6 +184,9 @@ impl DrainReport {
         self.keys_applied += other.keys_applied;
         self.served += other.served;
         self.degraded += other.degraded;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.shed += other.shed;
         self.wall = self.wall.max(other.wall);
         #[cfg(feature = "trace")]
         self.window_traces.extend(other.window_traces);
@@ -172,6 +208,10 @@ impl DrainReport {
 struct Shard<K: 'static> {
     ingress: Mutex<Vec<Request<K>>>,
     root: Mutex<RTreap<K>>,
+    /// This shard's circuit breaker; held only for a state-machine step.
+    breaker: Mutex<CircuitBreaker>,
+    /// This shard's backoff-jitter stream ([`RetryPolicy::stream`]).
+    backoff: Mutex<u64>,
 }
 
 /// The apply plan of one wave: its group treaps, pre-built outside the
@@ -205,6 +245,10 @@ pub struct SetService<K: RKey> {
     map: ShardMap<K>,
     shards: Vec<Shard<K>>,
     cfg: ServiceConfig,
+    /// Epoch of the breakers' virtual clock: breaker deadlines are
+    /// `Duration`s since service construction, so the state machine
+    /// itself stays clock-free (exhaustively tested in `model_breaker`).
+    started: Instant,
 }
 
 impl<K: RKey> SetService<K> {
@@ -218,9 +262,11 @@ impl<K: RKey> SetService<K> {
     /// `cfg.threads`).
     pub fn with_runtime(rt: Arc<Runtime>, map: ShardMap<K>, cfg: ServiceConfig) -> Self {
         let shards = (0..map.shards())
-            .map(|_| Shard {
+            .map(|i| Shard {
                 ingress: Mutex::new(Vec::new()),
                 root: Mutex::new(RTreap::Leaf),
+                breaker: Mutex::new(CircuitBreaker::new(cfg.breaker)),
+                backoff: Mutex::new(cfg.retry.stream(i)),
             })
             .collect();
         SetService {
@@ -228,7 +274,14 @@ impl<K: RKey> SetService<K> {
             map,
             shards,
             cfg,
+            started: Instant::now(),
         }
+    }
+
+    /// The current breaker state of `shard` (telemetry; the state may
+    /// advance the moment the next window is gated).
+    pub fn breaker_state(&self, shard: usize) -> BreakerState {
+        lock(&self.shards[shard].breaker).state()
     }
 
     /// Number of shards.
@@ -412,8 +465,23 @@ impl<K: RKey> SetService<K> {
     /// Apply one window of waves. On window failure with more than one
     /// wave, fall back to wave-by-wave barriered replay so only the
     /// faulty wave degrades — keeping pipelined and barriered end states
-    /// identical (the equivalence test pins this).
+    /// identical (the equivalence test pins this). Around that protocol
+    /// sit the self-healing layers: the shard's circuit breaker gates
+    /// the window (an open breaker sheds it in O(1)), each degraded wave
+    /// gets [`ServiceConfig::retry`] fresh-session attempts with
+    /// jittered backoff, and the window's final fate feeds the breaker.
     fn apply_window(&self, shard: usize, waves: &[Wave<K>], report: &mut DrainReport) {
+        if !lock(&self.shards[shard].breaker).admit(self.started.elapsed()) {
+            for w in waves {
+                let mut o = outcome(shard, w, false, None, Duration::ZERO, false);
+                o.error = Some("circuit open: shard shedding load".to_string());
+                o.attempts = 0;
+                o.shed = true;
+                report.shed += 1;
+                report.outcomes.push(o);
+            }
+            return;
+        }
         let plans: Vec<WavePlan<K>> = waves
             .iter()
             .map(|w| WavePlan {
@@ -428,6 +496,7 @@ impl<K: RKey> SetService<K> {
             .collect();
         let root = self.snapshot(shard);
         report.sessions += 1;
+        let mut degraded = false;
         match self.run_window_session(root, plans.clone()) {
             Ok((new_root, stats)) => {
                 *lock(&self.shards[shard].root) = new_root;
@@ -436,9 +505,9 @@ impl<K: RKey> SetService<K> {
                 }
                 report.stats.accumulate(&stats);
             }
-            Err((err, took)) if waves.len() == 1 => {
-                let o = outcome(shard, &waves[0], false, Some(&err), took, false);
-                report.record(self.attach_failed_trace(o));
+            Err(failed) if waves.len() == 1 => {
+                let plan = plans.into_iter().next().expect("one plan per wave");
+                degraded = !self.retry_wave(shard, &waves[0], plan, false, Some(failed), report);
             }
             Err(_) => {
                 // The failed window's timeline, captured before the
@@ -447,23 +516,67 @@ impl<K: RKey> SetService<K> {
                 report
                     .window_traces
                     .extend(self.rt.take_last_trace().map(Arc::new));
-                // Replay: one wave per session, committing the healthy
-                // ones in order; the shard root advances past each.
+                // Replay: one wave per session (plus retries), committing
+                // the healthy ones in order; the shard root advances past
+                // each.
                 for (w, plan) in waves.iter().zip(plans) {
-                    let root = self.snapshot(shard);
-                    report.sessions += 1;
-                    match self.run_window_session(root, vec![plan]) {
-                        Ok((new_root, stats)) => {
-                            *lock(&self.shards[shard].root) = new_root;
-                            report.record(outcome(shard, w, true, None, stats.elapsed, true));
-                            report.stats.accumulate(&stats);
-                        }
-                        Err((err, took)) => {
-                            let o = outcome(shard, w, false, Some(&err), took, true);
-                            report.record(self.attach_failed_trace(o));
-                        }
-                    }
+                    degraded |= !self.retry_wave(shard, w, plan, true, None, report);
                 }
+            }
+        }
+        lock(&self.shards[shard].breaker).on_window(degraded, self.started.elapsed());
+    }
+
+    /// Run `plan` alone in fresh sessions until it serves or its retry
+    /// budget is spent, recording exactly one outcome. `failed` carries
+    /// an attempt the caller already ran (the single-wave window
+    /// session); each subsequent attempt waits out a jittered
+    /// exponential backoff first. Returns whether the wave served.
+    fn retry_wave(
+        &self,
+        shard: usize,
+        w: &Wave<K>,
+        plan: WavePlan<K>,
+        replayed: bool,
+        failed: Option<(SessionError, Duration)>,
+        report: &mut DrainReport,
+    ) -> bool {
+        let mut attempts: u32 = failed.iter().count() as u32;
+        let mut last = failed;
+        loop {
+            if let Some((err, took)) = last {
+                if attempts > self.cfg.retry.attempts {
+                    let mut o = outcome(shard, w, false, Some(&err), took, replayed);
+                    o.attempts = attempts;
+                    report.record(self.attach_failed_trace(o));
+                    return false;
+                }
+                // Bounded backoff: the shard's ingress keeps queueing
+                // while we sleep; a transient fault (a wedge released, a
+                // contended sibling) gets breathing room to clear.
+                let delay = {
+                    let mut stream = lock(&self.shards[shard].backoff);
+                    self.cfg.retry.delay(attempts - 1, &mut stream)
+                };
+                std::thread::sleep(delay);
+                report.retries += 1;
+            }
+            report.sessions += 1;
+            attempts += 1;
+            let root = self.snapshot(shard);
+            match self.run_window_session(root, vec![plan.clone()]) {
+                Ok((new_root, stats)) => {
+                    *lock(&self.shards[shard].root) = new_root;
+                    let mut o = outcome(shard, w, true, None, stats.elapsed, replayed);
+                    o.attempts = attempts;
+                    report.record(o);
+                    report.stats.accumulate(&stats);
+                    if attempts > 1 {
+                        report.recovered += 1;
+                    }
+                    return true;
+                }
+                Err(e) => last = Some(e),
             }
         }
     }
@@ -487,6 +600,9 @@ impl<K: RKey> SetService<K> {
         let mut sess = Session::new().policy(self.cfg.sched);
         if let Some(d) = self.cfg.deadline {
             sess = sess.deadline(d);
+        }
+        if let Some(b) = self.cfg.stall_budget {
+            sess = sess.stall_budget(b);
         }
         let started = Instant::now();
         let stats = self
@@ -588,6 +704,8 @@ fn outcome<K>(
         error: err.map(|e| e.to_string()),
         latency,
         replayed,
+        attempts: 1,
+        shed: false,
         #[cfg(feature = "trace")]
         trace: None,
     }

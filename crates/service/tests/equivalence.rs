@@ -87,6 +87,10 @@ fn run(mode: ApplyMode) -> (Vec<Vec<i64>>, HashSet<(usize, u64)>, DrainReport) {
         mode,
         // Short deadline so the wedged wave degrades quickly.
         deadline: Some(Duration::from_millis(400)),
+        // Faster still: the wedge freezes the session's progress epoch,
+        // so the heartbeat stall detector (PR 10) declares it well
+        // before the deadline — including on its retry attempts.
+        stall_budget: Some(Duration::from_millis(150)),
         ..ServiceConfig::default()
     };
     let svc = SetService::new(ShardMap::uniform(SHARDS, 0, KEYSPACE), cfg);
